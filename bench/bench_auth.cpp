@@ -1,0 +1,66 @@
+// Experiment F6 - authentication is never the bottleneck: GF(2^128)
+// polynomial hashing throughput across message sizes, Wegman-Carter
+// sign/verify latency, and the CRC32C framing check for contrast.
+// google-benchmark binary.
+#include <benchmark/benchmark.h>
+
+#include "auth/wegman_carter.hpp"
+#include "common/crc.hpp"
+#include "common/rng.hpp"
+
+namespace {
+
+using namespace qkdpp;
+
+std::vector<std::uint8_t> make_message(std::size_t bytes) {
+  Xoshiro256 rng(bytes + 1);
+  std::vector<std::uint8_t> message(bytes);
+  for (auto& b : message) b = static_cast<std::uint8_t>(rng.next_u64());
+  return message;
+}
+
+void BM_PolyHash(benchmark::State& state) {
+  const auto message = make_message(static_cast<std::size_t>(state.range(0)));
+  const U128 r{0x0123456789abcdefULL, 0xfedcba9876543210ULL};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(auth::poly_hash(r, message));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+
+void BM_Crc32c(benchmark::State& state) {
+  const auto message = make_message(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crc32c(message));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+
+void BM_WegmanCarterSignVerify(benchmark::State& state) {
+  const auto message = make_message(static_cast<std::size_t>(state.range(0)));
+  Xoshiro256 rng(5);
+  // Large pre-shared pool so draw cost, not refill, is measured.
+  const BitVec shared = rng.random_bits(auth::kTagKeyBits * 4096);
+  for (auto _ : state) {
+    state.PauseTiming();
+    auth::KeyPool sign_pool(shared);
+    auth::KeyPool verify_pool(shared);
+    auth::WegmanCarter signer(sign_pool);
+    auth::WegmanCarter verifier(verify_pool);
+    state.ResumeTiming();
+    const auth::Tag tag = signer.sign(message);
+    benchmark::DoNotOptimize(verifier.verify(message, tag));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+
+}  // namespace
+
+BENCHMARK(BM_PolyHash)->RangeMultiplier(8)->Range(64, 1 << 22);
+BENCHMARK(BM_Crc32c)->RangeMultiplier(8)->Range(64, 1 << 22);
+BENCHMARK(BM_WegmanCarterSignVerify)->RangeMultiplier(64)->Range(64, 1 << 20);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,103 @@
+// Experiment T1 - the heterogeneity argument in one table: every pipeline
+// stage timed on every device class (CPU columns measured, sim columns
+// modeled). Expected shape: stages differ by orders of magnitude in how
+// much they gain from acceleration - decode and amplify love the GPU,
+// sifting and authentication do not; no single device wins every row,
+// which is exactly why the mapper exists.
+#include <cstdio>
+#include <deque>
+
+#include "bench_util.hpp"
+#include "hetero/kernels.hpp"
+#include "privacy/toeplitz.hpp"
+#include "protocol/sifting.hpp"
+#include "sim/bb84.hpp"
+
+int main() {
+  using namespace qkdpp;
+
+  ThreadPool pool(2);
+  std::deque<hetero::Device> devices;
+  devices.emplace_back(hetero::cpu_scalar_props());
+  devices.emplace_back(hetero::cpu_parallel_props(pool.thread_count()), &pool);
+  devices.emplace_back(hetero::gpu_sim_props(), &pool);
+  devices.emplace_back(hetero::fpga_sim_props(), &pool);
+
+  // Workload: one 2^20-pulse block's worth of each stage.
+  sim::LinkConfig link;
+  link.channel.length_km = 25.0;
+  Xoshiro256 rng(77);
+  const auto record = sim::Bb84Simulator(link).run(1 << 20, rng);
+
+  const auto& code = reconcile::code_by_id(12);  // 16k rate 0.75
+  const double q = 0.025;
+  auto instance = benchutil::make_instance(code, q, rng);
+  const hetero::DecodeJob job{&instance.syndrome, &instance.llr};
+
+  const std::size_t pa_n = 1 << 18;
+  const BitVec pa_input = rng.random_bits(pa_n);
+  const BitVec pa_seed = rng.random_bits(pa_n + pa_n / 2 - 1);
+  const auto auth_message = pa_input.to_bytes();
+
+  std::printf("T1: stage-on-device seconds per block-equivalent workload\n");
+  std::printf("    (cpu columns measured; gpu/fpga columns modeled - see "
+              "DESIGN.md)\n\n%16s", "");
+  for (const auto& device : devices) std::printf(" %13s", device.name().c_str());
+  std::printf("\n");
+
+  // Sifting: CPU-only stage (index math, no accelerator kernel).
+  std::printf("%16s", "sift");
+  {
+    protocol::DetectionReport report;
+    report.n_pulses = record.n_pulses;
+    report.detected_idx = record.detected_idx;
+    report.bob_bases = record.bob_bases;
+    const protocol::AliceTransmitLog log{record.alice_bits,
+                                         record.alice_bases,
+                                         record.alice_class};
+    Stopwatch stopwatch;
+    const auto sifted = protocol::sift_alice(log, report);
+    const double seconds = stopwatch.seconds();
+    (void)sifted;
+    std::printf(" %13.6f %13s %13s %13s\n", seconds, "-", "-", "-");
+  }
+
+  std::printf("%16s", "ldpc-syndrome");
+  for (auto& device : devices) {
+    std::vector<BitVec> syndromes;
+    std::vector<BitVec> words = {instance.alice};
+    const double seconds =
+        hetero::timed_syndrome(device, code, words, syndromes);
+    std::printf(" %13.6f", seconds);
+  }
+  std::printf("\n");
+
+  std::printf("%16s", "ldpc-decode");
+  for (auto& device : devices) {
+    std::vector<reconcile::DecodeResult> results;
+    const double seconds = hetero::timed_ldpc_decode(
+        device, code, std::span(&job, 1), reconcile::DecoderConfig{}, results);
+    std::printf(" %13.6f", seconds);
+  }
+  std::printf("\n");
+
+  std::printf("%16s", "toeplitz-pa");
+  for (auto& device : devices) {
+    BitVec out;
+    const double seconds =
+        hetero::timed_toeplitz(device, pa_input, pa_seed, pa_n / 2, out);
+    std::printf(" %13.6f", seconds);
+  }
+  std::printf("\n");
+
+  std::printf("%16s", "poly-auth-tag");
+  for (auto& device : devices) {
+    U128 tag;
+    const double seconds = hetero::timed_poly_tag(device, auth_message, 9, tag);
+    std::printf(" %13.6f", seconds);
+  }
+  std::printf("\n\nshape check: decode/amplify gain 10-100x from "
+              "accelerators; auth is microseconds everywhere; sift is pure "
+              "bookkeeping.\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Experiment F3 - LDPC throughput & FER vs block length, with and without
+// batching. Expected shape: longer blocks improve both decoder throughput
+// (amortized control overhead) and FER (steeper waterfall); on gpu-sim,
+// batching recovers the launch/transfer overhead that dominates small
+// blocks - the crossover the batch column makes visible.
+#include <cstdio>
+#include <deque>
+
+#include "bench_util.hpp"
+#include "hetero/kernels.hpp"
+#include "reconcile/rate_adapt.hpp"
+
+int main() {
+  using namespace qkdpp;
+  using benchutil::DecodeInstance;
+
+  ThreadPool pool(2);
+  std::deque<hetero::Device> devices;
+  devices.emplace_back(hetero::cpu_parallel_props(pool.thread_count()), &pool);
+  devices.emplace_back(hetero::gpu_sim_props(), &pool);
+
+  const double q = 0.03;
+  std::printf("F3: throughput (Mbit/s) and FER vs block length at QBER "
+              "%.0f%%, rate-0.5 codes\n\n",
+              q * 100);
+  std::printf("%8s %6s | %12s | %14s %14s | %8s\n", "n", "iters", "cpu-par",
+              "gpu-sim b=1", "gpu-sim b=16", "FER");
+
+  for (const std::uint32_t code_id : {0u, 3u, 9u, 16u}) {
+    const auto& code = reconcile::code_by_id(code_id);
+    Xoshiro256 rng(code_id * 101 + 7);
+
+    const int kBatch = 16;
+    std::vector<DecodeInstance> instances;
+    std::vector<hetero::DecodeJob> jobs;
+    for (int i = 0; i < kBatch; ++i) {
+      instances.push_back(benchutil::make_instance(code, q, rng));
+    }
+    for (const auto& instance : instances) {
+      jobs.push_back({&instance.syndrome, &instance.llr});
+    }
+
+    reconcile::DecoderConfig config;
+    std::vector<reconcile::DecodeResult> results;
+
+    // CPU, whole batch (sequential frames).
+    const double cpu_s =
+        hetero::timed_ldpc_decode(devices[0], code, jobs, config, results);
+    unsigned iterations = 0;
+    int failures = 0;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      iterations += results[i].iterations;
+      failures +=
+          !results[i].converged || !(results[i].word == instances[i].alice);
+    }
+    iterations /= kBatch;
+
+    // GPU, one frame per launch.
+    double gpu_single_s = 0;
+    for (const auto& job : jobs) {
+      gpu_single_s += hetero::timed_ldpc_decode(
+          devices[1], code, std::span(&job, 1), config, results);
+    }
+    // GPU, batched launch.
+    const double gpu_batch_s =
+        hetero::timed_ldpc_decode(devices[1], code, jobs, config, results);
+
+    const double bits = static_cast<double>(code.n()) * kBatch;
+    std::printf("%8zu %6u | %12.1f | %14.1f %14.1f | %7.3f\n", code.n(),
+                iterations, bits / cpu_s / 1e6, bits / gpu_single_s / 1e6,
+                bits / gpu_batch_s / 1e6,
+                static_cast<double>(failures) / kBatch);
+  }
+  std::printf("\nshape check: gpu batched >> gpu single at small n (launch "
+              "amortization); FER falls with n at fixed rate/QBER.\n");
+  return 0;
+}

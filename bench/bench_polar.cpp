@@ -1,0 +1,76 @@
+// Experiment F4b - three-way reconciliation comparison: Cascade vs LDPC vs
+// polar SC at equal block material. Expected shape: Cascade wins
+// efficiency but is interactive; LDPC (BP) wins one-way efficiency at short
+// blocks; polar's O(N log N) regular dataflow gives it the best CPU
+// throughput of the one-way schemes while its SC finite-length gap costs
+// efficiency at low QBER - the hardware-friendliness vs leakage trade that
+// motivates list decoding in production stacks.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/entropy.hpp"
+#include "common/stats.hpp"
+#include "reconcile/polar.hpp"
+#include "reconcile/reconciler.hpp"
+
+int main() {
+  using namespace qkdpp;
+  using namespace qkdpp::reconcile;
+
+  const std::size_t n = 1 << 14;
+  std::printf("F4b: reconciliation families at n=%zu (f_EC | Mbit/s | "
+              "one-way?)\n\n",
+              n);
+  std::printf("%6s | %8s %8s | %8s %8s | %8s %8s %6s\n", "QBER", "casc f",
+              "Mbit/s", "ldpc f", "Mbit/s", "polar f", "Mbit/s", "FER");
+
+  for (const double q : {0.01, 0.02, 0.03, 0.05}) {
+    Xoshiro256 rng(static_cast<std::uint64_t>(q * 1e6) + 3);
+    const BitVec alice = rng.random_bits(n);
+    const BitVec bob = benchutil::corrupt(alice, q, rng);
+
+    CascadeConfig cascade_config;
+    cascade_config.qber_hint = q;
+    cascade_config.passes = 6;
+    Stopwatch stopwatch;
+    const auto cascade =
+        cascade_reconcile_local(alice, bob, q, cascade_config);
+    const double cascade_s = stopwatch.seconds();
+
+    LdpcReconcilerConfig ldpc_config;
+    const auto plan = plan_frame_fitting(n, q, ldpc_config.f_target);
+    Xoshiro256 private_rng(5);
+    const BitVec alice_payload = alice.subvec(0, plan.payload_bits);
+    const BitVec bob_payload = bob.subvec(0, plan.payload_bits);
+    stopwatch.reset();
+    const auto ldpc = ldpc_reconcile_local(alice_payload, bob_payload, q,
+                                           plan, 11, ldpc_config, private_rng);
+    const double ldpc_s = stopwatch.seconds();
+
+    // Polar: average several blocks for a stable FER estimate.
+    int polar_fail = 0;
+    double polar_f = 0;
+    stopwatch.reset();
+    const int kTrials = 4;
+    for (int t = 0; t < kTrials; ++t) {
+      const BitVec a = rng.random_bits(n);
+      const BitVec b = benchutil::corrupt(a, q, rng);
+      const auto polar = polar_reconcile_local(a, b, q, 1.5);
+      polar_fail += !polar.success;
+      polar_f += polar.efficiency;
+    }
+    const double polar_s = stopwatch.seconds() / kTrials;
+
+    std::printf("%5.1f%% | %8.3f %8.2f | %8.3f %8.2f | %8.3f %8.2f %5.2f\n",
+                q * 100, cascade.efficiency,
+                static_cast<double>(n) / cascade_s / 1e6, ldpc.efficiency,
+                static_cast<double>(plan.payload_bits) / ldpc_s / 1e6,
+                polar_f / kTrials, static_cast<double>(n) / polar_s / 1e6,
+                static_cast<double>(polar_fail) / kTrials);
+  }
+  std::printf("\nshape check: polar throughput > ldpc throughput (regular "
+              "dataflow, no BP iterations); polar f degrades toward low "
+              "QBER (additive SC gap); cascade stays the efficiency "
+              "champion.\n");
+  return 0;
+}

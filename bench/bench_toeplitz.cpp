@@ -1,0 +1,85 @@
+// Experiment F5 - privacy-amplification throughput vs input block length:
+// direct word-sliced Toeplitz vs NTT convolution vs gpu-sim-offloaded NTT.
+// Expected shape: direct wins below ~2^15 (no transform constant), NTT wins
+// above with near-linear n log n scaling, gpu-sim adds a flat launch +
+// transfer floor that only pays off at large n. google-benchmark binary.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "hetero/kernels.hpp"
+#include "privacy/toeplitz.hpp"
+
+namespace {
+
+using namespace qkdpp;
+
+struct PaCase {
+  BitVec input;
+  BitVec seed;
+  std::size_t out_len;
+};
+
+PaCase make_case(std::size_t n) {
+  Xoshiro256 rng(n * 17 + 3);
+  PaCase c;
+  c.out_len = n / 2;  // typical compression at metro QBER
+  c.input = rng.random_bits(n);
+  c.seed = rng.random_bits(n + c.out_len - 1);
+  return c;
+}
+
+void BM_ToeplitzDirect(benchmark::State& state) {
+  const auto c = make_case(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        privacy::toeplitz_hash_direct(c.input, c.seed, c.out_len));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(c.input.size() / 8));
+}
+
+void BM_ToeplitzNtt(benchmark::State& state) {
+  const auto c = make_case(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        privacy::toeplitz_hash_ntt(c.input, c.seed, c.out_len));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(c.input.size() / 8));
+}
+
+void BM_ToeplitzGpuSimModeledSeconds(benchmark::State& state) {
+  // Reports the *modeled* device seconds per hash as a counter (wall time
+  // of this benchmark is the host-side correctness execution).
+  const auto c = make_case(static_cast<std::size_t>(state.range(0)));
+  ThreadPool pool(2);
+  hetero::Device gpu(hetero::gpu_sim_props(), &pool);
+  double modeled = 0;
+  std::int64_t hashes = 0;
+  for (auto _ : state) {
+    BitVec out;
+    modeled += hetero::timed_toeplitz(gpu, c.input, c.seed, c.out_len, out);
+    benchmark::DoNotOptimize(out);
+    ++hashes;
+  }
+  state.counters["modeled_s_per_hash"] =
+      benchmark::Counter(modeled / static_cast<double>(hashes));
+  state.counters["modeled_Mbps"] = benchmark::Counter(
+      static_cast<double>(c.input.size()) * static_cast<double>(hashes) /
+      modeled / 1e6);
+}
+
+}  // namespace
+
+// Max input is 2^21: with out_len = n/2 the convolution length 2.5n must
+// stay under the NTT transform limit of 2^23.
+BENCHMARK(BM_ToeplitzDirect)->RangeMultiplier(4)->Range(1 << 12, 1 << 20)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ToeplitzNtt)->RangeMultiplier(4)->Range(1 << 12, 1 << 21)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ToeplitzGpuSimModeledSeconds)
+    ->RangeMultiplier(16)
+    ->Range(1 << 14, 1 << 20)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,49 @@
+// Shared helpers for the table-printing bench harnesses (the benches that
+// reproduce figure/table *series* rather than micro-op timings; those use
+// google-benchmark directly).
+#pragma once
+
+#include <cstdio>
+#include <vector>
+
+#include "common/bitvec.hpp"
+#include "common/rng.hpp"
+#include "reconcile/ldpc_decoder.hpp"
+
+namespace qkdpp::benchutil {
+
+/// Flip each bit independently with probability q (BSC workload generator).
+inline BitVec corrupt(const BitVec& key, double q, Xoshiro256& rng) {
+  BitVec noisy = key;
+  for (std::size_t i = 0; i < key.size(); ++i) {
+    if (rng.bernoulli(q)) noisy.flip(i);
+  }
+  return noisy;
+}
+
+/// Prepared syndrome-decoding instance for decoder benches.
+struct DecodeInstance {
+  BitVec alice;
+  BitVec syndrome;
+  std::vector<float> llr;
+};
+
+inline DecodeInstance make_instance(const reconcile::LdpcCode& code, double q,
+                                    Xoshiro256& rng) {
+  DecodeInstance instance;
+  instance.alice = rng.random_bits(code.n());
+  const BitVec bob = corrupt(instance.alice, q, rng);
+  instance.syndrome = code.syndrome(instance.alice);
+  const float channel = reconcile::bsc_llr(q);
+  instance.llr.resize(code.n());
+  for (std::size_t v = 0; v < code.n(); ++v) {
+    instance.llr[v] = bob.get(v) ? -channel : channel;
+  }
+  return instance;
+}
+
+inline void print_header(const char* title, const char* columns) {
+  std::printf("\n=== %s ===\n%s\n", title, columns);
+}
+
+}  // namespace qkdpp::benchutil

@@ -1,0 +1,96 @@
+// WAN scenario: reconciliation choice under classical-channel latency.
+//
+//   $ ./examples/wan_link
+//
+// Runs the *same* two-party post-processing session over in-process
+// channels whose latency model mimics metro (0.25 ms), intercity (5 ms)
+// and intercontinental (80 ms) links, and reports the modeled classical-
+// channel time each reconciliation family spends. Cascade's many
+// round-trips are free in a lab and crippling across an ocean - the reason
+// one-way LDPC wins WAN deployments despite leaking more.
+#include <cstdio>
+#include <future>
+
+#include "pipeline/session.hpp"
+#include "sim/bb84.hpp"
+
+int main() {
+  using namespace qkdpp;
+
+  sim::LinkConfig link;
+  link.channel.length_km = 25.0;
+  Xoshiro256 link_rng(42);
+  const auto record = sim::Bb84Simulator(link).run(1 << 20, link_rng);
+
+  protocol::AliceTransmitLog alice_log{record.alice_bits, record.alice_bases,
+                                       record.alice_class};
+  pipeline::BobDetections bob_view;
+  bob_view.block_id = 1;
+  bob_view.n_pulses = record.n_pulses;
+  bob_view.detected_idx = record.detected_idx;
+  bob_view.bits = record.bob_bits;
+  bob_view.bases = record.bob_bases;
+
+  struct Scenario {
+    const char* name;
+    double latency_s;
+  };
+  const Scenario scenarios[] = {
+      {"metro (0.25 ms)", 0.25e-3},
+      {"intercity (5 ms)", 5e-3},
+      {"intercontinental (80 ms)", 80e-3},
+  };
+
+  std::printf("WAN reconciliation comparison, 25 km quantum link, one "
+              "2^20-pulse block\n\n");
+  std::printf("%26s | %10s | %8s %8s %12s | %10s\n", "classical channel",
+              "method", "key bits", "msgs", "chan time", "leak");
+
+  for (const auto& scenario : scenarios) {
+    for (const auto method : {protocol::ReconcileMethod::kLdpc,
+                              protocol::ReconcileMethod::kCascade}) {
+      pipeline::SessionConfig config;
+      config.method = method;
+
+      protocol::ChannelModel model;
+      model.latency_s = scenario.latency_s;
+      model.bandwidth_bps = 1e9;
+      auto [alice_channel, bob_channel] = protocol::make_channel_pair(model);
+
+      auto alice_future = std::async(std::launch::async, [&] {
+        Xoshiro256 rng(7);
+        return pipeline::run_alice_session(*alice_channel, alice_log, 1,
+                                           config, rng);
+      });
+      const auto bob =
+          pipeline::run_bob_session(*bob_channel, bob_view, config);
+      const auto alice = alice_future.get();
+
+      if (!alice.success || !bob.success) {
+        std::printf("%26s | %10s | aborted: %s\n", scenario.name,
+                    method == protocol::ReconcileMethod::kLdpc ? "ldpc"
+                                                               : "cascade",
+                    alice.abort_reason.c_str());
+        continue;
+      }
+      // Both directions' modeled channel time.
+      const double channel_time =
+          alice.channel.virtual_time_s + bob.channel.virtual_time_s;
+      std::printf("%26s | %10s | %8zu %8llu %10.2f s | %10llu\n",
+                  scenario.name,
+                  method == protocol::ReconcileMethod::kLdpc ? "ldpc"
+                                                             : "cascade",
+                  alice.final_key.size(),
+                  static_cast<unsigned long long>(
+                      alice.channel.messages_sent +
+                      bob.channel.messages_sent),
+                  channel_time,
+                  static_cast<unsigned long long>(alice.leak_ec_bits));
+    }
+  }
+  std::printf("\nCascade's interactivity costs ~100x more messages; at 80 ms "
+              "RTT that is the difference between sub-second and "
+              "minutes-per-block. LDPC leaks more bits but sends one "
+              "syndrome per frame.\n");
+  return 0;
+}

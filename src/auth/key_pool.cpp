@@ -1,0 +1,46 @@
+#include "auth/key_pool.hpp"
+
+#include "common/error.hpp"
+
+namespace qkdpp::auth {
+
+void KeyPool::replenish(const BitVec& bits) {
+  std::scoped_lock lock(mutex_);
+  // Compact lazily: drop consumed prefix when it dominates storage.
+  if (head_ > 0 && head_ >= bits_.size() / 2) {
+    bits_ = bits_.subvec(head_, bits_.size() - head_);
+    head_ = 0;
+  }
+  bits_.append(bits);
+  replenished_ += bits.size();
+}
+
+BitVec KeyPool::draw(std::size_t nbits) {
+  std::scoped_lock lock(mutex_);
+  if (bits_.size() - head_ < nbits) {
+    throw_error(ErrorCode::kKeyExhausted,
+                "key pool has " + std::to_string(bits_.size() - head_) +
+                    " bits, need " + std::to_string(nbits));
+  }
+  BitVec out = bits_.subvec(head_, nbits);
+  head_ += nbits;
+  consumed_ += nbits;
+  return out;
+}
+
+std::size_t KeyPool::available() const {
+  std::scoped_lock lock(mutex_);
+  return bits_.size() - head_;
+}
+
+std::uint64_t KeyPool::total_consumed() const {
+  std::scoped_lock lock(mutex_);
+  return consumed_;
+}
+
+std::uint64_t KeyPool::total_replenished() const {
+  std::scoped_lock lock(mutex_);
+  return replenished_;
+}
+
+}  // namespace qkdpp::auth

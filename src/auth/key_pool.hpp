@@ -1,0 +1,41 @@
+// Pre-shared symmetric key pool backing Wegman-Carter authentication.
+//
+// QKD bootstraps authentication from a small pre-shared secret and
+// replenishes it from produced key (see Section 1.1.2-style descriptions of
+// the authenticated classical channel). The pool is a FIFO bit store with an
+// exact consumption ledger so the pipeline can account how much of the
+// produced key is plowed back into authentication.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+
+#include "common/bitvec.hpp"
+
+namespace qkdpp::auth {
+
+class KeyPool {
+ public:
+  KeyPool() = default;
+  explicit KeyPool(BitVec initial) : bits_(std::move(initial)) {}
+
+  /// Append fresh key material (e.g. a slice of distilled key).
+  void replenish(const BitVec& bits);
+
+  /// Remove and return exactly `nbits`; throws Error{kKeyExhausted} if the
+  /// pool is short (callers must treat that as a session-fatal condition).
+  BitVec draw(std::size_t nbits);
+
+  std::size_t available() const;
+  std::uint64_t total_consumed() const;
+  std::uint64_t total_replenished() const;
+
+ private:
+  mutable std::mutex mutex_;
+  BitVec bits_;
+  std::size_t head_ = 0;  ///< bits consumed from the front of bits_
+  std::uint64_t consumed_ = 0;
+  std::uint64_t replenished_ = 0;
+};
+
+}  // namespace qkdpp::auth

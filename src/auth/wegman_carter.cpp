@@ -1,0 +1,61 @@
+#include "auth/wegman_carter.hpp"
+
+namespace qkdpp::auth {
+
+namespace {
+
+U128 u128_from_bits(const BitVec& bits, std::size_t offset) {
+  U128 v{0, 0};
+  for (std::size_t i = 0; i < 64; ++i) {
+    if (bits.get(offset + i)) v.lo |= std::uint64_t{1} << i;
+    if (bits.get(offset + 64 + i)) v.hi |= std::uint64_t{1} << i;
+  }
+  return v;
+}
+
+U128 load_block(std::span<const std::uint8_t> message, std::size_t pos) {
+  // Little-endian 16-byte block; final partial block zero-padded.
+  U128 v{0, 0};
+  const std::size_t n = std::min<std::size_t>(16, message.size() - pos);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t byte = message[pos + i];
+    if (i < 8) {
+      v.lo |= byte << (8 * i);
+    } else {
+      v.hi |= byte << (8 * (i - 8));
+    }
+  }
+  return v;
+}
+
+}  // namespace
+
+U128 poly_hash(U128 r, std::span<const std::uint8_t> message) noexcept {
+  // Horner: h = ((L*r + m_0)*r + m_1)*r + ... ; the length block L makes
+  // messages of different lengths hash through polynomials of different
+  // leading coefficient, preserving universality across lengths.
+  U128 h{0, static_cast<std::uint64_t>(message.size())};
+  h = gf128_mul(h, r);
+  for (std::size_t pos = 0; pos < message.size(); pos += 16) {
+    h ^= load_block(message, pos);
+    h = gf128_mul(h, r);
+  }
+  return h;
+}
+
+U128 WegmanCarter::next_tag_value(std::span<const std::uint8_t> message) {
+  const BitVec key = pool_.draw(kTagKeyBits);
+  const U128 r = u128_from_bits(key, 0);
+  const U128 otp = u128_from_bits(key, 128);
+  return poly_hash(r, message) ^ otp;
+}
+
+Tag WegmanCarter::sign(std::span<const std::uint8_t> message) {
+  return Tag{next_tag_value(message)};
+}
+
+bool WegmanCarter::verify(std::span<const std::uint8_t> message, Tag tag) {
+  return next_tag_value(message) == tag.value;
+}
+
+}  // namespace qkdpp::auth

@@ -1,0 +1,184 @@
+#include "common/bitvec.hpp"
+
+#include <bit>
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace qkdpp {
+
+BitVec::BitVec(std::size_t nbits, bool value)
+    : nbits_(nbits),
+      words_(words_for(nbits), value ? ~std::uint64_t{0} : std::uint64_t{0}) {
+  mask_tail();
+}
+
+BitVec BitVec::from_bools(std::span<const std::uint8_t> bools) {
+  BitVec v(bools.size());
+  for (std::size_t i = 0; i < bools.size(); ++i) {
+    if (bools[i]) v.set(i, true);
+  }
+  return v;
+}
+
+BitVec BitVec::from_bytes(std::span<const std::uint8_t> bytes,
+                          std::size_t nbits) {
+  QKDPP_REQUIRE(bytes.size() * 8 >= nbits, "byte buffer too short for nbits");
+  BitVec v(nbits);
+  const std::size_t nbytes = (nbits + 7) / 8;
+  for (std::size_t i = 0; i < nbytes; ++i) {
+    v.words_[i >> 3] |= std::uint64_t{bytes[i]} << ((i & 7) * 8);
+  }
+  v.mask_tail();
+  return v;
+}
+
+void BitVec::push_back(bool v) {
+  if (nbits_ % 64 == 0) words_.push_back(0);
+  ++nbits_;
+  if (v) set(nbits_ - 1, true);
+}
+
+void BitVec::resize(std::size_t nbits) {
+  words_.resize(words_for(nbits), 0);
+  nbits_ = nbits;
+  mask_tail();
+}
+
+void BitVec::clear() noexcept {
+  nbits_ = 0;
+  words_.clear();
+}
+
+BitVec& BitVec::operator^=(const BitVec& other) {
+  QKDPP_REQUIRE(nbits_ == other.nbits_, "BitVec size mismatch in ^=");
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] ^= other.words_[i];
+  return *this;
+}
+
+BitVec& BitVec::operator&=(const BitVec& other) {
+  QKDPP_REQUIRE(nbits_ == other.nbits_, "BitVec size mismatch in &=");
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  return *this;
+}
+
+BitVec& BitVec::operator|=(const BitVec& other) {
+  QKDPP_REQUIRE(nbits_ == other.nbits_, "BitVec size mismatch in |=");
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  return *this;
+}
+
+std::size_t BitVec::popcount() const noexcept {
+  std::size_t n = 0;
+  for (std::uint64_t w : words_) n += static_cast<std::size_t>(std::popcount(w));
+  return n;
+}
+
+bool BitVec::parity() const noexcept {
+  std::uint64_t acc = 0;
+  for (std::uint64_t w : words_) acc ^= w;
+  return std::popcount(acc) & 1;
+}
+
+bool BitVec::parity_range(std::size_t begin, std::size_t end) const noexcept {
+  if (begin >= end) return false;
+  const std::size_t wb = begin >> 6;
+  const std::size_t we = (end - 1) >> 6;
+  if (wb == we) {
+    std::uint64_t w = words_[wb];
+    w >>= (begin & 63);
+    const std::size_t len = end - begin;
+    if (len < 64) w &= (std::uint64_t{1} << len) - 1;
+    return std::popcount(w) & 1;
+  }
+  std::uint64_t acc = words_[wb] >> (begin & 63);
+  for (std::size_t i = wb + 1; i < we; ++i) acc ^= words_[i];
+  std::uint64_t last = words_[we];
+  const std::size_t tail = end - (we << 6);  // 1..64 bits used in last word
+  if (tail < 64) last &= (std::uint64_t{1} << tail) - 1;
+  acc ^= last;
+  return std::popcount(acc) & 1;
+}
+
+std::size_t BitVec::hamming_distance(const BitVec& a, const BitVec& b) {
+  QKDPP_REQUIRE(a.nbits_ == b.nbits_, "BitVec size mismatch in hamming");
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < a.words_.size(); ++i) {
+    n += static_cast<std::size_t>(std::popcount(a.words_[i] ^ b.words_[i]));
+  }
+  return n;
+}
+
+BitVec BitVec::subvec(std::size_t pos, std::size_t len) const {
+  QKDPP_REQUIRE(pos + len <= nbits_, "subvec out of range");
+  BitVec out(len);
+  const std::size_t shift = pos & 63;
+  const std::size_t first = pos >> 6;
+  if (shift == 0) {
+    std::copy_n(words_.begin() + static_cast<std::ptrdiff_t>(first),
+                out.words_.size(), out.words_.begin());
+  } else {
+    for (std::size_t i = 0; i < out.words_.size(); ++i) {
+      std::uint64_t w = words_[first + i] >> shift;
+      if (first + i + 1 < words_.size()) {
+        w |= words_[first + i + 1] << (64 - shift);
+      }
+      out.words_[i] = w;
+    }
+  }
+  out.mask_tail();
+  return out;
+}
+
+void BitVec::append(const BitVec& other) {
+  const std::size_t shift = nbits_ & 63;
+  if (shift == 0) {
+    words_.insert(words_.end(), other.words_.begin(), other.words_.end());
+    nbits_ += other.nbits_;
+    return;
+  }
+  nbits_ += other.nbits_;
+  words_.resize(words_for(nbits_), 0);
+  const std::size_t base = (nbits_ - other.nbits_) >> 6;
+  for (std::size_t i = 0; i < other.words_.size(); ++i) {
+    words_[base + i] |= other.words_[i] << shift;
+    if (base + i + 1 < words_.size()) {
+      words_[base + i + 1] |= other.words_[i] >> (64 - shift);
+    }
+  }
+  mask_tail();
+}
+
+BitVec BitVec::gather(std::span<const std::uint32_t> positions) const {
+  BitVec out(positions.size());
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    if (get(positions[i])) out.set(i, true);
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> BitVec::to_bytes() const {
+  std::vector<std::uint8_t> out((nbits_ + 7) / 8, 0);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = static_cast<std::uint8_t>(words_[i >> 3] >> ((i & 7) * 8));
+  }
+  return out;
+}
+
+std::string BitVec::to_string(std::size_t max_bits) const {
+  std::string s;
+  const std::size_t n = std::min(nbits_, max_bits);
+  s.reserve(n + 3);
+  for (std::size_t i = 0; i < n; ++i) s.push_back(get(i) ? '1' : '0');
+  if (n < nbits_) s += "...";
+  return s;
+}
+
+void BitVec::mask_tail() noexcept {
+  const std::size_t tail = nbits_ & 63;
+  if (tail != 0 && !words_.empty()) {
+    words_.back() &= (std::uint64_t{1} << tail) - 1;
+  }
+}
+
+}  // namespace qkdpp

@@ -1,0 +1,72 @@
+// Bounds-checked little-endian byte buffer reader/writer used for all
+// classical-channel message framing. Truncation or overrun on the read side
+// is a *protocol-level* failure (possibly adversarial), so it throws
+// Error{kSerialization}, never UB.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/bitvec.hpp"
+#include "common/error.hpp"
+
+namespace qkdpp {
+
+class ByteWriter {
+ public:
+  void put_u8(std::uint8_t v) { bytes_.push_back(v); }
+  void put_u16(std::uint16_t v);
+  void put_u32(std::uint32_t v);
+  void put_u64(std::uint64_t v);
+  void put_f64(double v);
+  /// Unsigned LEB128.
+  void put_varint(std::uint64_t v);
+  void put_bytes(std::span<const std::uint8_t> data);
+  /// varint length + raw bytes.
+  void put_blob(std::span<const std::uint8_t> data);
+  void put_string(std::string_view s);
+  /// varint bit-length + packed bytes.
+  void put_bitvec(const BitVec& v);
+  void put_u32_vec(std::span<const std::uint32_t> v);
+
+  std::span<const std::uint8_t> data() const noexcept { return bytes_; }
+  std::vector<std::uint8_t> take() noexcept { return std::move(bytes_); }
+  std::size_t size() const noexcept { return bytes_.size(); }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) noexcept
+      : data_(data) {}
+
+  std::uint8_t get_u8();
+  std::uint16_t get_u16();
+  std::uint32_t get_u32();
+  std::uint64_t get_u64();
+  double get_f64();
+  std::uint64_t get_varint();
+  std::vector<std::uint8_t> get_bytes(std::size_t n);
+  std::vector<std::uint8_t> get_blob();
+  std::string get_string();
+  BitVec get_bitvec();
+  std::vector<std::uint32_t> get_u32_vec();
+
+  std::size_t remaining() const noexcept { return data_.size() - pos_; }
+  bool exhausted() const noexcept { return pos_ == data_.size(); }
+  /// Throws kSerialization unless every byte was consumed.
+  void expect_exhausted() const;
+
+ private:
+  void need(std::size_t n) const;
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace qkdpp

@@ -1,0 +1,88 @@
+#include "common/crc.hpp"
+
+#include <array>
+
+namespace qkdpp {
+
+namespace {
+
+// Reflected polynomial for CRC32C.
+constexpr std::uint32_t kCrc32cPoly = 0x82f63b78u;
+// Reflected polynomial for CRC64/ECMA-182.
+constexpr std::uint64_t kCrc64Poly = 0xc96c5795d7870f42ULL;
+
+struct Crc32Tables {
+  std::array<std::array<std::uint32_t, 256>, 8> t{};
+};
+
+constexpr Crc32Tables make_crc32_tables() {
+  Crc32Tables tables{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1) ? kCrc32cPoly : 0);
+    }
+    tables.t[0][i] = crc;
+  }
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = tables.t[0][i];
+    for (std::size_t slice = 1; slice < 8; ++slice) {
+      crc = tables.t[0][crc & 0xff] ^ (crc >> 8);
+      tables.t[slice][i] = crc;
+    }
+  }
+  return tables;
+}
+
+struct Crc64Table {
+  std::array<std::uint64_t, 256> t{};
+};
+
+constexpr Crc64Table make_crc64_table() {
+  Crc64Table table{};
+  for (std::uint64_t i = 0; i < 256; ++i) {
+    std::uint64_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1) ? kCrc64Poly : 0);
+    }
+    table.t[i] = crc;
+  }
+  return table;
+}
+
+constexpr Crc32Tables kCrc32 = make_crc32_tables();
+constexpr Crc64Table kCrc64 = make_crc64_table();
+
+}  // namespace
+
+std::uint32_t crc32c(std::span<const std::uint8_t> data,
+                     std::uint32_t seed) noexcept {
+  std::uint32_t crc = ~seed;
+  std::size_t i = 0;
+  const std::size_t n = data.size();
+  for (; i + 8 <= n; i += 8) {
+    const std::uint32_t lo = crc ^ (static_cast<std::uint32_t>(data[i]) |
+                                    static_cast<std::uint32_t>(data[i + 1]) << 8 |
+                                    static_cast<std::uint32_t>(data[i + 2]) << 16 |
+                                    static_cast<std::uint32_t>(data[i + 3]) << 24);
+    crc = kCrc32.t[7][lo & 0xff] ^ kCrc32.t[6][(lo >> 8) & 0xff] ^
+          kCrc32.t[5][(lo >> 16) & 0xff] ^ kCrc32.t[4][lo >> 24] ^
+          kCrc32.t[3][data[i + 4]] ^ kCrc32.t[2][data[i + 5]] ^
+          kCrc32.t[1][data[i + 6]] ^ kCrc32.t[0][data[i + 7]];
+  }
+  for (; i < n; ++i) {
+    crc = kCrc32.t[0][(crc ^ data[i]) & 0xff] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+std::uint64_t crc64(std::span<const std::uint8_t> data,
+                    std::uint64_t seed) noexcept {
+  std::uint64_t crc = ~seed;
+  for (const std::uint8_t byte : data) {
+    crc = kCrc64.t[(crc ^ byte) & 0xff] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace qkdpp

@@ -1,0 +1,23 @@
+// CRC32C (Castagnoli) and CRC64 (ECMA-182), table-driven.
+//
+// CRC32C is used for cheap frame integrity on the classical channel (NOT for
+// security; that is Wegman-Carter's job) and as the fast path of
+// post-reconciliation error verification during development. CRC64 backs the
+// verification stage's larger-tag variant.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace qkdpp {
+
+/// CRC32C with slice-by-8; `seed` enables incremental use.
+std::uint32_t crc32c(std::span<const std::uint8_t> data,
+                     std::uint32_t seed = 0) noexcept;
+
+/// CRC64/ECMA-182, bit-reflected, single-table.
+std::uint64_t crc64(std::span<const std::uint8_t> data,
+                    std::uint64_t seed = 0) noexcept;
+
+}  // namespace qkdpp

@@ -1,0 +1,34 @@
+#include "common/entropy.hpp"
+
+#include <cstddef>
+
+namespace qkdpp {
+
+double binary_entropy_inverse(double h) noexcept {
+  if (h <= 0.0) return 0.0;
+  if (h >= 1.0) return 0.5;
+  double lo = 0.0;
+  double hi = 0.5;
+  for (int iter = 0; iter < 60; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (binary_entropy(mid) < h) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+double sampling_correction(std::size_t n_key, std::size_t n_test,
+                           double eps) noexcept {
+  if (n_key == 0 || n_test == 0) return 0.5;
+  const auto n = static_cast<double>(n_key);
+  const auto m = static_cast<double>(n_test);
+  // Serfling-style bound for sampling without replacement: the unobserved
+  // error rate exceeds the observed one by at most this with prob >= 1 - eps.
+  return std::sqrt((n + m) * (m + 1.0) * std::log(1.0 / eps) /
+                   (2.0 * m * m * n));
+}
+
+}  // namespace qkdpp

@@ -1,0 +1,30 @@
+// Information-theoretic helpers shared by parameter estimation,
+// reconciliation efficiency accounting and the finite-key planner.
+#pragma once
+
+#include <cmath>
+
+namespace qkdpp {
+
+/// Binary Shannon entropy h2(p) in bits; 0 at the endpoints by continuity.
+inline double binary_entropy(double p) noexcept {
+  if (p <= 0.0 || p >= 1.0) return 0.0;
+  return -p * std::log2(p) - (1.0 - p) * std::log2(1.0 - p);
+}
+
+/// Inverse of binary_entropy on [0, 1/2] by bisection (monotone there).
+double binary_entropy_inverse(double h) noexcept;
+
+/// Hoeffding deviation term: with probability >= 1 - eps the empirical rate
+/// over n samples is within this of the true rate.
+inline double hoeffding_delta(std::size_t n, double eps) noexcept {
+  if (n == 0) return 1.0;
+  return std::sqrt(std::log(1.0 / eps) / (2.0 * static_cast<double>(n)));
+}
+
+/// Finite-sampling correction for the phase error rate when m of n+m bits
+/// were tested (Fung/Ma/Chau-style random-sampling bound, Gaussian-tail form).
+double sampling_correction(std::size_t n_key, std::size_t n_test,
+                           double eps) noexcept;
+
+}  // namespace qkdpp

@@ -1,0 +1,21 @@
+#include "common/error.hpp"
+
+namespace qkdpp {
+
+const char* to_string(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::kSerialization: return "serialization error";
+    case ErrorCode::kProtocol: return "protocol error";
+    case ErrorCode::kAuthentication: return "authentication failure";
+    case ErrorCode::kKeyExhausted: return "authentication key exhausted";
+    case ErrorCode::kDecodeFailure: return "reconciliation decode failure";
+    case ErrorCode::kVerifyMismatch: return "verification mismatch";
+    case ErrorCode::kQberTooHigh: return "qber above abort threshold";
+    case ErrorCode::kInsufficientKey: return "no extractable secret key";
+    case ErrorCode::kChannelClosed: return "channel closed";
+    case ErrorCode::kConfig: return "invalid configuration";
+  }
+  return "unknown error";
+}
+
+}  // namespace qkdpp

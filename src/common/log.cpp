@@ -1,0 +1,46 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+
+namespace qkdpp {
+
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+std::mutex g_sink_mutex;
+
+const char* level_tag(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?    ";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel log_level() noexcept {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+void log_line(LogLevel level, const std::string& component,
+              const std::string& message) {
+  const auto now = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now().time_since_epoch())
+                       .count();
+  std::scoped_lock lock(g_sink_mutex);
+  std::fprintf(stderr, "[%12.6f] %s [%s] %s\n", now, level_tag(level),
+               component.c_str(), message.c_str());
+}
+
+}  // namespace qkdpp

@@ -1,0 +1,39 @@
+// Minimal leveled logger. Session state machines log protocol transitions at
+// Debug; everything user-facing goes through Info and above. Single global
+// sink guarded by a mutex - log volume in this library is low by design.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace qkdpp {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+/// Thread-safe write of one formatted line to stderr.
+void log_line(LogLevel level, const std::string& component,
+              const std::string& message);
+
+}  // namespace qkdpp
+
+#define QKDPP_LOG(level, component, expr)                      \
+  do {                                                         \
+    if (static_cast<int>(level) >=                             \
+        static_cast<int>(::qkdpp::log_level())) {              \
+      std::ostringstream qkdpp_log_stream;                     \
+      qkdpp_log_stream << expr;                                \
+      ::qkdpp::log_line(level, component, qkdpp_log_stream.str()); \
+    }                                                          \
+  } while (0)
+
+#define QKDPP_DEBUG(component, expr) \
+  QKDPP_LOG(::qkdpp::LogLevel::kDebug, component, expr)
+#define QKDPP_INFO(component, expr) \
+  QKDPP_LOG(::qkdpp::LogLevel::kInfo, component, expr)
+#define QKDPP_WARN(component, expr) \
+  QKDPP_LOG(::qkdpp::LogLevel::kWarn, component, expr)
+#define QKDPP_ERROR(component, expr) \
+  QKDPP_LOG(::qkdpp::LogLevel::kError, component, expr)

@@ -1,0 +1,87 @@
+#include "common/ntt.hpp"
+
+#include <bit>
+
+#include "common/error.hpp"
+
+namespace qkdpp {
+
+namespace {
+
+constexpr std::uint64_t kP = 998244353;  // 119 * 2^23 + 1
+constexpr std::uint64_t kG = 3;          // primitive root of p
+
+std::uint64_t pow_mod(std::uint64_t base, std::uint64_t exp) noexcept {
+  std::uint64_t result = 1;
+  base %= kP;
+  while (exp != 0) {
+    if (exp & 1) result = result * base % kP;
+    base = base * base % kP;
+    exp >>= 1;
+  }
+  return result;
+}
+
+}  // namespace
+
+void ntt(std::vector<std::uint32_t>& data, bool inverse) {
+  const std::size_t n = data.size();
+  QKDPP_REQUIRE(std::has_single_bit(n), "NTT length must be a power of two");
+  QKDPP_REQUIRE(n <= kNttMaxLength, "NTT length exceeds transform limit");
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    std::uint64_t wlen = pow_mod(kG, (kP - 1) / len);
+    if (inverse) wlen = pow_mod(wlen, kP - 2);
+    for (std::size_t i = 0; i < n; i += len) {
+      std::uint64_t w = 1;
+      for (std::size_t j = 0; j < len / 2; ++j) {
+        const std::uint64_t u = data[i + j];
+        const std::uint64_t v = data[i + j + len / 2] * w % kP;
+        data[i + j] = static_cast<std::uint32_t>(u + v < kP ? u + v : u + v - kP);
+        data[i + j + len / 2] =
+            static_cast<std::uint32_t>(u >= v ? u - v : u + kP - v);
+        w = w * wlen % kP;
+      }
+    }
+  }
+
+  if (inverse) {
+    const std::uint64_t n_inv = pow_mod(n % kP, kP - 2);
+    for (auto& x : data) {
+      x = static_cast<std::uint32_t>(x * n_inv % kP);
+    }
+  }
+}
+
+std::vector<std::uint32_t> ntt_convolve(const std::vector<std::uint32_t>& a,
+                                        const std::vector<std::uint32_t>& b) {
+  if (a.empty() || b.empty()) return {};
+  const std::size_t out_len = a.size() + b.size() - 1;
+  QKDPP_REQUIRE(out_len <= kNttMaxLength, "convolution too long for NTT");
+  std::size_t n = 1;
+  while (n < out_len) n <<= 1;
+
+  std::vector<std::uint32_t> fa(n, 0);
+  std::vector<std::uint32_t> fb(n, 0);
+  std::copy(a.begin(), a.end(), fa.begin());
+  std::copy(b.begin(), b.end(), fb.begin());
+
+  ntt(fa, /*inverse=*/false);
+  ntt(fb, /*inverse=*/false);
+  for (std::size_t i = 0; i < n; ++i) {
+    fa[i] = static_cast<std::uint32_t>(std::uint64_t{fa[i]} * fb[i] % kP);
+  }
+  ntt(fa, /*inverse=*/true);
+  fa.resize(out_len);
+  return fa;
+}
+
+}  // namespace qkdpp

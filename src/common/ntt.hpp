@@ -1,0 +1,29 @@
+// Number-theoretic transform over Z_p, p = 998244353 = 119 * 2^23 + 1.
+//
+// Backs the fast Toeplitz privacy-amplification kernel: a binary Toeplitz
+// matrix-vector product is a polynomial multiplication over GF(2), computed
+// here as an exact integer convolution (coefficient counts < p always, since
+// supported lengths stay below 2^23) followed by a parity take. Exactness is
+// the reason this is an NTT and not a floating-point FFT - there is no
+// rounding-error bound limiting block length.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace qkdpp {
+
+/// Largest supported convolution output length (transform limit of p).
+constexpr std::size_t kNttMaxLength = std::size_t{1} << 23;
+
+/// In-place forward/inverse NTT; `data.size()` must be a power of two
+/// <= kNttMaxLength. Values must already be reduced mod p.
+void ntt(std::vector<std::uint32_t>& data, bool inverse);
+
+/// Exact convolution of two integer sequences mod p. Result length is
+/// a.size() + b.size() - 1 (empty input -> empty output).
+std::vector<std::uint32_t> ntt_convolve(const std::vector<std::uint32_t>& a,
+                                        const std::vector<std::uint32_t>& b);
+
+}  // namespace qkdpp

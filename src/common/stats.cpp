@@ -1,0 +1,23 @@
+#include "common/stats.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace qkdpp {
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double PercentileSampler::percentile(double q) const {
+  QKDPP_REQUIRE(!samples_.empty(), "percentile of empty sample set");
+  QKDPP_REQUIRE(q >= 0.0 && q <= 1.0, "percentile rank out of [0,1]");
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  const auto rank = static_cast<std::size_t>(
+      q * static_cast<double>(samples_.size() - 1) + 0.5);
+  return samples_[rank];
+}
+
+}  // namespace qkdpp

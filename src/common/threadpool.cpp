@@ -1,0 +1,80 @@
+#include "common/threadpool.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace qkdpp {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::scoped_lock lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> task) {
+  std::packaged_task<void()> packaged(std::move(task));
+  auto future = packaged.get_future();
+  {
+    std::scoped_lock lock(mutex_);
+    QKDPP_REQUIRE(!stopping_, "submit on a stopping ThreadPool");
+    queue_.push_back(std::move(packaged));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void ThreadPool::parallel_for(
+    std::size_t begin, std::size_t end, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  if (begin >= end) return;
+  grain = std::max<std::size_t>(1, grain);
+  const std::size_t total = end - begin;
+  const std::size_t max_chunks = thread_count() + 1;
+  const std::size_t chunk =
+      std::max(grain, (total + max_chunks - 1) / max_chunks);
+
+  std::vector<std::future<void>> futures;
+  std::size_t lo = begin + std::min(total, chunk);  // first chunk runs inline
+  while (lo < end) {
+    const std::size_t hi = std::min(end, lo + chunk);
+    futures.push_back(submit([&body, lo, hi] { body(lo, hi); }));
+    lo = hi;
+  }
+  body(begin, begin + std::min(total, chunk));
+  for (auto& f : futures) f.get();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+ThreadPool& global_pool() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace qkdpp

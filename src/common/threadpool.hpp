@@ -1,0 +1,52 @@
+// Fixed-size thread pool with a blocking parallel_for, used by the
+// CpuParallel backend. Task-based (CP.4): callers submit work items, never
+// manage threads. Destruction joins all workers after draining.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace qkdpp {
+
+class ThreadPool {
+ public:
+  /// `threads == 0` means hardware_concurrency (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t thread_count() const noexcept { return workers_.size(); }
+
+  /// Enqueue a task; the future resolves when it has run (exceptions
+  /// propagate through the future).
+  std::future<void> submit(std::function<void()> task);
+
+  /// Split [begin, end) into chunks of at least `grain`, run `body(lo, hi)`
+  /// on the pool, and block until every chunk finished. The calling thread
+  /// also works, so a pool of N threads yields N+1-way parallelism.
+  void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                    const std::function<void(std::size_t, std::size_t)>& body);
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::packaged_task<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool stopping_ = false;
+};
+
+/// Process-wide pool for kernels that do not carry their own (sized from
+/// hardware_concurrency on first use).
+ThreadPool& global_pool();
+
+}  // namespace qkdpp

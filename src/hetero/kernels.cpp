@@ -1,0 +1,117 @@
+#include "hetero/kernels.hpp"
+
+#include <bit>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "privacy/verification.hpp"
+
+namespace qkdpp::hetero {
+
+namespace {
+
+bool is_simulated(const Device& device) noexcept {
+  return device.kind() == DeviceKind::kGpuSim ||
+         device.kind() == DeviceKind::kFpgaSim;
+}
+
+}  // namespace
+
+double timed_ldpc_decode(Device& device, const reconcile::LdpcCode& code,
+                         std::span<const DecodeJob> jobs,
+                         const reconcile::DecoderConfig& config,
+                         std::vector<reconcile::DecodeResult>& results) {
+  QKDPP_REQUIRE(!jobs.empty(), "empty decode batch");
+  results.clear();
+  results.reserve(jobs.size());
+
+  reconcile::DecoderConfig effective = config;
+  effective.pool = device.pool();
+  if (device.kind() == DeviceKind::kGpuSim ||
+      device.kind() == DeviceKind::kFpgaSim) {
+    // Accelerators run the data-parallel flooding schedule.
+    effective.schedule = reconcile::BpSchedule::kFlooding;
+  }
+
+  return device.execute([&]() -> WorkEstimate {
+    double total_iterations = 0;
+    for (const DecodeJob& job : jobs) {
+      results.push_back(reconcile::decode_syndrome(code, *job.syndrome,
+                                                   *job.llr, effective));
+      total_iterations += results.back().iterations;
+    }
+    if (device.kind() == DeviceKind::kFpgaSim) {
+      // Fixed-depth hardware pipeline: charged at worst case always.
+      total_iterations =
+          static_cast<double>(effective.max_iterations) * jobs.size();
+    }
+    WorkEstimate estimate;
+    const auto edges = static_cast<double>(code.edges());
+    estimate.ops = total_iterations * edges * kOpsPerEdge;
+    estimate.bytes_touched = total_iterations * edges * kBytesPerEdge;
+    // Transfer: LLRs in (4 bytes each), hard decisions out (1 bit each).
+    estimate.bytes_transferred =
+        static_cast<double>(jobs.size()) *
+        (static_cast<double>(code.n()) * 4.0 + code.m() / 8.0 + code.n() / 8.0);
+    return estimate;
+  });
+}
+
+double timed_syndrome(Device& device, const reconcile::LdpcCode& code,
+                      std::span<const BitVec> words,
+                      std::vector<BitVec>& syndromes) {
+  QKDPP_REQUIRE(!words.empty(), "empty syndrome batch");
+  syndromes.clear();
+  syndromes.reserve(words.size());
+  return device.execute([&]() -> WorkEstimate {
+    for (const BitVec& word : words) syndromes.push_back(code.syndrome(word));
+    WorkEstimate estimate;
+    const auto edges = static_cast<double>(code.edges());
+    estimate.ops = edges * static_cast<double>(words.size());
+    estimate.bytes_touched = estimate.ops / 2.0;  // bit gathers
+    estimate.bytes_transferred =
+        static_cast<double>(words.size()) *
+        static_cast<double>(code.n() + code.m()) / 8.0;
+    return estimate;
+  });
+}
+
+double timed_toeplitz(Device& device, const BitVec& input, const BitVec& seed,
+                      std::size_t out_len, BitVec& out) {
+  return device.execute([&]() -> WorkEstimate {
+    // Accelerators always take the NTT path (that is the kernel they
+    // implement); CPU picks the faster of the two for its size.
+    if (is_simulated(device)) {
+      out = privacy::toeplitz_hash_ntt(input, seed, out_len);
+    } else {
+      out = privacy::toeplitz_hash(input, seed, out_len);
+    }
+    WorkEstimate estimate;
+    const double conv_len =
+        static_cast<double>(input.size() + seed.size() - 1);
+    const double n_fft = std::pow(2.0, std::ceil(std::log2(conv_len)));
+    estimate.ops = 3.0 * n_fft * std::log2(n_fft) * kOpsPerButterfly;
+    estimate.bytes_touched = 3.0 * n_fft * 4.0 * std::log2(n_fft);
+    estimate.bytes_transferred =
+        (static_cast<double>(input.size()) + static_cast<double>(seed.size()) +
+         static_cast<double>(out_len)) /
+        8.0;
+    return estimate;
+  });
+}
+
+double timed_poly_tag(Device& device, std::span<const std::uint8_t> message,
+                      std::uint64_t seed, U128& tag) {
+  return device.execute([&]() -> WorkEstimate {
+    BitVec bits = BitVec::from_bytes(message, message.size() * 8);
+    tag = privacy::verification_tag(bits, seed);
+    WorkEstimate estimate;
+    const double blocks = static_cast<double>(message.size()) / 16.0 + 1.0;
+    estimate.ops = blocks * kOpsPerGfMul;
+    estimate.bytes_touched = static_cast<double>(message.size());
+    estimate.bytes_transferred = static_cast<double>(message.size()) + 16.0;
+    return estimate;
+  });
+}
+
+}  // namespace qkdpp::hetero

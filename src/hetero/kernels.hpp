@@ -1,0 +1,61 @@
+// Timed stage kernels: the post-processing hot loops wrapped with device
+// cost reporting. Every kernel executes the real computation (host-side,
+// bit-exact regardless of device) and reports a WorkEstimate from which
+// simulated devices derive their modeled time:
+//
+//   ldpc decode   ops = iterations * edges * kOpsPerEdge  (FpgaSim charges
+//                 worst-case max_iterations - hardware runs fixed depth)
+//   syndrome      ops = edges
+//   toeplitz      ops = 3 * N log2 N * kOpsPerButterfly (NTT) with
+//                 N = next pow2 of n + r - 1
+//   poly tag      ops = (bytes/16) * kOpsPerGfMul
+//
+// Batched entry points amortize one launch + one transfer across a batch -
+// the effect experiment F3 quantifies.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/bitvec.hpp"
+#include "common/gf2.hpp"
+#include "hetero/device.hpp"
+#include "privacy/toeplitz.hpp"
+#include "reconcile/ldpc_decoder.hpp"
+
+namespace qkdpp::hetero {
+
+/// Model constants (documented knobs, not magic).
+constexpr double kOpsPerEdge = 12.0;        ///< BP var+check update per edge
+constexpr double kOpsPerButterfly = 10.0;   ///< NTT butterfly incl. mulmod
+constexpr double kOpsPerGfMul = 220.0;      ///< software GF(2^128) multiply
+constexpr double kBytesPerEdge = 10.0;      ///< BP message traffic per edge
+
+/// One decoding job of a batch.
+struct DecodeJob {
+  const BitVec* syndrome = nullptr;
+  const std::vector<float>* llr = nullptr;
+};
+
+/// Decode a batch of frames of the same code on `device`. Returns seconds
+/// charged; per-frame results land in `results` (resized).
+double timed_ldpc_decode(Device& device, const reconcile::LdpcCode& code,
+                         std::span<const DecodeJob> jobs,
+                         const reconcile::DecoderConfig& config,
+                         std::vector<reconcile::DecodeResult>& results);
+
+/// Syndrome computation for a batch of words.
+double timed_syndrome(Device& device, const reconcile::LdpcCode& code,
+                      std::span<const BitVec> words,
+                      std::vector<BitVec>& syndromes);
+
+/// Toeplitz privacy amplification (NTT path on accelerators, dispatching
+/// on size for CPU).
+double timed_toeplitz(Device& device, const BitVec& input, const BitVec& seed,
+                      std::size_t out_len, BitVec& out);
+
+/// GF(2^128) polynomial tag over a byte message (verification / WC auth).
+double timed_poly_tag(Device& device, std::span<const std::uint8_t> message,
+                      std::uint64_t seed, U128& tag);
+
+}  // namespace qkdpp::hetero

@@ -1,0 +1,118 @@
+#include "hetero/mapper.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace qkdpp::hetero {
+
+namespace {
+
+void check_problem(const MappingProblem& problem) {
+  const std::size_t stages = problem.stage_names.size();
+  const std::size_t devices = problem.device_names.size();
+  if (stages == 0 || devices == 0) {
+    throw_error(ErrorCode::kConfig, "empty mapping problem");
+  }
+  if (problem.seconds_per_item.size() != stages) {
+    throw_error(ErrorCode::kConfig, "cost matrix row count mismatch");
+  }
+  for (const auto& row : problem.seconds_per_item) {
+    if (row.size() != devices) {
+      throw_error(ErrorCode::kConfig, "cost matrix column count mismatch");
+    }
+    if (std::all_of(row.begin(), row.end(),
+                    [](double c) { return c >= kInfeasible; })) {
+      throw_error(ErrorCode::kConfig, "stage has no feasible device");
+    }
+  }
+}
+
+}  // namespace
+
+MappingResult evaluate_mapping(const MappingProblem& problem,
+                               const std::vector<std::uint32_t>& assignment) {
+  check_problem(problem);
+  if (assignment.size() != problem.stage_names.size()) {
+    throw_error(ErrorCode::kConfig, "assignment length mismatch");
+  }
+  std::vector<double> load(problem.device_names.size(), 0.0);
+  for (std::size_t s = 0; s < assignment.size(); ++s) {
+    const std::uint32_t d = assignment[s];
+    if (d >= load.size()) {
+      throw_error(ErrorCode::kConfig, "assignment device out of range");
+    }
+    load[d] += problem.seconds_per_item[s][d];
+  }
+  MappingResult result;
+  result.device_of_stage = assignment;
+  const auto it = std::max_element(load.begin(), load.end());
+  result.bottleneck_load_s = *it;
+  result.bottleneck_device =
+      static_cast<std::uint32_t>(std::distance(load.begin(), it));
+  result.throughput_items_per_s =
+      result.bottleneck_load_s > 0 ? 1.0 / result.bottleneck_load_s : 0.0;
+  return result;
+}
+
+MappingResult optimize_mapping(const MappingProblem& problem) {
+  check_problem(problem);
+  const std::size_t stages = problem.stage_names.size();
+  const std::size_t devices = problem.device_names.size();
+
+  std::vector<std::uint32_t> assignment(stages, 0);
+  std::vector<std::uint32_t> best;
+  double best_load = kInfeasible;
+
+  // Odometer enumeration of devices^stages.
+  for (;;) {
+    double load_ok = true;
+    std::vector<double> load(devices, 0.0);
+    for (std::size_t s = 0; s < stages && load_ok; ++s) {
+      const double cost = problem.seconds_per_item[s][assignment[s]];
+      if (cost >= kInfeasible) load_ok = false;
+      load[assignment[s]] += cost;
+    }
+    if (load_ok) {
+      const double bottleneck = *std::max_element(load.begin(), load.end());
+      if (bottleneck < best_load) {
+        best_load = bottleneck;
+        best = assignment;
+      }
+    }
+    // Advance odometer.
+    std::size_t s = 0;
+    while (s < stages) {
+      if (++assignment[s] < devices) break;
+      assignment[s] = 0;
+      ++s;
+    }
+    if (s == stages) break;
+  }
+  return evaluate_mapping(problem, best);
+}
+
+MappingResult fixed_mapping(const MappingProblem& problem,
+                            std::uint32_t device) {
+  check_problem(problem);
+  if (device >= problem.device_names.size()) {
+    throw_error(ErrorCode::kConfig, "fixed device out of range");
+  }
+  return evaluate_mapping(
+      problem,
+      std::vector<std::uint32_t>(problem.stage_names.size(), device));
+}
+
+MappingResult greedy_mapping(const MappingProblem& problem) {
+  check_problem(problem);
+  std::vector<std::uint32_t> assignment;
+  assignment.reserve(problem.stage_names.size());
+  for (const auto& row : problem.seconds_per_item) {
+    const auto it = std::min_element(row.begin(), row.end());
+    assignment.push_back(
+        static_cast<std::uint32_t>(std::distance(row.begin(), it)));
+  }
+  return evaluate_mapping(problem, assignment);
+}
+
+}  // namespace qkdpp::hetero

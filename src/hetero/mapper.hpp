@@ -1,0 +1,50 @@
+// Stage -> device mapping optimizer.
+//
+// Given the per-item cost of running each stage on each device, choose the
+// assignment that maximizes steady-state pipeline throughput. Stages mapped
+// to the same device share it: the device's load is the sum of its stages'
+// per-item costs, and pipeline throughput is 1 / max_device_load. The
+// search is exhaustive (|devices|^|stages| is tiny for real pipelines) so
+// the result is provably optimal under the model - the property the mapper
+// tests pin down and the F8 ablation compares against naive placements.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace qkdpp::hetero {
+
+struct MappingProblem {
+  std::vector<std::string> stage_names;
+  std::vector<std::string> device_names;
+  /// seconds_per_item[stage][device]; use kInfeasible for "cannot run here".
+  std::vector<std::vector<double>> seconds_per_item;
+};
+
+constexpr double kInfeasible = 1e30;
+
+struct MappingResult {
+  std::vector<std::uint32_t> device_of_stage;
+  double throughput_items_per_s = 0.0;  ///< 1 / bottleneck device load
+  double bottleneck_load_s = 0.0;
+  std::uint32_t bottleneck_device = 0;
+};
+
+/// Exhaustive optimal mapping. Throws Error{kConfig} on shape mismatch or if
+/// some stage has no feasible device.
+MappingResult optimize_mapping(const MappingProblem& problem);
+
+/// Baseline: everything on one device (for ablation benches).
+MappingResult fixed_mapping(const MappingProblem& problem,
+                            std::uint32_t device);
+
+/// Baseline: each stage on its individually fastest device, ignoring
+/// contention (the greedy trap the optimizer avoids).
+MappingResult greedy_mapping(const MappingProblem& problem);
+
+/// Evaluate an arbitrary assignment under the sharing model.
+MappingResult evaluate_mapping(const MappingProblem& problem,
+                               const std::vector<std::uint32_t>& assignment);
+
+}  // namespace qkdpp::hetero

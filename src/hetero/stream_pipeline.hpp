@@ -1,0 +1,184 @@
+// Bounded-queue streaming pipeline: one worker per stage, items flow
+// through in order; backpressure propagates through the bounded queues.
+// This is the execution skeleton that turns per-stage kernels + a device
+// mapping into sustained pipeline throughput - the object the mapping
+// optimizer (mapper.hpp) reasons about.
+//
+// Header-only template so the runtime stays independent of the item type
+// (the key pipeline streams KeyBlocks; tests stream synthetic items).
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+#include "hetero/device.hpp"
+
+namespace qkdpp::hetero {
+
+/// Aggregate per-stage execution statistics.
+struct StageStats {
+  std::string name;
+  std::uint64_t items = 0;
+  double busy_seconds = 0.0;     ///< sum of per-item work wall time
+  double charged_seconds = 0.0;  ///< sum of device-charged (modeled) time
+};
+
+template <typename Item>
+class StreamPipeline {
+ public:
+  struct Stage {
+    std::string name;
+    Device* device = nullptr;  ///< optional; informational + accounting
+    /// Process one item in place; return seconds charged by the device
+    /// (0 = untimed stage). Exceptions abort the pipeline.
+    std::function<double(Item&)> work;
+  };
+
+  StreamPipeline(std::vector<Stage> stages, std::size_t queue_capacity)
+      : stages_(std::move(stages)), queues_(stages_.size()) {
+    QKDPP_REQUIRE(!stages_.empty(), "pipeline needs at least one stage");
+    QKDPP_REQUIRE(queue_capacity >= 1, "queue capacity must be positive");
+    capacity_ = queue_capacity;
+    stats_.resize(stages_.size());
+    for (std::size_t s = 0; s < stages_.size(); ++s) {
+      stats_[s].name = stages_[s].name;
+    }
+    workers_.reserve(stages_.size());
+    for (std::size_t s = 0; s < stages_.size(); ++s) {
+      workers_.emplace_back([this, s] { stage_loop(s); });
+    }
+  }
+
+  ~StreamPipeline() {
+    // Abandon anything still queued; join workers.
+    {
+      std::scoped_lock lock(mutex_);
+      done_ = true;
+      failed_ = true;
+    }
+    cv_.notify_all();
+    for (auto& w : workers_) {
+      if (w.joinable()) w.join();
+    }
+  }
+
+  /// Feed one item; blocks while the first queue is full (backpressure).
+  void push(Item item) {
+    std::unique_lock lock(mutex_);
+    cv_.wait(lock, [this] {
+      return failed_ || queues_[0].size() < capacity_;
+    });
+    if (failed_) rethrow_failure_locked();
+    queues_[0].push_back(std::move(item));
+    cv_.notify_all();
+  }
+
+  /// Signal end-of-stream and wait for in-flight items to drain. Rethrows
+  /// the first stage exception, if any.
+  void finish() {
+    {
+      std::scoped_lock lock(mutex_);
+      done_ = true;
+    }
+    cv_.notify_all();
+    for (auto& w : workers_) {
+      if (w.joinable()) w.join();
+    }
+    std::scoped_lock lock(mutex_);
+    if (failed_) rethrow_failure_locked();
+  }
+
+  /// Completed items, in order, after finish().
+  std::vector<Item>& results() { return results_; }
+
+  std::vector<StageStats> stats() const {
+    std::scoped_lock lock(mutex_);
+    return stats_;
+  }
+
+ private:
+  void rethrow_failure_locked() {
+    if (failure_) std::rethrow_exception(failure_);
+    throw_error(ErrorCode::kChannelClosed, "pipeline aborted");
+  }
+
+  void stage_loop(std::size_t s) {
+    for (;;) {
+      Item item;
+      {
+        std::unique_lock lock(mutex_);
+        cv_.wait(lock, [this, s] {
+          return failed_ || !queues_[s].empty() || upstream_finished(s);
+        });
+        if (failed_) return;
+        if (queues_[s].empty()) {
+          // Upstream has finished and nothing is queued: stage complete.
+          stage_done_[s] = true;
+          cv_.notify_all();
+          return;
+        }
+        item = std::move(queues_[s].front());
+        queues_[s].pop_front();
+        cv_.notify_all();  // release producer backpressure
+      }
+
+      Stopwatch stopwatch;
+      double charged = 0.0;
+      try {
+        charged = stages_[s].work(item);
+      } catch (...) {
+        std::scoped_lock lock(mutex_);
+        failed_ = true;
+        if (!failure_) failure_ = std::current_exception();
+        cv_.notify_all();
+        return;
+      }
+      const double wall = stopwatch.seconds();
+
+      std::unique_lock lock(mutex_);
+      stats_[s].items += 1;
+      stats_[s].busy_seconds += wall;
+      stats_[s].charged_seconds += charged;
+      if (s + 1 < stages_.size()) {
+        cv_.wait(lock, [this, s] {
+          return failed_ || queues_[s + 1].size() < capacity_;
+        });
+        if (failed_) return;
+        queues_[s + 1].push_back(std::move(item));
+      } else {
+        results_.push_back(std::move(item));
+      }
+      cv_.notify_all();
+    }
+  }
+
+  bool upstream_finished(std::size_t s) const {
+    if (s == 0) return done_;
+    return stage_done_[s - 1];
+  }
+
+  std::vector<Stage> stages_;
+  std::size_t capacity_ = 1;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<std::deque<Item>> queues_;
+  std::vector<bool> stage_done_ = std::vector<bool>(stages_.size(), false);
+  std::vector<Item> results_;
+  std::vector<StageStats> stats_;
+  bool done_ = false;
+  bool failed_ = false;
+  std::exception_ptr failure_;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace qkdpp::hetero

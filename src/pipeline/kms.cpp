@@ -1,0 +1,53 @@
+#include "pipeline/kms.hpp"
+
+namespace qkdpp::pipeline {
+
+std::uint64_t KeyStore::deposit(BitVec key) {
+  std::scoped_lock lock(mutex_);
+  const std::uint64_t id = next_id_++;
+  deposited_bits_ += key.size();
+  keys_.emplace(id, std::move(key));
+  return id;
+}
+
+std::optional<StoredKey> KeyStore::get_key() {
+  std::scoped_lock lock(mutex_);
+  if (keys_.empty()) return std::nullopt;
+  auto it = keys_.begin();
+  StoredKey out{it->first, std::move(it->second)};
+  consumed_bits_ += out.bits.size();
+  keys_.erase(it);
+  return out;
+}
+
+std::optional<StoredKey> KeyStore::get_key_with_id(std::uint64_t key_id) {
+  std::scoped_lock lock(mutex_);
+  const auto it = keys_.find(key_id);
+  if (it == keys_.end()) return std::nullopt;
+  StoredKey out{it->first, std::move(it->second)};
+  consumed_bits_ += out.bits.size();
+  keys_.erase(it);
+  return out;
+}
+
+std::size_t KeyStore::keys_available() const {
+  std::scoped_lock lock(mutex_);
+  return keys_.size();
+}
+
+std::uint64_t KeyStore::bits_available() const {
+  std::scoped_lock lock(mutex_);
+  return deposited_bits_ - consumed_bits_;
+}
+
+std::uint64_t KeyStore::total_deposited_bits() const {
+  std::scoped_lock lock(mutex_);
+  return deposited_bits_;
+}
+
+std::uint64_t KeyStore::total_consumed_bits() const {
+  std::scoped_lock lock(mutex_);
+  return consumed_bits_;
+}
+
+}  // namespace qkdpp::pipeline

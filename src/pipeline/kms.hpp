@@ -1,0 +1,49 @@
+// Mini key-management store, ETSI GS QKD 014 flavoured.
+//
+// Distilled keys land here under monotonically increasing ids; consumers
+// draw either "any next key material" (get_key) or a specific key by id
+// (get_key_with_id) - the two-endpoint pattern the ETSI local API uses so
+// that an SAE pair can agree on which key secures which flow. Thread-safe;
+// consumption is destructive exactly once.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+
+#include "common/bitvec.hpp"
+
+namespace qkdpp::pipeline {
+
+struct StoredKey {
+  std::uint64_t key_id = 0;
+  BitVec bits;
+};
+
+class KeyStore {
+ public:
+  /// Deposit a distilled key; returns its assigned id.
+  std::uint64_t deposit(BitVec key);
+
+  /// Oldest unconsumed key (FIFO), if any. Destructive.
+  std::optional<StoredKey> get_key();
+
+  /// Specific key by id (peer-designated). Destructive; nullopt if absent
+  /// or already consumed.
+  std::optional<StoredKey> get_key_with_id(std::uint64_t key_id);
+
+  std::size_t keys_available() const;
+  std::uint64_t bits_available() const;
+  std::uint64_t total_deposited_bits() const;
+  std::uint64_t total_consumed_bits() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::uint64_t, BitVec> keys_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t deposited_bits_ = 0;
+  std::uint64_t consumed_bits_ = 0;
+};
+
+}  // namespace qkdpp::pipeline

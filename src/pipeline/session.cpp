@@ -1,0 +1,496 @@
+#include "pipeline/session.hpp"
+
+#include <algorithm>
+
+#include "common/crc.hpp"
+#include "common/entropy.hpp"
+#include "common/error.hpp"
+#include "privacy/toeplitz.hpp"
+#include "privacy/verification.hpp"
+#include "protocol/messages.hpp"
+#include "protocol/param_estimation.hpp"
+
+namespace qkdpp::pipeline {
+
+namespace {
+
+using protocol::Abort;
+using protocol::BlindRequest;
+using protocol::BlindResponse;
+using protocol::ClassicalChannel;
+using protocol::DetectionReport;
+using protocol::KeyConfirm;
+using protocol::Message;
+using protocol::PaParams;
+using protocol::ParityRequest;
+using protocol::ParityResponse;
+using protocol::PeReport;
+using protocol::PeReveal;
+using protocol::PeVerdict;
+using protocol::ReconcileDone;
+using protocol::ReconcileMethod;
+using protocol::ReconcileStart;
+using protocol::SiftResult;
+using protocol::VerifyRequest;
+using protocol::VerifyResponse;
+
+/// Control-flow unwind for peer-initiated aborts (expected outcome, turned
+/// into SessionResult at the top level - never escapes this file).
+struct AbortSignal {
+  std::string reason;
+};
+
+void send_msg(ClassicalChannel& channel, const Message& message) {
+  channel.send(protocol::encode_message(message));
+}
+
+void send_abort(ClassicalChannel& channel, std::uint64_t block_id,
+                const std::string& reason) {
+  send_msg(channel, Abort{block_id, 0, reason});
+}
+
+template <typename T>
+T expect_msg(ClassicalChannel& channel) {
+  Message message = protocol::decode_message(channel.receive());
+  if (auto* abort = std::get_if<Abort>(&message)) {
+    throw AbortSignal{abort->detail};
+  }
+  auto* typed = std::get_if<T>(&message);
+  if (typed == nullptr) {
+    throw_error(ErrorCode::kProtocol,
+                std::string("unexpected message ") +
+                    protocol::message_name(message));
+  }
+  return std::move(*typed);
+}
+
+/// Shared by both sides: the key candidates left after estimation are the
+/// signal-class sifted positions that were not revealed.
+BitVec remaining_key(const BitVec& sifted, const BitVec& signal_mask,
+                     const std::vector<std::uint32_t>& revealed) {
+  std::vector<std::uint8_t> is_revealed(sifted.size(), 0);
+  for (const auto p : revealed) {
+    if (p < is_revealed.size()) is_revealed[p] = 1;
+  }
+  BitVec key;
+  for (std::size_t i = 0; i < sifted.size(); ++i) {
+    if (signal_mask.get(i) && !is_revealed[i]) {
+      key.push_back(sifted.get(i));
+    }
+  }
+  return key;
+}
+
+std::uint32_t pa_params_crc(const PaParams& params) {
+  std::uint8_t bytes[24];
+  for (int i = 0; i < 8; ++i) {
+    bytes[i] = static_cast<std::uint8_t>(params.block_id >> (8 * i));
+    bytes[8 + i] = static_cast<std::uint8_t>(params.seed >> (8 * i));
+    bytes[16 + i] = static_cast<std::uint8_t>(params.out_len >> (8 * i));
+  }
+  return crc32c(bytes);
+}
+
+/// Bob-side oracle that forwards parity queries over the channel.
+class RemoteParityOracle final : public reconcile::ParityOracle {
+ public:
+  RemoteParityOracle(ClassicalChannel& channel, std::uint64_t block_id)
+      : channel_(channel), block_id_(block_id) {}
+
+  BitVec parities(std::uint32_t pass,
+                  std::span<const reconcile::ParityRange> ranges) override {
+    ParityRequest request;
+    request.block_id = block_id_;
+    request.pass = pass;
+    request.range_begins.reserve(ranges.size());
+    request.range_ends.reserve(ranges.size());
+    for (const auto range : ranges) {
+      request.range_begins.push_back(range.begin);
+      request.range_ends.push_back(range.end);
+    }
+    send_msg(channel_, request);
+    auto response = expect_msg<ParityResponse>(channel_);
+    if (response.parities.size() != ranges.size()) {
+      throw_error(ErrorCode::kProtocol, "parity response shape mismatch");
+    }
+    return std::move(response.parities);
+  }
+
+ private:
+  ClassicalChannel& channel_;
+  std::uint64_t block_id_;
+};
+
+}  // namespace
+
+SessionResult run_alice_session(ClassicalChannel& channel,
+                                const protocol::AliceTransmitLog& log,
+                                std::uint64_t block_id,
+                                const SessionConfig& config, Xoshiro256& rng) {
+  SessionResult result;
+  result.key_id = block_id;
+  try {
+    // --- sifting ---------------------------------------------------------
+    const auto report = expect_msg<DetectionReport>(channel);
+    if (report.block_id != block_id) {
+      throw_error(ErrorCode::kProtocol, "detection report for wrong block");
+    }
+    const auto sift = protocol::sift_alice(log, report);
+    send_msg(channel, sift.result);
+    result.sifted_bits = sift.sifted_key.size();
+
+    // --- parameter estimation ---------------------------------------------
+    std::vector<std::uint32_t> signal_positions;
+    PeReveal reveal;
+    reveal.block_id = block_id;
+    for (std::size_t i = 0; i < sift.sifted_key.size(); ++i) {
+      if (sift.result.signal_mask.get(i)) {
+        signal_positions.push_back(static_cast<std::uint32_t>(i));
+      } else {
+        reveal.positions.push_back(static_cast<std::uint32_t>(i));
+      }
+    }
+    result.key_candidate_bits = signal_positions.size();
+    if (signal_positions.size() < 64) {
+      send_abort(channel, block_id, "insufficient sifted key");
+      result.abort_reason = "insufficient sifted key";
+      result.channel = channel.counters();
+      return result;
+    }
+    const auto sample_size = static_cast<std::size_t>(
+        config.pe_fraction * static_cast<double>(signal_positions.size()));
+    for (const auto s :
+         rng.sample_without_replacement(signal_positions.size(), sample_size)) {
+      reveal.positions.push_back(signal_positions[s]);
+    }
+    std::sort(reveal.positions.begin(), reveal.positions.end());
+    for (const auto p : reveal.positions) {
+      reveal.alice_bits.push_back(sift.sifted_key.get(p));
+    }
+    send_msg(channel, reveal);
+
+    const auto pe_report = expect_msg<PeReport>(channel);
+    if (pe_report.bob_bits.size() != reveal.positions.size()) {
+      throw_error(ErrorCode::kProtocol, "PE report shape mismatch");
+    }
+    const std::size_t mismatches =
+        BitVec::hamming_distance(reveal.alice_bits, pe_report.bob_bits);
+    const auto estimate = protocol::estimate_qber(
+        reveal.positions.size(), mismatches, config.security.eps_pe);
+    result.qber_estimate = estimate.qber;
+
+    PeVerdict verdict;
+    verdict.block_id = block_id;
+    verdict.qber_estimate = estimate.qber;
+    verdict.qber_upper = estimate.qber_upper;
+    // Go/no-go on the point estimate (the confidence bound feeds PA).
+    verdict.proceed = estimate.qber < config.qber_abort;
+    send_msg(channel, verdict);
+    if (!verdict.proceed) {
+      result.abort_reason = "qber above abort threshold";
+      result.channel = channel.counters();
+      return result;
+    }
+
+    const BitVec key = remaining_key(sift.sifted_key,
+                                     sift.result.signal_mask,
+                                     reveal.positions);
+    const double qber_hint = std::max(estimate.qber, 1e-4);
+
+    // --- reconciliation -----------------------------------------------------
+    BitVec reconciled;
+    if (config.method == ReconcileMethod::kLdpc) {
+      reconcile::FramePlan plan;
+      try {
+        plan = reconcile::plan_frame_fitting(key.size(), qber_hint,
+                                             config.ldpc.f_target,
+                                             config.ldpc.adapt_fraction);
+      } catch (const Error&) {
+        send_abort(channel, block_id, "key shorter than one frame");
+        result.abort_reason = "key shorter than one frame";
+        result.channel = channel.counters();
+        return result;
+      }
+      const std::size_t frames = key.size() / plan.payload_bits;
+      const reconcile::LdpcCode& code = reconcile::code_by_id(plan.code_id);
+      for (std::size_t f = 0; f < frames; ++f) {
+        const BitVec payload =
+            key.subvec(f * plan.payload_bits, plan.payload_bits);
+        const std::uint64_t frame_seed = rng.next_u64();
+        reconcile::LdpcFrameSender sender(plan, payload, frame_seed, rng);
+
+        ReconcileStart start;
+        start.block_id = block_id;
+        start.method = ReconcileMethod::kLdpc;
+        start.perm_seed = frame_seed;
+        start.code_id = plan.code_id;
+        start.n_punctured = plan.n_punctured;
+        start.n_shortened = plan.n_shortened;
+        start.qber_hint = qber_hint;
+        start.syndrome = sender.syndrome();
+        send_msg(channel, start);
+        result.leak_ec_bits += code.m() - plan.n_punctured;
+
+        // Serve blind rounds until Bob reports the frame done.
+        for (;;) {
+          Message message = protocol::decode_message(channel.receive());
+          if (auto* abort = std::get_if<Abort>(&message)) {
+            throw AbortSignal{abort->detail};
+          }
+          if (auto* blind = std::get_if<BlindRequest>(&message)) {
+            const auto chunk = sender.reveal_chunk(
+                blind->round, config.ldpc.max_blind_rounds);
+            BlindResponse response;
+            response.block_id = block_id;
+            response.round = blind->round;
+            response.positions = chunk.positions;
+            response.values = chunk.values;
+            result.leak_ec_bits += chunk.positions.size();
+            send_msg(channel, response);
+            continue;
+          }
+          if (auto* done = std::get_if<ReconcileDone>(&message)) {
+            if (done->success) reconciled.append(payload);
+            break;
+          }
+          throw_error(ErrorCode::kProtocol,
+                      std::string("unexpected message during "
+                                  "reconciliation: ") +
+                          protocol::message_name(message));
+        }
+      }
+    } else {
+      // Cascade: Alice is the parity server.
+      const std::uint64_t perm_seed = rng.next_u64();
+      ReconcileStart start;
+      start.block_id = block_id;
+      start.method = ReconcileMethod::kCascade;
+      start.perm_seed = perm_seed;
+      start.qber_hint = qber_hint;
+      send_msg(channel, start);
+
+      const reconcile::CascadeResponder responder(key, perm_seed,
+                                                  config.cascade_passes);
+      for (;;) {
+        Message message = protocol::decode_message(channel.receive());
+        if (auto* abort = std::get_if<Abort>(&message)) {
+          throw AbortSignal{abort->detail};
+        }
+        if (auto* request = std::get_if<ParityRequest>(&message)) {
+          if (request->range_begins.size() != request->range_ends.size()) {
+            throw_error(ErrorCode::kProtocol, "parity request shape");
+          }
+          std::vector<reconcile::ParityRange> ranges;
+          ranges.reserve(request->range_begins.size());
+          for (std::size_t i = 0; i < request->range_begins.size(); ++i) {
+            ranges.push_back(
+                {request->range_begins[i], request->range_ends[i]});
+          }
+          ParityResponse response;
+          response.block_id = block_id;
+          response.pass = request->pass;
+          response.parities = responder.parities(request->pass, ranges);
+          result.leak_ec_bits += ranges.size();
+          send_msg(channel, response);
+          continue;
+        }
+        if (std::get_if<ReconcileDone>(&message) != nullptr) break;
+        throw_error(ErrorCode::kProtocol, "unexpected message in cascade");
+      }
+      reconciled = key;
+    }
+    result.reconciled_bits = reconciled.size();
+    if (reconciled.empty()) {
+      send_abort(channel, block_id, "no reconciled frames");
+      result.abort_reason = "no reconciled frames";
+      result.channel = channel.counters();
+      return result;
+    }
+
+    // --- verification ---------------------------------------------------------
+    VerifyRequest verify;
+    verify.block_id = block_id;
+    verify.seed = rng.next_u64();
+    const U128 tag = privacy::verification_tag(reconciled, verify.seed);
+    verify.tag_hi = tag.hi;
+    verify.tag_lo = tag.lo;
+    send_msg(channel, verify);
+    const auto verify_response = expect_msg<VerifyResponse>(channel);
+    if (!verify_response.match) {
+      send_abort(channel, block_id, "verification mismatch");
+      result.abort_reason = "verification mismatch";
+      result.channel = channel.counters();
+      return result;
+    }
+
+    // --- privacy amplification --------------------------------------------------
+    const auto pa_plan = privacy::plan_privacy_amplification(
+        reconciled.size(), reveal.positions.size(), estimate.qber,
+        result.leak_ec_bits + 128, config.security);
+    if (!pa_plan.viable) {
+      send_abort(channel, block_id, "no extractable secret key");
+      result.abort_reason = "no extractable secret key";
+      result.channel = channel.counters();
+      return result;
+    }
+    PaParams pa;
+    pa.block_id = block_id;
+    pa.seed = rng.next_u64();
+    pa.out_len = pa_plan.output_bits;
+    send_msg(channel, pa);
+    const BitVec seed = privacy::toeplitz_seed(
+        pa.seed, reconciled.size() + pa_plan.output_bits - 1);
+    result.final_key = privacy::toeplitz_hash(reconciled, seed,
+                                              pa_plan.output_bits);
+
+    // --- confirmation (non-secret parameter checksum) ---------------------------
+    KeyConfirm confirm{block_id, block_id, pa_params_crc(pa)};
+    send_msg(channel, confirm);
+    const auto bob_confirm = expect_msg<KeyConfirm>(channel);
+    if (bob_confirm.crc != confirm.crc) {
+      throw_error(ErrorCode::kProtocol, "key confirmation mismatch");
+    }
+    result.success = true;
+  } catch (const AbortSignal& abort) {
+    result.abort_reason = abort.reason;
+  }
+  result.channel = channel.counters();
+  return result;
+}
+
+SessionResult run_bob_session(ClassicalChannel& channel,
+                              const BobDetections& detections,
+                              const SessionConfig& config) {
+  SessionResult result;
+  result.key_id = detections.block_id;
+  const std::uint64_t block_id = detections.block_id;
+  try {
+    // --- sifting ---------------------------------------------------------
+    DetectionReport report;
+    report.block_id = block_id;
+    report.n_pulses = detections.n_pulses;
+    report.detected_idx = detections.detected_idx;
+    report.bob_bases = detections.bases;
+    send_msg(channel, report);
+
+    const auto sift_result = expect_msg<SiftResult>(channel);
+    const BitVec sifted = protocol::sift_bob(detections.bits, sift_result);
+    result.sifted_bits = sifted.size();
+
+    // --- parameter estimation ---------------------------------------------
+    const auto reveal = expect_msg<PeReveal>(channel);
+    PeReport pe_report;
+    pe_report.block_id = block_id;
+    for (const auto p : reveal.positions) {
+      if (p >= sifted.size()) {
+        throw_error(ErrorCode::kProtocol, "PE position out of range");
+      }
+      pe_report.bob_bits.push_back(sifted.get(p));
+    }
+    send_msg(channel, pe_report);
+
+    const auto verdict = expect_msg<PeVerdict>(channel);
+    result.qber_estimate = verdict.qber_estimate;
+    if (!verdict.proceed) {
+      result.abort_reason = "qber above abort threshold";
+      result.channel = channel.counters();
+      return result;
+    }
+
+    const BitVec key = remaining_key(sifted, sift_result.signal_mask,
+                                     reveal.positions);
+    result.key_candidate_bits = key.size();
+
+    // --- reconciliation -----------------------------------------------------
+    BitVec reconciled;
+    const auto first_start = expect_msg<ReconcileStart>(channel);
+    if (first_start.method == ReconcileMethod::kLdpc) {
+      reconcile::FramePlan plan;
+      plan.code_id = first_start.code_id;
+      plan.n_punctured = first_start.n_punctured;
+      plan.n_shortened = first_start.n_shortened;
+      const reconcile::LdpcCode& code = reconcile::code_by_id(plan.code_id);
+      plan.payload_bits = code.n() - plan.n_punctured - plan.n_shortened;
+      const std::size_t frames = key.size() / plan.payload_bits;
+      if (frames == 0) {
+        throw_error(ErrorCode::kProtocol, "frame plan larger than key");
+      }
+
+      ReconcileStart start = first_start;
+      for (std::size_t f = 0; f < frames; ++f) {
+        if (f > 0) start = expect_msg<ReconcileStart>(channel);
+        const BitVec payload =
+            key.subvec(f * plan.payload_bits, plan.payload_bits);
+        reconcile::LdpcFrameReceiver receiver(
+            plan, payload, start.perm_seed,
+            std::max(start.qber_hint, 1e-4), config.ldpc.decoder);
+        auto attempt = receiver.try_decode(start.syndrome);
+        unsigned round = 0;
+        while (!attempt.converged && round < config.ldpc.max_blind_rounds) {
+          ++round;
+          send_msg(channel, BlindRequest{block_id, round});
+          const auto blind = expect_msg<BlindResponse>(channel);
+          result.leak_ec_bits += blind.positions.size();
+          if (blind.positions.empty()) break;  // nothing left to reveal
+          receiver.apply_reveal(blind.positions, blind.values);
+          attempt = receiver.try_decode(start.syndrome);
+        }
+        result.leak_ec_bits += code.m() - plan.n_punctured;
+        send_msg(channel, ReconcileDone{block_id, attempt.converged});
+        if (attempt.converged) reconciled.append(receiver.corrected_payload());
+      }
+    } else {
+      // Cascade: Bob drives, Alice serves parities.
+      RemoteParityOracle oracle(channel, block_id);
+      reconcile::CascadeConfig cascade;
+      cascade.passes = config.cascade_passes;
+      cascade.qber_hint = std::max(first_start.qber_hint, 1e-4);
+      cascade.seed = first_start.perm_seed;
+      BitVec corrected = key;
+      const auto cascade_result =
+          reconcile::cascade_reconcile(corrected, oracle, cascade);
+      result.leak_ec_bits += cascade_result.leaked_bits;
+      send_msg(channel, ReconcileDone{block_id, true});
+      reconciled = std::move(corrected);
+    }
+    result.reconciled_bits = reconciled.size();
+
+    // --- verification ---------------------------------------------------------
+    const auto verify = expect_msg<VerifyRequest>(channel);
+    const U128 tag = privacy::verification_tag(reconciled, verify.seed);
+    const bool match = tag.hi == verify.tag_hi && tag.lo == verify.tag_lo;
+    send_msg(channel, VerifyResponse{block_id, match});
+    if (!match) {
+      // Alice will send Abort; consume it for a clean shutdown.
+      try {
+        (void)expect_msg<VerifyResponse>(channel);
+      } catch (const AbortSignal&) {
+      }
+      result.abort_reason = "verification mismatch";
+      result.channel = channel.counters();
+      return result;
+    }
+
+    // --- privacy amplification --------------------------------------------------
+    const auto pa = expect_msg<PaParams>(channel);
+    const BitVec seed = privacy::toeplitz_seed(
+        pa.seed, reconciled.size() + pa.out_len - 1);
+    result.final_key = privacy::toeplitz_hash(
+        reconciled, seed, static_cast<std::size_t>(pa.out_len));
+
+    // --- confirmation -----------------------------------------------------------
+    const auto alice_confirm = expect_msg<KeyConfirm>(channel);
+    KeyConfirm confirm{block_id, block_id, pa_params_crc(pa)};
+    send_msg(channel, confirm);
+    if (alice_confirm.crc != confirm.crc) {
+      throw_error(ErrorCode::kProtocol, "key confirmation mismatch");
+    }
+    result.success = true;
+  } catch (const AbortSignal& abort) {
+    result.abort_reason = abort.reason;
+  }
+  result.channel = channel.counters();
+  return result;
+}
+
+}  // namespace qkdpp::pipeline

@@ -1,0 +1,81 @@
+// Two-party post-processing session over the classical channel.
+//
+// Alice and Bob run as peers (typically on two threads or two processes)
+// exchanging the typed messages of protocol/messages.hpp over any
+// ClassicalChannel - usually the AuthenticatedChannel wrapper, so every
+// frame is Wegman-Carter tagged. The session covers the complete chain:
+//
+//   Bob:   DetectionReport ->                        (his clicks + bases)
+//   Alice:                 <- SiftResult
+//   Alice:                 <- PeReveal               (estimation positions)
+//   Bob:   PeReport ->
+//   Alice:                 <- PeVerdict              (continue / abort)
+//   Alice:                 <- ReconcileStart         (per frame | cascade)
+//          ... ParityRequest/ParityResponse | BlindRequest/BlindResponse ...
+//   Bob:   ReconcileDone ->
+//   Alice:                 <- VerifyRequest
+//   Bob:   VerifyResponse ->
+//   Alice:                 <- PaParams
+//   both:  KeyConfirm      (non-secret bookkeeping)
+//
+// Abort at any decision point is a message, not an exception; both sides
+// return success=false with the same reason. Channel/authentication
+// failures do throw - they are attacks or bugs, not expected physics.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/bitvec.hpp"
+#include "common/rng.hpp"
+#include "pipeline/offline.hpp"
+#include "protocol/channel.hpp"
+#include "protocol/sifting.hpp"
+
+namespace qkdpp::pipeline {
+
+struct SessionConfig {
+  double pe_fraction = 0.10;
+  double qber_abort = 0.11;
+  protocol::ReconcileMethod method = protocol::ReconcileMethod::kLdpc;
+  reconcile::LdpcReconcilerConfig ldpc;
+  std::uint32_t cascade_passes = 6;
+  privacy::SecurityParams security;
+};
+
+struct SessionResult {
+  bool success = false;
+  std::string abort_reason;
+
+  BitVec final_key;
+  std::uint64_t key_id = 0;  ///< shared id (block id based)
+
+  std::size_t sifted_bits = 0;
+  std::size_t key_candidate_bits = 0;
+  double qber_estimate = 0.0;
+  std::uint64_t leak_ec_bits = 0;
+  std::size_t reconciled_bits = 0;
+  protocol::ChannelCounters channel;
+};
+
+/// Bob's raw-detection view (what a receiver actually has).
+struct BobDetections {
+  std::uint64_t block_id = 0;
+  std::uint64_t n_pulses = 0;
+  std::vector<std::uint32_t> detected_idx;
+  BitVec bits;
+  BitVec bases;
+};
+
+/// Run Alice's side to completion for one block.
+SessionResult run_alice_session(protocol::ClassicalChannel& channel,
+                                const protocol::AliceTransmitLog& log,
+                                std::uint64_t block_id,
+                                const SessionConfig& config, Xoshiro256& rng);
+
+/// Run Bob's side to completion for one block.
+SessionResult run_bob_session(protocol::ClassicalChannel& channel,
+                              const BobDetections& detections,
+                              const SessionConfig& config);
+
+}  // namespace qkdpp::pipeline

@@ -1,0 +1,45 @@
+#include "privacy/pa_planner.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/entropy.hpp"
+#include "common/error.hpp"
+
+namespace qkdpp::privacy {
+
+PaPlan plan_privacy_amplification(std::size_t n_key, std::size_t n_sample,
+                                  double phase_error, std::uint64_t leak_ec,
+                                  const SecurityParams& params) {
+  QKDPP_REQUIRE(phase_error >= 0 && phase_error <= 1, "phase error outside [0,1]");
+  QKDPP_REQUIRE(params.eps_pe > 0 && params.eps_corr > 0 && params.eps_pa > 0,
+                "security parameters must be positive");
+  PaPlan plan;
+  plan.input_bits = n_key;
+  if (n_key == 0) return plan;
+
+  const double penalty = sampling_correction(n_key, n_sample, params.eps_pe);
+  plan.phase_error_bound = std::min(0.5, phase_error + penalty);
+
+  const double entropy_rate = 1.0 - binary_entropy(plan.phase_error_bound);
+  const double correctness_cost = std::log2(2.0 / params.eps_corr);
+  const double pa_cost = 2.0 * std::log2(1.0 / (2.0 * params.eps_pa));
+  const double length = static_cast<double>(n_key) * entropy_rate -
+                        static_cast<double>(leak_ec) - correctness_cost -
+                        pa_cost;
+  if (length >= 1.0) {
+    plan.output_bits = static_cast<std::size_t>(length);
+    plan.viable = true;
+  }
+  return plan;
+}
+
+double decoy_key_rate_asymptotic(double q_sift, double q1_lower,
+                                 double e1_upper, double q_mu, double e_mu,
+                                 double f_ec) {
+  const double secret = q1_lower * (1.0 - binary_entropy(e1_upper));
+  const double correction = q_mu * f_ec * binary_entropy(e_mu);
+  return std::max(0.0, q_sift * (secret - correction));
+}
+
+}  // namespace qkdpp::privacy

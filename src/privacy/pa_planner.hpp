@@ -1,0 +1,51 @@
+// Secret-key length accounting: how many bits survive privacy amplification.
+//
+// Finite-key leftover-hash-lemma budget (Tomamichel/Renner-style, simplified
+// composable form):
+//
+//   l = n (1 - h2(e_ph + delta_pe)) - leak_EC - log2(2/eps_corr)
+//       - 2 log2(1/(2 eps_pa))
+//
+// where n is the reconciled key length, e_ph the phase-error estimate,
+// delta_pe the sampling penalty, leak_EC every bit reconciliation disclosed.
+// The asymptotic decoy-state rate (per pulse) for benches reproducing the
+// SKR-vs-distance curve is also here.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace qkdpp::privacy {
+
+/// Composable security-parameter budget. Defaults give overall failure
+/// probability of order 1e-10 per block.
+struct SecurityParams {
+  double eps_pe = 1e-10;    ///< parameter-estimation confidence
+  double eps_corr = 1e-15;  ///< correctness (verification collision)
+  double eps_pa = 1e-10;    ///< privacy-amplification smoothing
+};
+
+struct PaPlan {
+  std::size_t input_bits = 0;
+  std::size_t output_bits = 0;
+  double phase_error_bound = 0.5;  ///< e_ph + sampling penalty, clamped
+  bool viable = false;             ///< output_bits > 0
+};
+
+/// Finite-key plan for one block.
+///   n_key:       reconciled bits entering PA
+///   n_sample:    bits sacrificed for estimation (drives the penalty)
+///   phase_error: observed/estimated phase error rate (BB84: = sampled QBER)
+///   leak_ec:     reconciliation leakage in bits (syndrome + reveals + tags)
+PaPlan plan_privacy_amplification(std::size_t n_key, std::size_t n_sample,
+                                  double phase_error, std::uint64_t leak_ec,
+                                  const SecurityParams& params = {});
+
+/// Asymptotic decoy-state BB84 secret key rate per *emitted signal pulse*:
+///   R = q_sift [ Q1 (1 - h2(e1_upper)) - Q_mu f_ec h2(E_mu) ]
+/// Negative results are clamped to 0.
+double decoy_key_rate_asymptotic(double q_sift, double q1_lower,
+                                 double e1_upper, double q_mu, double e_mu,
+                                 double f_ec);
+
+}  // namespace qkdpp::privacy

@@ -1,0 +1,43 @@
+#include "protocol/auth_channel.hpp"
+
+#include "common/error.hpp"
+
+namespace qkdpp::protocol {
+
+namespace {
+
+constexpr std::size_t kTagBytes = 16;
+
+}  // namespace
+
+void AuthenticatedChannel::send(std::vector<std::uint8_t> frame) {
+  const auth::Tag tag = signer_.sign(frame);
+  frame.reserve(frame.size() + kTagBytes);
+  for (int i = 0; i < 8; ++i) {
+    frame.push_back(static_cast<std::uint8_t>(tag.value.lo >> (8 * i)));
+  }
+  for (int i = 0; i < 8; ++i) {
+    frame.push_back(static_cast<std::uint8_t>(tag.value.hi >> (8 * i)));
+  }
+  inner_->send(std::move(frame));
+}
+
+std::vector<std::uint8_t> AuthenticatedChannel::receive() {
+  std::vector<std::uint8_t> frame = inner_->receive();
+  if (frame.size() < kTagBytes) {
+    throw_error(ErrorCode::kSerialization, "frame shorter than tag");
+  }
+  auth::Tag tag;
+  const std::size_t base = frame.size() - kTagBytes;
+  for (int i = 0; i < 8; ++i) {
+    tag.value.lo |= std::uint64_t{frame[base + i]} << (8 * i);
+    tag.value.hi |= std::uint64_t{frame[base + 8 + i]} << (8 * i);
+  }
+  frame.resize(base);
+  if (!verifier_.verify(frame, tag)) {
+    throw_error(ErrorCode::kAuthentication, "Wegman-Carter tag mismatch");
+  }
+  return frame;
+}
+
+}  // namespace qkdpp::protocol

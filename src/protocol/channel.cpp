@@ -1,0 +1,125 @@
+#include "protocol/channel.hpp"
+
+#include "common/error.hpp"
+
+namespace qkdpp::protocol {
+
+namespace {
+
+/// Shared state of a connected endpoint pair: one queue per direction.
+struct PairState {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::deque<std::vector<std::uint8_t>> queue[2];  // index = receiving side
+  bool closed[2] = {false, false};                 // index = closing side
+  ChannelModel model;
+};
+
+class InProcessEndpoint final : public ClassicalChannel {
+ public:
+  InProcessEndpoint(std::shared_ptr<PairState> state, int side)
+      : state_(std::move(state)), side_(side) {}
+
+  ~InProcessEndpoint() override { close(); }
+
+  void send(std::vector<std::uint8_t> frame) override {
+    const std::size_t frame_bytes = frame.size();
+    {
+      std::scoped_lock lock(state_->mutex);
+      if (state_->closed[side_]) {
+        throw_error(ErrorCode::kChannelClosed, "send on closed endpoint");
+      }
+      if (state_->closed[1 - side_]) {
+        throw_error(ErrorCode::kChannelClosed, "peer has closed");
+      }
+      state_->queue[1 - side_].push_back(std::move(frame));
+      counters_.messages_sent += 1;
+      counters_.bytes_sent += frame_bytes;
+      counters_.virtual_time_s += cost_of(frame_bytes);
+    }
+    state_->cv.notify_all();
+  }
+
+  std::vector<std::uint8_t> receive() override {
+    std::unique_lock lock(state_->mutex);
+    state_->cv.wait(lock, [this] {
+      return !state_->queue[side_].empty() || state_->closed[1 - side_] ||
+             state_->closed[side_];
+    });
+    if (state_->queue[side_].empty()) {
+      throw_error(ErrorCode::kChannelClosed, "channel closed");
+    }
+    auto frame = std::move(state_->queue[side_].front());
+    state_->queue[side_].pop_front();
+    counters_.messages_received += 1;
+    counters_.bytes_received += frame.size();
+    return frame;
+  }
+
+  void close() override {
+    {
+      std::scoped_lock lock(state_->mutex);
+      state_->closed[side_] = true;
+    }
+    state_->cv.notify_all();
+  }
+
+  ChannelCounters counters() const override {
+    std::scoped_lock lock(state_->mutex);
+    return counters_;
+  }
+
+ private:
+  double cost_of(std::size_t bytes) const noexcept {
+    double t = state_->model.latency_s;
+    if (state_->model.bandwidth_bps > 0) {
+      t += static_cast<double>(bytes) * 8.0 / state_->model.bandwidth_bps;
+    }
+    return t;
+  }
+
+  std::shared_ptr<PairState> state_;
+  int side_;
+  ChannelCounters counters_;  // guarded by state_->mutex
+};
+
+class TamperingChannel final : public ClassicalChannel {
+ public:
+  TamperingChannel(std::unique_ptr<ClassicalChannel> inner,
+                   std::uint32_t every)
+      : inner_(std::move(inner)), every_(every) {}
+
+  void send(std::vector<std::uint8_t> frame) override {
+    ++sent_;
+    if (every_ != 0 && sent_ % every_ == 0 && !frame.empty()) {
+      frame[frame.size() / 2] ^= 0x01;
+    }
+    inner_->send(std::move(frame));
+  }
+
+  std::vector<std::uint8_t> receive() override { return inner_->receive(); }
+  void close() override { inner_->close(); }
+  ChannelCounters counters() const override { return inner_->counters(); }
+
+ private:
+  std::unique_ptr<ClassicalChannel> inner_;
+  std::uint32_t every_;
+  std::uint64_t sent_ = 0;
+};
+
+}  // namespace
+
+std::pair<std::unique_ptr<ClassicalChannel>, std::unique_ptr<ClassicalChannel>>
+make_channel_pair(ChannelModel model) {
+  auto state = std::make_shared<PairState>();
+  state->model = model;
+  return {std::make_unique<InProcessEndpoint>(state, 0),
+          std::make_unique<InProcessEndpoint>(state, 1)};
+}
+
+std::unique_ptr<ClassicalChannel> make_tampering_channel(
+    std::unique_ptr<ClassicalChannel> inner, std::uint32_t flip_byte_every) {
+  return std::make_unique<TamperingChannel>(std::move(inner), flip_byte_every);
+}
+
+}  // namespace qkdpp::protocol

@@ -1,0 +1,52 @@
+// Parameter estimation: sampled QBER with confidence bound, plus the
+// vacuum+weak decoy-state bounds on single-photon yield and error rate
+// (Ma-Qi-Zhao-Lo analytic formulas with one-sided finite-size corrections).
+#pragma once
+
+#include <cstddef>
+
+namespace qkdpp::protocol {
+
+/// Sampled QBER estimate with a one-sided Hoeffding upper bound at
+/// confidence 1 - eps.
+struct QberEstimate {
+  std::size_t sample_size = 0;
+  std::size_t mismatches = 0;
+  double qber = 0.0;
+  double qber_upper = 1.0;
+};
+
+QberEstimate estimate_qber(std::size_t sample_size, std::size_t mismatches,
+                           double eps);
+
+/// Per-intensity observations feeding the decoy analysis. Gains/QBERs are
+/// per emitted pulse of that class; y0 is the vacuum-class gain.
+struct DecoyObservations {
+  double mu = 0.48;   ///< signal intensity
+  double nu = 0.1;    ///< weak decoy intensity
+  double q_mu = 0.0;  ///< signal gain
+  double q_nu = 0.0;  ///< decoy gain
+  double e_mu = 0.0;  ///< signal QBER
+  double e_nu = 0.0;  ///< decoy QBER
+  double y0 = 0.0;    ///< vacuum yield
+};
+
+/// Bounds on the single-photon contribution.
+struct DecoyBounds {
+  double y1_lower = 0.0;  ///< lower bound on single-photon yield Y1
+  double e1_upper = 0.5;  ///< upper bound on single-photon error rate e1
+  double q1_lower = 0.0;  ///< lower bound on single-photon gain Q1
+  bool valid = false;     ///< false when observations admit no positive Y1
+};
+
+/// Asymptotic vacuum+weak bounds.
+DecoyBounds decoy_bounds(const DecoyObservations& obs);
+
+/// Finite-size variant: each observed rate is first worst-cased by a
+/// one-sided Hoeffding deviation at confidence 1 - eps, using the number of
+/// pulses that produced it.
+DecoyBounds decoy_bounds_finite(const DecoyObservations& obs,
+                                std::size_t n_signal, std::size_t n_decoy,
+                                std::size_t n_vacuum, double eps);
+
+}  // namespace qkdpp::protocol

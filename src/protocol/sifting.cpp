@@ -1,0 +1,58 @@
+#include "protocol/sifting.hpp"
+
+#include "common/error.hpp"
+
+namespace qkdpp::protocol {
+
+AliceSiftOutcome sift_alice(const AliceTransmitLog& log,
+                            const DetectionReport& report) {
+  const std::size_t n_pulses = log.bits.size();
+  if (log.bases.size() != n_pulses || log.pulse_class.size() != n_pulses) {
+    throw_error(ErrorCode::kProtocol, "inconsistent transmit log");
+  }
+  if (report.bob_bases.size() != report.detected_idx.size()) {
+    throw_error(ErrorCode::kProtocol,
+                "detection report bases/indices shape mismatch");
+  }
+
+  AliceSiftOutcome out;
+  out.result.block_id = report.block_id;
+  out.result.keep_mask = BitVec(report.detected_idx.size());
+
+  std::uint32_t previous = 0;
+  bool first = true;
+  for (std::size_t d = 0; d < report.detected_idx.size(); ++d) {
+    const std::uint32_t pulse = report.detected_idx[d];
+    if (pulse >= n_pulses) {
+      throw_error(ErrorCode::kProtocol, "detection index out of range");
+    }
+    if (!first && pulse <= previous) {
+      throw_error(ErrorCode::kProtocol, "detection indices not increasing");
+    }
+    previous = pulse;
+    first = false;
+
+    if (log.bases.get(pulse) == report.bob_bases.get(d)) {
+      out.result.keep_mask.set(d, true);
+      out.sifted_key.push_back(log.bits.get(pulse));
+      out.result.signal_mask.push_back(log.pulse_class[pulse] == 0);
+    }
+  }
+  return out;
+}
+
+BitVec sift_bob(const BitVec& bob_bits, const SiftResult& result) {
+  if (bob_bits.size() != result.keep_mask.size()) {
+    throw_error(ErrorCode::kProtocol, "keep mask does not match detections");
+  }
+  BitVec sifted;
+  for (std::size_t d = 0; d < bob_bits.size(); ++d) {
+    if (result.keep_mask.get(d)) sifted.push_back(bob_bits.get(d));
+  }
+  if (sifted.size() != result.signal_mask.size()) {
+    throw_error(ErrorCode::kProtocol, "signal mask does not match kept bits");
+  }
+  return sifted;
+}
+
+}  // namespace qkdpp::protocol

@@ -1,0 +1,201 @@
+#include "reconcile/cascade.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/entropy.hpp"
+#include "common/error.hpp"
+
+namespace qkdpp::reconcile {
+
+double CascadeResult::efficiency(std::size_t n, double qber) const {
+  const double ideal = static_cast<double>(n) * binary_entropy(qber);
+  return ideal > 0 ? static_cast<double>(leaked_bits) / ideal : 0.0;
+}
+
+std::uint32_t cascade_block_size(double qber, std::uint32_t cap) {
+  if (qber <= 0) return cap;
+  const double k = std::ceil(0.73 / qber);
+  return static_cast<std::uint32_t>(
+      std::clamp(k, 2.0, static_cast<double>(cap)));
+}
+
+namespace {
+
+/// Bob-side working state for one Cascade run.
+class CascadeEngine {
+ public:
+  CascadeEngine(BitVec& key, ParityOracle& oracle,
+                const CascadeConfig& config)
+      : key_(key), oracle_(oracle), config_(config), n_(key.size()) {
+    QKDPP_REQUIRE(n_ > 0, "cascade on empty key");
+    const std::uint32_t cap = std::min<std::uint32_t>(
+        config.initial_block_cap, static_cast<std::uint32_t>(n_));
+    // Cap later passes at n/2: a single whole-key block can never split a
+    // residual error pair, so every pass must keep at least two blocks.
+    const auto half = static_cast<std::uint32_t>(std::max<std::size_t>(n_ / 2, 1));
+    block_size_.resize(config.passes);
+    block_size_[0] =
+        std::min(cascade_block_size(config.qber_hint, cap), std::max(half, 2u));
+    for (std::uint32_t p = 1; p < config.passes; ++p) {
+      block_size_[p] = static_cast<std::uint32_t>(std::min<std::uint64_t>(
+          std::uint64_t{block_size_[p - 1]} * 2, half));
+    }
+    perm_.resize(config.passes);
+    inv_.resize(config.passes);
+    odd_.resize(config.passes);
+  }
+
+  CascadeResult run() {
+    for (std::uint32_t pass = 0; pass < config_.passes; ++pass) {
+      begin_pass(pass);
+      resolve_all(pass);
+    }
+    result_.corrected_bits = corrected_;
+    return result_;
+  }
+
+ private:
+  std::uint32_t blocks_in_pass(std::uint32_t pass) const {
+    return static_cast<std::uint32_t>(
+        (n_ + block_size_[pass] - 1) / block_size_[pass]);
+  }
+
+  ParityRange block_range(std::uint32_t pass, std::uint32_t block) const {
+    const std::uint64_t begin = std::uint64_t{block} * block_size_[pass];
+    const std::uint64_t end =
+        std::min<std::uint64_t>(begin + block_size_[pass], n_);
+    return {static_cast<std::uint32_t>(begin), static_cast<std::uint32_t>(end)};
+  }
+
+  /// Bob's parity over a permuted-domain range, straight off the live key.
+  bool local_parity(std::uint32_t pass, ParityRange range) const {
+    bool acc = false;
+    const auto& perm = perm_[pass];
+    for (std::uint32_t j = range.begin; j < range.end; ++j) {
+      acc ^= key_.get(perm[j]);
+    }
+    return acc;
+  }
+
+  BitVec query(std::uint32_t pass, std::span<const ParityRange> ranges) {
+    ++result_.rounds;
+    result_.leaked_bits += ranges.size();
+    return oracle_.parities(pass, ranges);
+  }
+
+  void begin_pass(std::uint32_t pass) {
+    perm_[pass] = cascade_permutation(n_, config_.seed, pass);
+    inv_[pass].resize(n_);
+    for (std::uint32_t j = 0; j < n_; ++j) inv_[pass][perm_[pass][j]] = j;
+
+    const std::uint32_t blocks = blocks_in_pass(pass);
+    std::vector<ParityRange> ranges;
+    ranges.reserve(blocks);
+    for (std::uint32_t b = 0; b < blocks; ++b) {
+      ranges.push_back(block_range(pass, b));
+    }
+    const BitVec alice = query(pass, ranges);
+    odd_[pass].assign(blocks, 0);
+    for (std::uint32_t b = 0; b < blocks; ++b) {
+      odd_[pass][b] =
+          alice.get(b) != local_parity(pass, ranges[b]) ? 1 : 0;
+    }
+  }
+
+  /// A correction at original index flips the parity-diff flag of its block
+  /// in every initialized pass.
+  void apply_correction(std::uint32_t original, std::uint32_t up_to_pass) {
+    key_.flip(original);
+    ++corrected_;
+    for (std::uint32_t p = 0; p <= up_to_pass; ++p) {
+      const std::uint32_t b = inv_[p][original] / block_size_[p];
+      odd_[p][b] ^= 1;
+    }
+  }
+
+  /// Drain odd blocks across all initialized passes. Each iteration batches
+  /// every odd block of one pass and bisects them level-synchronously.
+  void resolve_all(std::uint32_t up_to_pass) {
+    for (;;) {
+      if (result_.rounds >= config_.max_rounds) return;  // desync safety
+      std::uint32_t pass = up_to_pass + 1;
+      std::size_t most = 0;
+      for (std::uint32_t p = 0; p <= up_to_pass; ++p) {
+        const auto count = static_cast<std::size_t>(
+            std::count(odd_[p].begin(), odd_[p].end(), 1));
+        if (count > most) {
+          most = count;
+          pass = p;
+        }
+      }
+      if (most == 0) return;
+      bisect_batch(pass, up_to_pass);
+    }
+  }
+
+  /// Level-synchronous BINARY over all odd blocks of `pass`: one oracle
+  /// batch per bisection level, one correction per block at the end.
+  void bisect_batch(std::uint32_t pass, std::uint32_t up_to_pass) {
+    std::vector<ParityRange> active;
+    for (std::uint32_t b = 0; b < blocks_in_pass(pass); ++b) {
+      if (odd_[pass][b]) active.push_back(block_range(pass, b));
+    }
+
+    while (!active.empty()) {
+      // Finished searches (single position) get corrected and retired.
+      std::vector<ParityRange> still_active;
+      for (const auto range : active) {
+        if (range.end - range.begin == 1) {
+          apply_correction(perm_[pass][range.begin], up_to_pass);
+        } else {
+          still_active.push_back(range);
+        }
+      }
+      active.swap(still_active);
+      if (active.empty()) break;
+
+      // Query left halves in one batch; descend into the half that still
+      // disagrees.
+      std::vector<ParityRange> lefts;
+      lefts.reserve(active.size());
+      for (const auto range : active) {
+        const std::uint32_t mid = range.begin + (range.end - range.begin) / 2;
+        lefts.push_back({range.begin, mid});
+      }
+      const BitVec alice = query(pass, lefts);
+      for (std::size_t i = 0; i < active.size(); ++i) {
+        const bool mismatch_left =
+            alice.get(i) != local_parity(pass, lefts[i]);
+        if (mismatch_left) {
+          active[i].end = lefts[i].end;
+        } else {
+          active[i].begin = lefts[i].end;
+        }
+      }
+    }
+  }
+
+  BitVec& key_;
+  ParityOracle& oracle_;
+  const CascadeConfig& config_;
+  std::size_t n_;
+  std::vector<std::uint32_t> block_size_;
+  std::vector<std::vector<std::uint32_t>> perm_;
+  std::vector<std::vector<std::uint32_t>> inv_;
+  std::vector<std::vector<std::uint8_t>> odd_;
+  CascadeResult result_;
+  std::size_t corrected_ = 0;
+};
+
+}  // namespace
+
+CascadeResult cascade_reconcile(BitVec& bob_key, ParityOracle& oracle,
+                                const CascadeConfig& config) {
+  QKDPP_REQUIRE(config.passes >= 1, "cascade needs at least one pass");
+  CascadeEngine engine(bob_key, oracle, config);
+  return engine.run();
+}
+
+}  // namespace qkdpp::reconcile

@@ -1,0 +1,54 @@
+#include "reconcile/parity_oracle.hpp"
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace qkdpp::reconcile {
+
+std::vector<std::uint32_t> cascade_permutation(std::size_t n,
+                                               std::uint64_t seed,
+                                               std::uint32_t pass) {
+  if (pass == 0) {
+    std::vector<std::uint32_t> identity(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      identity[i] = static_cast<std::uint32_t>(i);
+    }
+    return identity;
+  }
+  // Mix the pass into the seed (splitmix-style odd constants) so passes are
+  // independent permutations.
+  Xoshiro256 rng(seed ^ (0x9e3779b97f4a7c15ULL * (pass + 1)));
+  return rng.permutation(n);
+}
+
+CascadeResponder::CascadeResponder(const BitVec& alice_key, std::uint64_t seed,
+                                   std::uint32_t passes)
+    : n_(alice_key.size()) {
+  QKDPP_REQUIRE(passes >= 1, "cascade needs at least one pass");
+  prefix_.reserve(passes);
+  for (std::uint32_t pass = 0; pass < passes; ++pass) {
+    const auto perm = cascade_permutation(n_, seed, pass);
+    BitVec prefix(n_ + 1);
+    bool acc = false;
+    for (std::size_t j = 0; j < n_; ++j) {
+      acc ^= alice_key.get(perm[j]);
+      if (acc) prefix.set(j + 1, true);
+    }
+    prefix_.push_back(std::move(prefix));
+  }
+}
+
+BitVec CascadeResponder::parities(std::uint32_t pass,
+                                  std::span<const ParityRange> ranges) const {
+  QKDPP_REQUIRE(pass < prefix_.size(), "pass out of range");
+  const BitVec& prefix = prefix_[pass];
+  BitVec out(ranges.size());
+  for (std::size_t i = 0; i < ranges.size(); ++i) {
+    const auto [begin, end] = ranges[i];
+    QKDPP_REQUIRE(begin <= end && end <= n_, "parity range out of bounds");
+    if (prefix.get(begin) != prefix.get(end)) out.set(i, true);
+  }
+  return out;
+}
+
+}  // namespace qkdpp::reconcile

@@ -1,0 +1,87 @@
+// Parity oracle: Bob-side Cascade's window onto Alice.
+//
+// Cascade is an interactive protocol; everything Bob learns from Alice is
+// parities of ranges of her (permuted) key. Abstracting that behind an
+// oracle lets the same Cascade engine run in-process (benches, tests) and
+// over the authenticated classical channel (sessions) - and makes leakage
+// accounting exact: every parity bit crossing the oracle is one leaked bit.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/bitvec.hpp"
+
+namespace qkdpp::reconcile {
+
+/// Half-open range [begin, end) in the pass-permuted domain.
+struct ParityRange {
+  std::uint32_t begin;
+  std::uint32_t end;
+};
+
+class ParityOracle {
+ public:
+  virtual ~ParityOracle() = default;
+
+  /// One batch = one protocol round-trip. Returns one parity bit per range,
+  /// computed over Alice's key as permuted for `pass`.
+  virtual BitVec parities(std::uint32_t pass,
+                          std::span<const ParityRange> ranges) = 0;
+};
+
+/// Alice-side parity computation shared by the local oracle and the remote
+/// session responder. Permutations are derived from (seed, pass); pass 0 is
+/// the identity, as in standard Cascade.
+class CascadeResponder {
+ public:
+  CascadeResponder(const BitVec& alice_key, std::uint64_t seed,
+                   std::uint32_t passes);
+
+  BitVec parities(std::uint32_t pass,
+                  std::span<const ParityRange> ranges) const;
+
+  std::size_t key_size() const noexcept { return n_; }
+  std::uint32_t passes() const noexcept {
+    return static_cast<std::uint32_t>(prefix_.size());
+  }
+
+ private:
+  std::size_t n_;
+  // Per pass: prefix parity bits (n+1 of them) of the permuted key, so any
+  // range parity is two bit-reads.
+  std::vector<BitVec> prefix_;
+};
+
+/// Derive the pass-`pass` permutation for key length n from the session
+/// seed. Both sides must call this with identical arguments.
+std::vector<std::uint32_t> cascade_permutation(std::size_t n,
+                                               std::uint64_t seed,
+                                               std::uint32_t pass);
+
+/// In-process oracle with exact accounting (used by tests and benches).
+class LocalParityOracle final : public ParityOracle {
+ public:
+  LocalParityOracle(const BitVec& alice_key, std::uint64_t seed,
+                    std::uint32_t passes)
+      : responder_(alice_key, seed, passes) {}
+
+  BitVec parities(std::uint32_t pass,
+                  std::span<const ParityRange> ranges) override {
+    ++rounds_;
+    bits_leaked_ += ranges.size();
+    return responder_.parities(pass, ranges);
+  }
+
+  std::uint64_t rounds() const noexcept { return rounds_; }
+  std::uint64_t bits_leaked() const noexcept { return bits_leaked_; }
+
+ private:
+  CascadeResponder responder_;
+  std::uint64_t rounds_ = 0;
+  std::uint64_t bits_leaked_ = 0;
+};
+
+}  // namespace qkdpp::reconcile

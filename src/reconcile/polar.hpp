@@ -1,0 +1,67 @@
+// Polar-code reconciliation (successive-cancellation decoding).
+//
+// The third reconciliation family next to Cascade and LDPC, included because
+// accelerated QKD stacks often prefer polar codes: the encode/decode
+// butterfly is a fixed O(N log N) dataflow with no irregular memory access -
+// ideal for FPGAs and GPUs.
+//
+// Scheme (asymmetric Slepian-Wolf / source coding with side information):
+// the Arikan transform G = F^{(x)m}, F = [[1,0],[1,1]], is an involution
+// over GF(2). Alice computes u = G x_A and discloses u on the *frozen set*
+// (the N h2(q) (1+margin) synthetically-worst bit channels for BSC(q),
+// selected by Bhattacharyya recursion). Bob runs SC decoding with channel
+// LLRs from his correlated copy x_B and the disclosed u-bits pinned,
+// recovers u-hat everywhere, and applies G again: x-hat = G u-hat = x_A.
+// Leakage = |frozen set|.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitvec.hpp"
+
+namespace qkdpp::reconcile {
+
+class PolarCode {
+ public:
+  /// N = 2^log2_n bit channels, frozen set sized/selected for BSC(`qber`)
+  /// with rate margin `margin` (f_EC target: leakage = margin * N h2(q),
+  /// clamped to [1, N]).
+  PolarCode(unsigned log2_n, double qber, double margin);
+
+  std::size_t n() const noexcept { return n_; }
+  std::size_t frozen_count() const noexcept { return frozen_count_; }
+  /// frozen_mask()[i] == true iff u_i is disclosed.
+  const BitVec& frozen_mask() const noexcept { return frozen_mask_; }
+
+  /// The Arikan transform u -> u G (involution; also the encoder).
+  static BitVec transform(const BitVec& input);
+
+  /// Alice: u = G x; returns the frozen-position values in ascending
+  /// position order (the message to Bob). Leakage = frozen_count() bits.
+  BitVec freeze_values(const BitVec& x) const;
+
+  /// Bob: SC-decode x_A from his copy's LLRs + Alice's frozen values.
+  /// `llr[i] > 0` means x_i likelier 0 (e.g. +/- bsc_llr(q) by Bob's bit).
+  BitVec decode(const std::vector<float>& llr,
+                const BitVec& frozen_values) const;
+
+ private:
+  std::size_t n_;
+  unsigned stages_;
+  std::size_t frozen_count_;
+  BitVec frozen_mask_;
+};
+
+/// One-shot local reconciliation (mirrors ldpc_reconcile_local's role).
+struct PolarOutcome {
+  bool success = false;      ///< decoded copy matches (verified internally)
+  BitVec corrected;          ///< Bob's estimate of Alice's key
+  std::uint64_t leaked_bits = 0;
+  double efficiency = 0.0;   ///< leak / (n h2(q))
+};
+
+PolarOutcome polar_reconcile_local(const BitVec& alice, const BitVec& bob,
+                                   double qber, double margin);
+
+}  // namespace qkdpp::reconcile

@@ -1,0 +1,121 @@
+#include "reconcile/rate_adapt.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/entropy.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace qkdpp::reconcile {
+
+RateAdaptation derive_adaptation(std::size_t n, std::uint32_t n_punctured,
+                                 std::uint32_t n_shortened,
+                                 std::uint64_t seed) {
+  QKDPP_REQUIRE(std::size_t{n_punctured} + n_shortened <= n,
+                "adaptation exceeds frame");
+  Xoshiro256 rng(seed ^ 0xada97ca7104eULL);
+  const auto perm = rng.permutation(n);
+
+  RateAdaptation adaptation;
+  adaptation.punctured.assign(perm.begin(), perm.begin() + n_punctured);
+  adaptation.shortened.assign(perm.begin() + n_punctured,
+                              perm.begin() + n_punctured + n_shortened);
+  std::sort(adaptation.punctured.begin(), adaptation.punctured.end());
+  std::sort(adaptation.shortened.begin(), adaptation.shortened.end());
+
+  std::vector<std::uint8_t> special(n, 0);
+  for (const auto p : adaptation.punctured) special[p] = 1;
+  for (const auto s : adaptation.shortened) special[s] = 1;
+  adaptation.payload.reserve(n - n_punctured - n_shortened);
+  for (std::uint32_t v = 0; v < n; ++v) {
+    if (!special[v]) adaptation.payload.push_back(v);
+  }
+  return adaptation;
+}
+
+namespace {
+
+FramePlan plan_with_code(std::uint32_t code_id, double qber, double f_target,
+                         double adapt_fraction);
+
+}  // namespace
+
+FramePlan plan_frame(std::size_t min_frame, double qber, double f_target,
+                     double adapt_fraction) {
+  QKDPP_REQUIRE(qber > 0 && qber < 0.5, "qber outside (0, 0.5)");
+  QKDPP_REQUIRE(f_target >= 1.0, "efficiency target below Shannon limit");
+  QKDPP_REQUIRE(adapt_fraction >= 0 && adapt_fraction < 0.5,
+                "adaptation fraction outside [0, 0.5)");
+  return plan_with_code(pick_code(min_frame, qber, f_target), qber, f_target,
+                        adapt_fraction);
+}
+
+FramePlan plan_frame_fitting(std::size_t key_bits, double qber,
+                             double f_target, double adapt_fraction) {
+  QKDPP_REQUIRE(qber > 0 && qber < 0.5, "qber outside (0, 0.5)");
+  QKDPP_REQUIRE(f_target >= 1.0, "efficiency target below Shannon limit");
+  QKDPP_REQUIRE(adapt_fraction >= 0 && adapt_fraction < 0.5,
+                "adaptation fraction outside [0, 0.5)");
+  const CodeSpec* best = nullptr;
+  const CodeSpec* fallback = nullptr;  // rate too high but payload fits
+  for (const auto& spec : code_table()) {
+    const auto budget = static_cast<std::size_t>(adapt_fraction * spec.n);
+    const std::size_t payload = spec.n - budget;
+    if (payload > key_bits) continue;
+    const double max_rate =
+        1.0 - f_target * finite_length_penalty(spec.n) * binary_entropy(qber);
+    // Among codes that respect the efficiency target, prefer the largest
+    // frame (ties: higher rate leaks less).
+    if (spec.rate <= max_rate &&
+        (best == nullptr || spec.n > best->n ||
+         (spec.n == best->n && spec.rate > best->rate))) {
+      best = &spec;
+    }
+    if (fallback == nullptr || spec.n > fallback->n ||
+        (spec.n == fallback->n && spec.rate < fallback->rate)) {
+      fallback = &spec;
+    }
+  }
+  if (best == nullptr) best = fallback;
+  if (best == nullptr) {
+    throw_error(ErrorCode::kConfig,
+                "key of " + std::to_string(key_bits) +
+                    " bits is shorter than every frame payload");
+  }
+  return plan_with_code(best->id, qber, f_target, adapt_fraction);
+}
+
+namespace {
+
+FramePlan plan_with_code(std::uint32_t code_id, double qber, double f_target,
+                         double adapt_fraction) {
+  const LdpcCode& code = code_by_id(code_id);
+  const std::size_t n = code.n();
+  const std::size_t m = code.m();
+  const auto budget = static_cast<std::uint32_t>(adapt_fraction * n);
+
+  // Solve (m - d) = f_target * h2(q) * (n - budget) for d, then clamp into
+  // the budget; the remainder shortens.
+  const double h = binary_entropy(qber);
+  const double ideal_d =
+      static_cast<double>(m) -
+      f_target * h * static_cast<double>(n - budget);
+  const auto d = static_cast<std::uint32_t>(
+      std::clamp(ideal_d, 0.0, static_cast<double>(budget)));
+  const std::uint32_t s = budget - d;
+
+  FramePlan plan;
+  plan.code_id = code_id;
+  plan.n_punctured = d;
+  plan.n_shortened = s;
+  plan.payload_bits = n - d - s;
+  plan.predicted_efficiency =
+      static_cast<double>(m - d) /
+      (static_cast<double>(plan.payload_bits) * h);
+  return plan;
+}
+
+}  // namespace
+
+}  // namespace qkdpp::reconcile

@@ -1,0 +1,150 @@
+#include "reconcile/reconciler.hpp"
+
+#include <algorithm>
+
+#include "common/entropy.hpp"
+#include "common/error.hpp"
+
+namespace qkdpp::reconcile {
+
+LdpcFrameSender::LdpcFrameSender(const FramePlan& plan, const BitVec& payload,
+                                 std::uint64_t frame_seed,
+                                 Xoshiro256& private_rng)
+    : plan_(plan) {
+  const LdpcCode& code = code_by_id(plan.code_id);
+  QKDPP_REQUIRE(payload.size() == plan.payload_bits,
+                "payload does not match frame plan");
+  adaptation_ = derive_adaptation(code.n(), plan.n_punctured,
+                                  plan.n_shortened, frame_seed);
+  frame_ = BitVec(code.n());
+  for (std::size_t i = 0; i < adaptation_.payload.size(); ++i) {
+    if (payload.get(i)) frame_.set(adaptation_.payload[i], true);
+  }
+  // Punctured positions carry the sender's *private* randomness - never
+  // transmitted, unknown to Eve; shortened positions stay 0.
+  for (const auto p : adaptation_.punctured) {
+    if (private_rng.bernoulli(0.5)) frame_.set(p, true);
+  }
+  syndrome_ = code.syndrome(frame_);
+}
+
+LdpcFrameSender::Reveal LdpcFrameSender::reveal_chunk(
+    unsigned round, unsigned max_rounds) const {
+  QKDPP_REQUIRE(round >= 1, "blind rounds are 1-based");
+  Reveal reveal;
+  const std::size_t total = adaptation_.punctured.size();
+  if (total == 0 || max_rounds == 0) return reveal;
+  const std::size_t chunk = (total + max_rounds - 1) / max_rounds;
+  const std::size_t begin = std::min(total, chunk * (round - 1));
+  const std::size_t end = std::min(total, begin + chunk);
+  for (std::size_t i = begin; i < end; ++i) {
+    const std::uint32_t position = adaptation_.punctured[i];
+    reveal.positions.push_back(position);
+    reveal.values.push_back(frame_.get(position));
+  }
+  return reveal;
+}
+
+LdpcFrameReceiver::LdpcFrameReceiver(const FramePlan& plan,
+                                     const BitVec& payload,
+                                     std::uint64_t frame_seed, double qber,
+                                     DecoderConfig decoder)
+    : plan_(plan), decoder_(decoder) {
+  const LdpcCode& code = code_by_id(plan.code_id);
+  QKDPP_REQUIRE(payload.size() == plan.payload_bits,
+                "payload does not match frame plan");
+  adaptation_ = derive_adaptation(code.n(), plan.n_punctured,
+                                  plan.n_shortened, frame_seed);
+  const float channel = bsc_llr(qber);
+  llr_.assign(code.n(), 0.0f);
+  for (std::size_t i = 0; i < adaptation_.payload.size(); ++i) {
+    llr_[adaptation_.payload[i]] = payload.get(i) ? -channel : channel;
+  }
+  for (const auto s : adaptation_.shortened) llr_[s] = kKnownLlr;
+  // Punctured positions stay at LLR 0 (erasures).
+}
+
+LdpcFrameReceiver::Attempt LdpcFrameReceiver::try_decode(
+    const BitVec& syndrome) {
+  const LdpcCode& code = code_by_id(plan_.code_id);
+  const DecodeResult result = decode_syndrome(code, syndrome, llr_, decoder_);
+  decoded_ = result.word;
+  return Attempt{result.converged, result.iterations};
+}
+
+void LdpcFrameReceiver::apply_reveal(
+    const std::vector<std::uint32_t>& positions, const BitVec& values) {
+  QKDPP_REQUIRE(positions.size() == values.size(), "reveal shape mismatch");
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    QKDPP_REQUIRE(positions[i] < llr_.size(), "reveal position out of range");
+    llr_[positions[i]] = values.get(i) ? -kKnownLlr : kKnownLlr;
+  }
+}
+
+BitVec LdpcFrameReceiver::corrected_payload() const {
+  BitVec payload(adaptation_.payload.size());
+  for (std::size_t i = 0; i < adaptation_.payload.size(); ++i) {
+    if (decoded_.get(adaptation_.payload[i])) payload.set(i, true);
+  }
+  return payload;
+}
+
+ReconcileOutcome ldpc_reconcile_local(const BitVec& alice_payload,
+                                      const BitVec& bob_payload, double qber,
+                                      const FramePlan& plan,
+                                      std::uint64_t frame_seed,
+                                      const LdpcReconcilerConfig& config,
+                                      Xoshiro256& alice_private_rng) {
+  const LdpcCode& code = code_by_id(plan.code_id);
+  LdpcFrameSender alice(plan, alice_payload, frame_seed, alice_private_rng);
+  LdpcFrameReceiver bob(plan, bob_payload, frame_seed, qber, config.decoder);
+
+  ReconcileOutcome outcome;
+  outcome.rounds = 1;  // syndrome message
+  outcome.leaked_bits = code.m() - plan.n_punctured;
+
+  auto attempt = bob.try_decode(alice.syndrome());
+  outcome.decoder_iterations = attempt.iterations;
+  unsigned round = 0;
+  while (!attempt.converged && round < config.max_blind_rounds) {
+    ++round;
+    const auto reveal = alice.reveal_chunk(round, config.max_blind_rounds);
+    if (reveal.positions.empty()) break;
+    bob.apply_reveal(reveal.positions, reveal.values);
+    outcome.leaked_bits += reveal.positions.size();
+    outcome.rounds += 1;
+    attempt = bob.try_decode(alice.syndrome());
+    outcome.decoder_iterations += attempt.iterations;
+  }
+  outcome.blind_rounds = round;
+  outcome.success = attempt.converged;
+  if (outcome.success) {
+    outcome.corrected = bob.corrected_payload();
+    // Converged to the wrong codeword? The verification stage catches it;
+    // the outcome still reports success at this layer.
+  }
+  outcome.efficiency =
+      static_cast<double>(outcome.leaked_bits) /
+      (static_cast<double>(plan.payload_bits) * binary_entropy(qber));
+  return outcome;
+}
+
+ReconcileOutcome cascade_reconcile_local(const BitVec& alice_key,
+                                         const BitVec& bob_key, double qber,
+                                         const CascadeConfig& config) {
+  QKDPP_REQUIRE(alice_key.size() == bob_key.size(),
+                "cascade keys must have equal length");
+  LocalParityOracle oracle(alice_key, config.seed, config.passes);
+  BitVec corrected = bob_key;
+  const CascadeResult result = cascade_reconcile(corrected, oracle, config);
+
+  ReconcileOutcome outcome;
+  outcome.corrected = std::move(corrected);
+  outcome.success = true;  // verification decides; Cascade always "finishes"
+  outcome.leaked_bits = result.leaked_bits;
+  outcome.rounds = result.rounds;
+  outcome.efficiency = result.efficiency(alice_key.size(), qber);
+  return outcome;
+}
+
+}  // namespace qkdpp::reconcile

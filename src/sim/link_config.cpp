@@ -1,0 +1,69 @@
+#include "sim/link_config.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace qkdpp::sim {
+
+double ChannelConfig::transmittance() const noexcept {
+  const double loss_db = length_km * attenuation_db_per_km + insertion_loss_db;
+  return std::pow(10.0, -loss_db / 10.0);
+}
+
+double LinkConfig::overall_transmittance() const noexcept {
+  return channel.transmittance() * detector.efficiency;
+}
+
+void LinkConfig::validate() const {
+  auto check = [](bool ok, const char* what) {
+    if (!ok) throw_error(ErrorCode::kConfig, what);
+  };
+  check(channel.length_km >= 0, "negative fiber length");
+  check(channel.attenuation_db_per_km >= 0, "negative attenuation");
+  check(channel.misalignment >= 0 && channel.misalignment <= 0.5,
+        "misalignment outside [0, 0.5]");
+  check(detector.efficiency > 0 && detector.efficiency <= 1,
+        "detector efficiency outside (0, 1]");
+  check(detector.dark_count_prob >= 0 && detector.dark_count_prob < 0.5,
+        "dark count probability outside [0, 0.5)");
+  check(detector.dead_time_gates >= 0, "negative dead time");
+  check(source.mu_signal > 0, "signal intensity must be positive");
+  check(source.mu_decoy >= 0 && source.mu_decoy < source.mu_signal,
+        "decoy intensity must be in [0, mu_signal)");
+  check(source.mu_vacuum >= 0 && source.mu_vacuum < source.mu_decoy + 1e-12,
+        "vacuum intensity must not exceed decoy");
+  const double psum = source.p_signal + source.p_decoy + source.p_vacuum;
+  check(std::abs(psum - 1.0) < 1e-9, "pulse class probabilities must sum to 1");
+  check(source.p_signal > 0, "signal probability must be positive");
+  check(eve.intercept_fraction >= 0 && eve.intercept_fraction <= 1,
+        "intercept fraction outside [0, 1]");
+}
+
+AnalyticLink::AnalyticLink(const LinkConfig& config)
+    : eta_(config.overall_transmittance()),
+      y0_(2.0 * config.detector.dark_count_prob),
+      misalignment_(config.channel.misalignment),
+      intercept_(config.eve.intercept_fraction) {}
+
+double AnalyticLink::gain(double mu) const noexcept {
+  return y0_ + 1.0 - std::exp(-eta_ * mu);
+}
+
+double AnalyticLink::qber(double mu) const noexcept {
+  // Intercept-resend on fraction f: Eve guesses the basis right half the
+  // time (error e_d as usual) and wrong half the time (Bob's sifted bit is
+  // random): e_eff = (1-f) e_d + f (e_d/2 + 1/4).
+  const double e_eff = (1.0 - intercept_) * misalignment_ +
+                       intercept_ * (misalignment_ / 2.0 + 0.25);
+  const double signal = 1.0 - std::exp(-eta_ * mu);
+  const double q = gain(mu);
+  if (q <= 0) return 0.0;
+  return (0.5 * y0_ + e_eff * signal) / q;
+}
+
+double AnalyticLink::yield(unsigned n_photons) const noexcept {
+  return y0_ + 1.0 - std::pow(1.0 - eta_, n_photons);
+}
+
+}  // namespace qkdpp::sim

@@ -1,0 +1,206 @@
+// KeyPool ledger tests + Wegman-Carter MAC correctness/forgery tests.
+#include "auth/wegman_carter.hpp"
+
+#include <gtest/gtest.h>
+
+#include "auth/key_pool.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace qkdpp::auth {
+namespace {
+
+TEST(KeyPool, DrawReturnsFifoOrder) {
+  Xoshiro256 rng(1);
+  const BitVec material = rng.random_bits(1000);
+  KeyPool pool(material);
+  const BitVec first = pool.draw(300);
+  const BitVec second = pool.draw(300);
+  EXPECT_EQ(first, material.subvec(0, 300));
+  EXPECT_EQ(second, material.subvec(300, 300));
+  EXPECT_EQ(pool.available(), 400u);
+}
+
+TEST(KeyPool, ExhaustionThrows) {
+  Xoshiro256 rng(2);
+  KeyPool pool(rng.random_bits(100));
+  pool.draw(80);
+  try {
+    pool.draw(21);
+    FAIL() << "expected exhaustion";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kKeyExhausted);
+  }
+  // A failed draw consumes nothing.
+  EXPECT_EQ(pool.available(), 20u);
+  EXPECT_NO_THROW(pool.draw(20));
+}
+
+TEST(KeyPool, ReplenishExtendsFifo) {
+  Xoshiro256 rng(3);
+  const BitVec a = rng.random_bits(64);
+  const BitVec b = rng.random_bits(64);
+  KeyPool pool(a);
+  pool.draw(50);
+  pool.replenish(b);
+  EXPECT_EQ(pool.available(), 78u);
+  BitVec expected = a.subvec(50, 14);
+  expected.append(b);
+  EXPECT_EQ(pool.draw(78), expected);
+}
+
+TEST(KeyPool, LedgerCounts) {
+  Xoshiro256 rng(4);
+  KeyPool pool(rng.random_bits(500));
+  pool.draw(100);
+  pool.draw(50);
+  pool.replenish(rng.random_bits(200));
+  EXPECT_EQ(pool.total_consumed(), 150u);
+  EXPECT_EQ(pool.total_replenished(), 200u);
+  EXPECT_EQ(pool.available(), 550u);
+}
+
+TEST(KeyPool, CompactionPreservesContent) {
+  Xoshiro256 rng(5);
+  const BitVec a = rng.random_bits(1000);
+  KeyPool pool(a);
+  pool.draw(900);  // head deep into the store
+  pool.replenish(rng.random_bits(10));  // triggers compaction
+  const BitVec tail = pool.draw(100);
+  EXPECT_EQ(tail, a.subvec(900, 100));
+}
+
+std::vector<std::uint8_t> bytes_of(std::string_view s) {
+  return {s.begin(), s.end()};
+}
+
+TEST(PolyHash, DependsOnEveryBlockAndLength) {
+  const U128 r{0x1234, 0x5678};
+  const auto m1 = bytes_of("block one block two!");
+  auto m2 = m1;
+  m2[17] ^= 0x40;
+  EXPECT_NE(poly_hash(r, m1), poly_hash(r, m2));
+  // Length matters even with identical prefix content.
+  const auto short_m = bytes_of("abc");
+  auto padded = short_m;
+  padded.resize(16, 0);  // same 16-byte block after zero padding
+  EXPECT_NE(poly_hash(r, short_m), poly_hash(r, padded));
+}
+
+TEST(PolyHash, EmptyMessageWellDefined) {
+  const U128 r{1, 2};
+  EXPECT_EQ(poly_hash(r, {}), (U128{0, 0}));  // L=0 -> 0*r = 0
+  const U128 r2{99, 3};
+  EXPECT_EQ(poly_hash(r2, {}), (U128{0, 0}));
+}
+
+TEST(WegmanCarter, SignVerifyRoundTrip) {
+  Xoshiro256 rng(10);
+  const BitVec shared = rng.random_bits(kTagKeyBits * 10);
+  KeyPool alice_pool(shared);
+  KeyPool bob_pool(shared);
+  WegmanCarter alice(alice_pool);
+  WegmanCarter bob(bob_pool);
+
+  for (int i = 0; i < 10; ++i) {
+    const auto msg = bytes_of("message number " + std::to_string(i));
+    const Tag tag = alice.sign(msg);
+    EXPECT_TRUE(bob.verify(msg, tag)) << i;
+  }
+  EXPECT_EQ(alice_pool.available(), 0u);
+}
+
+TEST(WegmanCarter, TamperedMessageRejected) {
+  Xoshiro256 rng(11);
+  const BitVec shared = rng.random_bits(kTagKeyBits * 4);
+  KeyPool alice_pool(shared);
+  KeyPool bob_pool(shared);
+  WegmanCarter alice(alice_pool);
+  WegmanCarter bob(bob_pool);
+
+  auto msg = bytes_of("authentic payload");
+  const Tag tag = alice.sign(msg);
+  msg[3] ^= 0x01;
+  EXPECT_FALSE(bob.verify(msg, tag));
+}
+
+TEST(WegmanCarter, TamperedTagRejected) {
+  Xoshiro256 rng(12);
+  const BitVec shared = rng.random_bits(kTagKeyBits * 4);
+  KeyPool alice_pool(shared);
+  KeyPool bob_pool(shared);
+  WegmanCarter alice(alice_pool);
+  WegmanCarter bob(bob_pool);
+
+  const auto msg = bytes_of("authentic payload");
+  Tag tag = alice.sign(msg);
+  tag.value.lo ^= 1;
+  EXPECT_FALSE(bob.verify(msg, tag));
+}
+
+TEST(WegmanCarter, DesynchronizedPoolsReject) {
+  Xoshiro256 rng(13);
+  const BitVec shared = rng.random_bits(kTagKeyBits * 4);
+  KeyPool alice_pool(shared);
+  KeyPool bob_pool(shared);
+  bob_pool.draw(kTagKeyBits);  // Bob is one tag ahead
+  WegmanCarter alice(alice_pool);
+  WegmanCarter bob(bob_pool);
+
+  const auto msg = bytes_of("payload");
+  EXPECT_FALSE(bob.verify(msg, alice.sign(msg)));
+}
+
+TEST(WegmanCarter, TagsAreOneTime) {
+  // Two identical messages get different tags (fresh otp), so a replayed
+  // tag never verifies at the next pool position.
+  Xoshiro256 rng(14);
+  const BitVec shared = rng.random_bits(kTagKeyBits * 4);
+  KeyPool alice_pool(shared);
+  KeyPool bob_pool(shared);
+  WegmanCarter alice(alice_pool);
+  WegmanCarter bob(bob_pool);
+
+  const auto msg = bytes_of("repeat me");
+  const Tag t1 = alice.sign(msg);
+  const Tag t2 = alice.sign(msg);
+  EXPECT_NE(t1.value, t2.value);
+  EXPECT_TRUE(bob.verify(msg, t1));
+  EXPECT_FALSE(bob.verify(msg, t1));  // replay at position 2 fails
+}
+
+TEST(WegmanCarter, SignConsumesExactBudget) {
+  Xoshiro256 rng(15);
+  KeyPool pool(rng.random_bits(kTagKeyBits * 3));
+  WegmanCarter wc(pool);
+  wc.sign(bytes_of("a"));
+  EXPECT_EQ(pool.total_consumed(), kTagKeyBits);
+  wc.sign(bytes_of("a much longer message that still costs the same"));
+  EXPECT_EQ(pool.total_consumed(), 2 * kTagKeyBits);
+}
+
+TEST(WegmanCarter, ExhaustedPoolThrowsOnSign) {
+  Xoshiro256 rng(16);
+  KeyPool pool(rng.random_bits(kTagKeyBits - 1));
+  WegmanCarter wc(pool);
+  EXPECT_THROW(wc.sign(bytes_of("x")), Error);
+}
+
+TEST(WegmanCarter, ForgeryProbabilityEmpiricallyTiny) {
+  // 64-bit truncated collision experiment: random tag guesses never verify
+  // across a few thousand trials (probability ~ 2^-128 each).
+  Xoshiro256 rng(17);
+  const BitVec shared = rng.random_bits(kTagKeyBits * 2);
+  const auto msg = bytes_of("target message");
+  int forgeries = 0;
+  for (int trial = 0; trial < 2000; ++trial) {
+    KeyPool pool(shared);
+    WegmanCarter verifier(pool);
+    const Tag guess{U128{rng.next_u64(), rng.next_u64()}};
+    forgeries += verifier.verify(msg, guess);
+  }
+  EXPECT_EQ(forgeries, 0);
+}
+
+}  // namespace
+}  // namespace qkdpp::auth

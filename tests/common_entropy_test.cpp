@@ -1,0 +1,81 @@
+// Entropy helper tests: exact values, symmetry, inverse, bounds.
+#include "common/entropy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qkdpp {
+namespace {
+
+TEST(Entropy, EndpointsAndMax) {
+  EXPECT_DOUBLE_EQ(binary_entropy(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(binary_entropy(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(binary_entropy(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(binary_entropy(-0.1), 0.0);
+  EXPECT_DOUBLE_EQ(binary_entropy(1.1), 0.0);
+}
+
+TEST(Entropy, KnownValues) {
+  EXPECT_NEAR(binary_entropy(0.11), 0.499916, 1e-5);  // BB84 threshold
+  EXPECT_NEAR(binary_entropy(0.25), 0.811278, 1e-5);
+  EXPECT_NEAR(binary_entropy(0.02), 0.141441, 1e-5);
+}
+
+TEST(Entropy, Symmetry) {
+  for (double p = 0.01; p < 0.5; p += 0.017) {
+    EXPECT_NEAR(binary_entropy(p), binary_entropy(1.0 - p), 1e-12);
+  }
+}
+
+TEST(Entropy, StrictlyIncreasingOnLowerHalf) {
+  double prev = 0.0;
+  for (double p = 0.01; p <= 0.5; p += 0.01) {
+    const double h = binary_entropy(p);
+    EXPECT_GT(h, prev);
+    prev = h;
+  }
+}
+
+TEST(Entropy, InverseRoundTrip) {
+  for (double p = 0.001; p <= 0.5; p += 0.013) {
+    const double h = binary_entropy(p);
+    EXPECT_NEAR(binary_entropy_inverse(h), p, 1e-9) << p;
+  }
+  EXPECT_DOUBLE_EQ(binary_entropy_inverse(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(binary_entropy_inverse(1.0), 0.5);
+  EXPECT_DOUBLE_EQ(binary_entropy_inverse(2.0), 0.5);
+}
+
+TEST(Entropy, HoeffdingDeltaShrinksWithN) {
+  const double eps = 1e-10;
+  double prev = 1.0;
+  for (const std::size_t n : {100u, 1000u, 10000u, 100000u}) {
+    const double d = hoeffding_delta(n, eps);
+    EXPECT_LT(d, prev);
+    EXPECT_GT(d, 0.0);
+    prev = d;
+  }
+  EXPECT_DOUBLE_EQ(hoeffding_delta(0, eps), 1.0);
+}
+
+TEST(Entropy, HoeffdingKnownValue) {
+  // sqrt(ln(1e10)/(2*10^4)) = sqrt(23.0259.../20000)
+  EXPECT_NEAR(hoeffding_delta(10000, 1e-10), 0.033930, 1e-5);
+}
+
+TEST(Entropy, SamplingCorrectionShrinksWithTestFraction) {
+  const double eps = 1e-10;
+  const double d1 = sampling_correction(100000, 1000, eps);
+  const double d2 = sampling_correction(100000, 10000, eps);
+  const double d3 = sampling_correction(100000, 50000, eps);
+  EXPECT_GT(d1, d2);
+  EXPECT_GT(d2, d3);
+  EXPECT_GT(d3, 0.0);
+}
+
+TEST(Entropy, SamplingCorrectionDegenerateInputs) {
+  EXPECT_DOUBLE_EQ(sampling_correction(0, 100, 1e-10), 0.5);
+  EXPECT_DOUBLE_EQ(sampling_correction(100, 0, 1e-10), 0.5);
+}
+
+}  // namespace
+}  // namespace qkdpp

@@ -1,0 +1,119 @@
+// NTT transform/convolution tests against schoolbook convolution.
+#include "common/ntt.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace qkdpp {
+namespace {
+
+constexpr std::uint64_t kP = 998244353;
+
+std::vector<std::uint32_t> convolve_slow(const std::vector<std::uint32_t>& a,
+                                         const std::vector<std::uint32_t>& b) {
+  if (a.empty() || b.empty()) return {};
+  std::vector<std::uint64_t> out(a.size() + b.size() - 1, 0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      out[i + j] = (out[i + j] + std::uint64_t{a[i]} * b[j]) % kP;
+    }
+  }
+  return {out.begin(), out.end()};
+}
+
+TEST(Ntt, ForwardInverseRoundTrip) {
+  Xoshiro256 rng(1);
+  std::vector<std::uint32_t> data(256);
+  for (auto& x : data) x = static_cast<std::uint32_t>(rng.uniform(kP));
+  auto copy = data;
+  ntt(copy, false);
+  ntt(copy, true);
+  EXPECT_EQ(copy, data);
+}
+
+TEST(Ntt, RejectsNonPowerOfTwo) {
+  std::vector<std::uint32_t> data(100);
+  EXPECT_THROW(ntt(data, false), std::invalid_argument);
+}
+
+TEST(Ntt, ConvolveEmpty) {
+  EXPECT_TRUE(ntt_convolve({}, {1, 2}).empty());
+  EXPECT_TRUE(ntt_convolve({1}, {}).empty());
+}
+
+TEST(Ntt, ConvolveKnownSmall) {
+  // (1 + 2x)(3 + 4x) = 3 + 10x + 8x^2
+  const auto r = ntt_convolve({1, 2}, {3, 4});
+  ASSERT_EQ(r.size(), 3u);
+  EXPECT_EQ(r[0], 3u);
+  EXPECT_EQ(r[1], 10u);
+  EXPECT_EQ(r[2], 8u);
+}
+
+TEST(Ntt, ConvolveSingleton) {
+  const auto r = ntt_convolve({5}, {7});
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r[0], 35u);
+}
+
+class NttConvolveSweep
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(NttConvolveSweep, MatchesSchoolbook) {
+  const auto [na, nb] = GetParam();
+  Xoshiro256 rng(na * 31 + nb);
+  std::vector<std::uint32_t> a(na), b(nb);
+  for (auto& x : a) x = static_cast<std::uint32_t>(rng.uniform(kP));
+  for (auto& x : b) x = static_cast<std::uint32_t>(rng.uniform(kP));
+  EXPECT_EQ(ntt_convolve(a, b), convolve_slow(a, b));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, NttConvolveSweep,
+    ::testing::Values(std::pair<std::size_t, std::size_t>{1, 1},
+                      std::pair<std::size_t, std::size_t>{2, 3},
+                      std::pair<std::size_t, std::size_t>{16, 16},
+                      std::pair<std::size_t, std::size_t>{100, 1},
+                      std::pair<std::size_t, std::size_t>{127, 129},
+                      std::pair<std::size_t, std::size_t>{256, 256},
+                      std::pair<std::size_t, std::size_t>{1000, 333}));
+
+TEST(Ntt, BinaryConvolutionCountsExactly) {
+  // The privacy-amplification use case: 0/1 inputs, coefficients are counts.
+  Xoshiro256 rng(77);
+  const std::size_t n = 4096;
+  std::vector<std::uint32_t> a(n), b(n);
+  for (auto& x : a) x = static_cast<std::uint32_t>(rng.uniform(2));
+  for (auto& x : b) x = static_cast<std::uint32_t>(rng.uniform(2));
+  const auto fast = ntt_convolve(a, b);
+  // Check a scattering of coefficients against direct counting.
+  for (const std::size_t k : {std::size_t{0}, std::size_t{1}, n / 2, n - 1,
+                              2 * n - 2}) {
+    std::uint32_t expected = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t j = k - i;
+      if (k >= i && j < n) expected += a[i] & b[j];
+    }
+    EXPECT_EQ(fast[k], expected) << k;
+  }
+}
+
+TEST(Ntt, LargeLengthWithinLimit) {
+  // 2^20-point convolution stays exact (counts << p).
+  Xoshiro256 rng(78);
+  const std::size_t n = 1 << 19;
+  std::vector<std::uint32_t> a(n), b(n);
+  for (auto& x : a) x = static_cast<std::uint32_t>(rng.uniform(2));
+  for (auto& x : b) x = static_cast<std::uint32_t>(rng.uniform(2));
+  const auto r = ntt_convolve(a, b);
+  ASSERT_EQ(r.size(), 2 * n - 1);
+  // Middle coefficient is a sum of ~n/4 ones; must be < p and plausible.
+  EXPECT_LT(r[n - 1], kP);
+  EXPECT_GT(r[n - 1], n / 8);
+}
+
+}  // namespace
+}  // namespace qkdpp

@@ -1,0 +1,96 @@
+// ThreadPool correctness: completion, exception propagation, parallel_for
+// coverage, and stress under contention.
+#include "common/threadpool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace qkdpp {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.submit([&counter] { ++counter; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, ExceptionPropagatesThroughFuture) {
+  ThreadPool pool(1);
+  auto f = pool.submit([] { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ZeroThreadsMeansHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.thread_count(), 1u);
+}
+
+TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(2);
+  const std::size_t n = 100000;
+  std::vector<std::atomic<int>> hits(n);
+  pool.parallel_for(0, n, 64, [&hits](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+  });
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << i;
+  }
+}
+
+TEST(ThreadPool, ParallelForEmptyRange) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.parallel_for(5, 5, 1, [&ran](std::size_t, std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, ParallelForSmallRangeRunsInline) {
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  pool.parallel_for(0, 3, 100, [&total](std::size_t lo, std::size_t hi) {
+    total += static_cast<int>(hi - lo);
+  });
+  EXPECT_EQ(total.load(), 3);
+}
+
+TEST(ThreadPool, ParallelForSum) {
+  ThreadPool pool(2);
+  const std::size_t n = 1 << 16;
+  std::atomic<std::uint64_t> sum{0};
+  pool.parallel_for(0, n, 1024, [&sum](std::size_t lo, std::size_t hi) {
+    std::uint64_t local = 0;
+    for (std::size_t i = lo; i < hi; ++i) local += i;
+    sum += local;
+  });
+  EXPECT_EQ(sum.load(), std::uint64_t{n} * (n - 1) / 2);
+}
+
+TEST(ThreadPool, ManyWavesNoDeadlock) {
+  ThreadPool pool(2);
+  for (int wave = 0; wave < 50; ++wave) {
+    std::atomic<int> counter{0};
+    pool.parallel_for(0, 97, 3, [&counter](std::size_t lo, std::size_t hi) {
+      counter += static_cast<int>(hi - lo);
+    });
+    ASSERT_EQ(counter.load(), 97);
+  }
+}
+
+TEST(ThreadPool, GlobalPoolSingleton) {
+  ThreadPool& a = global_pool();
+  ThreadPool& b = global_pool();
+  EXPECT_EQ(&a, &b);
+  EXPECT_GE(a.thread_count(), 1u);
+}
+
+}  // namespace
+}  // namespace qkdpp

@@ -1,0 +1,222 @@
+// StreamPipeline + mapper tests: ordering, backpressure, failure
+// propagation, stats; mapping optimality against brute-force expectations.
+#include "hetero/mapper.hpp"
+#include "hetero/stream_pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "common/error.hpp"
+
+namespace qkdpp::hetero {
+namespace {
+
+struct Item {
+  int id = 0;
+  int tag = 0;
+};
+
+TEST(StreamPipeline, PreservesOrderAndAppliesAllStages) {
+  StreamPipeline<Item> pipeline(
+      {{"double", nullptr,
+        [](Item& item) {
+          item.tag = item.id * 2;
+          return 0.0;
+        }},
+       {"inc", nullptr,
+        [](Item& item) {
+          item.tag += 1;
+          return 0.0;
+        }}},
+      4);
+  for (int i = 0; i < 100; ++i) pipeline.push({i, 0});
+  pipeline.finish();
+  const auto& out = pipeline.results();
+  ASSERT_EQ(out.size(), 100u);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(out[i].id, i);  // order preserved
+    EXPECT_EQ(out[i].tag, i * 2 + 1);
+  }
+}
+
+TEST(StreamPipeline, StatsCountItems) {
+  StreamPipeline<Item> pipeline(
+      {{"a", nullptr, [](Item&) { return 0.5; }},
+       {"b", nullptr, [](Item&) { return 0.25; }}},
+      2);
+  for (int i = 0; i < 10; ++i) pipeline.push({i, 0});
+  pipeline.finish();
+  const auto stats = pipeline.stats();
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_EQ(stats[0].items, 10u);
+  EXPECT_EQ(stats[1].items, 10u);
+  EXPECT_NEAR(stats[0].charged_seconds, 5.0, 1e-9);
+  EXPECT_NEAR(stats[1].charged_seconds, 2.5, 1e-9);
+  EXPECT_EQ(stats[0].name, "a");
+}
+
+TEST(StreamPipeline, BackpressureBoundsQueueDepth) {
+  std::atomic<int> in_flight{0};
+  std::atomic<int> max_in_flight{0};
+  StreamPipeline<Item> pipeline(
+      {{"slow", nullptr,
+        [&](Item&) {
+          const int now = ++in_flight;
+          int expected = max_in_flight.load();
+          while (now > expected &&
+                 !max_in_flight.compare_exchange_weak(expected, now)) {
+          }
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
+          --in_flight;
+          return 0.0;
+        }}},
+      2);
+  for (int i = 0; i < 50; ++i) pipeline.push({i, 0});
+  pipeline.finish();
+  ASSERT_EQ(pipeline.results().size(), 50u);
+  EXPECT_LE(max_in_flight.load(), 2);  // single worker per stage
+}
+
+TEST(StreamPipeline, StageExceptionSurfacesOnFinish) {
+  StreamPipeline<Item> pipeline(
+      {{"boom", nullptr, [](Item& item) -> double {
+          if (item.id == 3) throw_error(ErrorCode::kDecodeFailure, "kaboom");
+          return 0.0;
+        }}},
+      2);
+  // The failure may surface either from a later push (backpressure path)
+  // or from finish(); both carry the original error code.
+  try {
+    for (int i = 0; i < 8; ++i) pipeline.push({i, 0});
+    pipeline.finish();
+    FAIL() << "expected decode failure";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kDecodeFailure);
+  }
+}
+
+TEST(StreamPipeline, DestructionWithoutFinishDoesNotHang) {
+  auto pipeline = std::make_unique<StreamPipeline<Item>>(
+      std::vector<StreamPipeline<Item>::Stage>{
+          {"noop", nullptr, [](Item&) { return 0.0; }}},
+      2);
+  pipeline->push({1, 0});
+  pipeline.reset();  // must join cleanly
+  SUCCEED();
+}
+
+TEST(StreamPipeline, EmptyStreamFinishes) {
+  StreamPipeline<Item> pipeline(
+      {{"noop", nullptr, [](Item&) { return 0.0; }}}, 2);
+  pipeline.finish();
+  EXPECT_TRUE(pipeline.results().empty());
+}
+
+TEST(StreamPipeline, InvalidConstructionThrows) {
+  EXPECT_THROW(StreamPipeline<Item>({}, 2), std::invalid_argument);
+  EXPECT_THROW(StreamPipeline<Item>(
+                   {{"x", nullptr, [](Item&) { return 0.0; }}}, 0),
+               std::invalid_argument);
+}
+
+MappingProblem three_by_three() {
+  MappingProblem problem;
+  problem.stage_names = {"s0", "s1", "s2"};
+  problem.device_names = {"d0", "d1", "d2"};
+  problem.seconds_per_item = {
+      {1.0, 4.0, 9.0},
+      {2.0, 1.0, 8.0},
+      {9.0, 9.0, 1.0},
+  };
+  return problem;
+}
+
+TEST(Mapper, FindsDiagonalOptimum) {
+  const auto result = optimize_mapping(three_by_three());
+  EXPECT_EQ(result.device_of_stage,
+            (std::vector<std::uint32_t>{0, 1, 2}));
+  // Diagonal placement: every device carries exactly one unit of load.
+  EXPECT_NEAR(result.bottleneck_load_s, 1.0, 1e-12);
+  EXPECT_NEAR(result.throughput_items_per_s, 1.0, 1e-12);
+}
+
+TEST(Mapper, SharingModelSumsLoads) {
+  MappingProblem problem;
+  problem.stage_names = {"a", "b"};
+  problem.device_names = {"fast", "slow"};
+  // Both stages are individually fastest on "fast", but sharing it (load
+  // 2.0) loses to splitting (bottleneck 1.5).
+  problem.seconds_per_item = {{1.0, 1.5}, {1.0, 1.5}};
+  const auto greedy = greedy_mapping(problem);
+  EXPECT_EQ(greedy.device_of_stage, (std::vector<std::uint32_t>{0, 0}));
+  EXPECT_NEAR(greedy.bottleneck_load_s, 2.0, 1e-12);
+
+  const auto best = optimize_mapping(problem);
+  EXPECT_NEAR(best.bottleneck_load_s, 1.5, 1e-12);
+  EXPECT_NE(best.device_of_stage[0], best.device_of_stage[1]);
+}
+
+TEST(Mapper, OptimumNeverWorseThanBaselines) {
+  const auto problem = three_by_three();
+  const auto best = optimize_mapping(problem);
+  for (std::uint32_t d = 0; d < 3; ++d) {
+    EXPECT_LE(best.bottleneck_load_s,
+              fixed_mapping(problem, d).bottleneck_load_s + 1e-12);
+  }
+  EXPECT_LE(best.bottleneck_load_s,
+            greedy_mapping(problem).bottleneck_load_s + 1e-12);
+}
+
+TEST(Mapper, RespectsInfeasibleCells) {
+  MappingProblem problem;
+  problem.stage_names = {"a", "b"};
+  problem.device_names = {"d0", "d1"};
+  problem.seconds_per_item = {{kInfeasible, 2.0}, {1.0, 1.0}};
+  const auto best = optimize_mapping(problem);
+  EXPECT_EQ(best.device_of_stage[0], 1u);
+}
+
+TEST(Mapper, AllInfeasibleStageRejected) {
+  MappingProblem problem;
+  problem.stage_names = {"a"};
+  problem.device_names = {"d0"};
+  problem.seconds_per_item = {{kInfeasible}};
+  EXPECT_THROW(optimize_mapping(problem), Error);
+}
+
+TEST(Mapper, ShapeErrorsRejected) {
+  MappingProblem problem;
+  problem.stage_names = {"a", "b"};
+  problem.device_names = {"d0"};
+  problem.seconds_per_item = {{1.0}};  // missing a row
+  EXPECT_THROW(optimize_mapping(problem), Error);
+  EXPECT_THROW(evaluate_mapping(three_by_three(), {0, 1}), Error);
+  EXPECT_THROW(evaluate_mapping(three_by_three(), {0, 1, 9}), Error);
+  EXPECT_THROW(fixed_mapping(three_by_three(), 9), Error);
+}
+
+TEST(Mapper, EvaluateReportsBottleneckDevice) {
+  const auto result = evaluate_mapping(three_by_three(), {0, 0, 2});
+  EXPECT_NEAR(result.bottleneck_load_s, 3.0, 1e-12);  // d0: 1.0 + 2.0
+  EXPECT_EQ(result.bottleneck_device, 0u);
+}
+
+TEST(Mapper, SixStagesFourDevicesTractable) {
+  // The real pipeline size: 4^6 = 4096 assignments, must be instant.
+  MappingProblem problem;
+  problem.stage_names = {"sift", "pe", "recon", "verify", "pa", "auth"};
+  problem.device_names = {"cpu", "cpu-par", "gpu", "fpga"};
+  problem.seconds_per_item.assign(6, std::vector<double>(4, 1.0));
+  problem.seconds_per_item[2] = {8.0, 3.0, 0.5, 1.0};  // recon loves gpu
+  problem.seconds_per_item[4] = {4.0, 2.0, 0.6, 2.0};  // pa too
+  const auto best = optimize_mapping(problem);
+  EXPECT_GT(best.throughput_items_per_s, 0.0);
+  // recon and pa should not both sit on the gpu with everything else
+  // unless that is actually optimal - just assert optimality vs greedy.
+  EXPECT_LE(best.bottleneck_load_s,
+            greedy_mapping(problem).bottleneck_load_s + 1e-12);
+}
+
+}  // namespace
+}  // namespace qkdpp::hetero

@@ -1,0 +1,253 @@
+// Privacy amplification tests: Toeplitz correctness (direct == NTT ==
+// naive), linearity, universality smoke test, PA planner formulas,
+// verification tags.
+#include "privacy/pa_planner.hpp"
+#include "privacy/toeplitz.hpp"
+#include "privacy/verification.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace qkdpp::privacy {
+namespace {
+
+/// Bit-at-a-time oracle, straight from the definition.
+BitVec toeplitz_naive(const BitVec& x, const BitVec& t, std::size_t r) {
+  const std::size_t n = x.size();
+  BitVec y(r);
+  for (std::size_t j = 0; j < r; ++j) {
+    bool acc = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      acc ^= x.get(i) && t.get(n - 1 + j - i);
+    }
+    if (acc) y.set(j, true);
+  }
+  return y;
+}
+
+TEST(Toeplitz, SeedExpansionDeterministic) {
+  const BitVec a = toeplitz_seed(42, 1000);
+  const BitVec b = toeplitz_seed(42, 1000);
+  const BitVec c = toeplitz_seed(43, 1000);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(a.size(), 1000u);
+}
+
+TEST(Toeplitz, DirectMatchesNaiveSmall) {
+  Xoshiro256 rng(1);
+  for (const auto [n, r] : {std::pair<std::size_t, std::size_t>{8, 4},
+                            {64, 64},
+                            {65, 33},
+                            {130, 100},
+                            {257, 31}}) {
+    const BitVec x = rng.random_bits(n);
+    const BitVec t = rng.random_bits(n + r - 1);
+    EXPECT_EQ(toeplitz_hash_direct(x, t, r), toeplitz_naive(x, t, r))
+        << n << "x" << r;
+  }
+}
+
+TEST(Toeplitz, NttMatchesDirect) {
+  Xoshiro256 rng(2);
+  for (const auto [n, r] : {std::pair<std::size_t, std::size_t>{64, 32},
+                            {1000, 800},
+                            {4096, 2048},
+                            {10000, 9999},
+                            {1 << 15, 1 << 14}}) {
+    const BitVec x = rng.random_bits(n);
+    const BitVec t = rng.random_bits(n + r - 1);
+    EXPECT_EQ(toeplitz_hash_ntt(x, t, r), toeplitz_hash_direct(x, t, r))
+        << n << "x" << r;
+  }
+}
+
+TEST(Toeplitz, DispatcherConsistent) {
+  Xoshiro256 rng(3);
+  const std::size_t n = kNttCrossover;  // lands on the NTT path
+  const BitVec x = rng.random_bits(n);
+  const BitVec t = rng.random_bits(n + 100 - 1);
+  EXPECT_EQ(toeplitz_hash(x, t, 100), toeplitz_hash_direct(x, t, 100));
+  const BitVec x_small = rng.random_bits(512);
+  const BitVec t_small = rng.random_bits(512 + 100 - 1);
+  EXPECT_EQ(toeplitz_hash(x_small, t_small, 100),
+            toeplitz_hash_ntt(x_small, t_small, 100));
+}
+
+TEST(Toeplitz, LinearityProperty) {
+  // T(x ^ y) == T(x) ^ T(y) for any fixed seed: the defining property of a
+  // linear hash, and what makes Toeplitz PA composable with XOR secrets.
+  Xoshiro256 rng(4);
+  const std::size_t n = 2048, r = 1024;
+  const BitVec t = rng.random_bits(n + r - 1);
+  for (int trial = 0; trial < 20; ++trial) {
+    const BitVec x = rng.random_bits(n);
+    const BitVec y = rng.random_bits(n);
+    BitVec xy = x;
+    xy ^= y;
+    BitVec expected = toeplitz_hash_direct(x, t, r);
+    expected ^= toeplitz_hash_direct(y, t, r);
+    EXPECT_EQ(toeplitz_hash_direct(xy, t, r), expected);
+  }
+}
+
+TEST(Toeplitz, ZeroInputHashesToZero) {
+  Xoshiro256 rng(5);
+  const BitVec x(1000);
+  const BitVec t = rng.random_bits(1000 + 500 - 1);
+  EXPECT_EQ(toeplitz_hash_direct(x, t, 500).popcount(), 0u);
+  EXPECT_EQ(toeplitz_hash_ntt(x, t, 500).popcount(), 0u);
+}
+
+TEST(Toeplitz, UniversalitySmokeTest) {
+  // Over random seeds, two distinct inputs collide with probability ~2^-r.
+  // With r = 16 and 3000 trials we expect ~0.05 collisions; allow a few.
+  Xoshiro256 rng(6);
+  const std::size_t n = 256, r = 16;
+  const BitVec x = rng.random_bits(n);
+  BitVec y = x;
+  y.flip(100);
+  int collisions = 0;
+  for (int trial = 0; trial < 3000; ++trial) {
+    const BitVec t = rng.random_bits(n + r - 1);
+    collisions +=
+        toeplitz_hash_direct(x, t, r) == toeplitz_hash_direct(y, t, r);
+  }
+  EXPECT_LE(collisions, 3);
+}
+
+TEST(Toeplitz, OutputBitsAreBalanced) {
+  Xoshiro256 rng(7);
+  const std::size_t n = 4096, r = 2048;
+  const BitVec x = rng.random_bits(n);
+  const BitVec t = rng.random_bits(n + r - 1);
+  const BitVec y = toeplitz_hash(x, t, r);
+  const double frac = static_cast<double>(y.popcount()) / r;
+  EXPECT_NEAR(frac, 0.5, 0.05);
+}
+
+TEST(Toeplitz, ShapeValidation) {
+  Xoshiro256 rng(8);
+  const BitVec x = rng.random_bits(100);
+  const BitVec t = rng.random_bits(100);  // wrong length
+  EXPECT_THROW(toeplitz_hash_direct(x, t, 50), std::invalid_argument);
+  EXPECT_THROW(toeplitz_hash_ntt(x, t, 50), std::invalid_argument);
+  EXPECT_THROW(toeplitz_hash_direct(BitVec(), t, 50), std::invalid_argument);
+  EXPECT_THROW(toeplitz_hash_direct(x, rng.random_bits(99), 0),
+               std::invalid_argument);
+}
+
+TEST(PaPlanner, ShrinksWithLeakage) {
+  const auto a = plan_privacy_amplification(100000, 5000, 0.02, 20000);
+  const auto b = plan_privacy_amplification(100000, 5000, 0.02, 40000);
+  ASSERT_TRUE(a.viable);
+  ASSERT_TRUE(b.viable);
+  EXPECT_GT(a.output_bits, b.output_bits);
+  EXPECT_EQ(a.output_bits - b.output_bits, 20000u);
+}
+
+TEST(PaPlanner, ShrinksWithPhaseError) {
+  const auto a = plan_privacy_amplification(100000, 5000, 0.01, 20000);
+  const auto b = plan_privacy_amplification(100000, 5000, 0.05, 20000);
+  EXPECT_GT(a.output_bits, b.output_bits);
+}
+
+TEST(PaPlanner, SamplePenaltyShrinksWithSampleSize) {
+  const auto tiny = plan_privacy_amplification(100000, 200, 0.02, 20000);
+  const auto big = plan_privacy_amplification(100000, 20000, 0.02, 20000);
+  EXPECT_GT(big.phase_error_bound, 0.02);
+  EXPECT_LT(big.phase_error_bound, tiny.phase_error_bound);
+}
+
+TEST(PaPlanner, NotViableWhenLeakDominates) {
+  const auto plan = plan_privacy_amplification(10000, 1000, 0.08, 9000);
+  EXPECT_FALSE(plan.viable);
+  EXPECT_EQ(plan.output_bits, 0u);
+}
+
+TEST(PaPlanner, NotViableAtHalfErrorRate) {
+  const auto plan = plan_privacy_amplification(100000, 10000, 0.5, 0);
+  EXPECT_FALSE(plan.viable);
+}
+
+TEST(PaPlanner, EmptyInput) {
+  const auto plan = plan_privacy_amplification(0, 0, 0.01, 0);
+  EXPECT_FALSE(plan.viable);
+}
+
+TEST(PaPlanner, SecurityCostsAreCharged) {
+  // Zero-error, zero-leak plan still pays the composable epsilon costs and
+  // the (small, well-sampled) phase-error penalty.
+  const auto plan = plan_privacy_amplification(100000, 1000000, 0.0, 0);
+  ASSERT_TRUE(plan.viable);
+  EXPECT_LT(plan.output_bits, 100000u);
+  EXPECT_GT(plan.output_bits, 85000u);
+}
+
+TEST(PaPlanner, InvalidParamsThrow) {
+  EXPECT_THROW(plan_privacy_amplification(100, 10, -0.1, 0),
+               std::invalid_argument);
+  SecurityParams params;
+  params.eps_pa = 0.0;
+  EXPECT_THROW(plan_privacy_amplification(100, 10, 0.01, 0, params),
+               std::invalid_argument);
+}
+
+TEST(DecoyRate, PositiveBelowThresholdZeroAbove) {
+  // Healthy link: plenty of single-photon secrecy.
+  EXPECT_GT(decoy_key_rate_asymptotic(0.5, 0.02, 0.02, 0.025, 0.02, 1.16),
+            0.0);
+  // e1 at 50%: nothing extractable.
+  EXPECT_DOUBLE_EQ(
+      decoy_key_rate_asymptotic(0.5, 0.02, 0.5, 0.025, 0.02, 1.16), 0.0);
+}
+
+TEST(DecoyRate, MonotoneInErrorRates) {
+  const double base =
+      decoy_key_rate_asymptotic(0.5, 0.02, 0.02, 0.025, 0.02, 1.16);
+  EXPECT_LT(decoy_key_rate_asymptotic(0.5, 0.02, 0.05, 0.025, 0.02, 1.16),
+            base);
+  EXPECT_LT(decoy_key_rate_asymptotic(0.5, 0.02, 0.02, 0.025, 0.05, 1.16),
+            base);
+  EXPECT_LT(decoy_key_rate_asymptotic(0.5, 0.02, 0.02, 0.025, 0.02, 1.5),
+            base);
+}
+
+TEST(Verification, EqualKeysAlwaysVerify) {
+  Xoshiro256 rng(9);
+  for (const std::size_t n : {1u, 64u, 1000u, 100000u}) {
+    const BitVec key = rng.random_bits(n);
+    const std::uint64_t seed = rng.next_u64();
+    EXPECT_TRUE(keys_verify(key, key, seed)) << n;
+  }
+}
+
+TEST(Verification, SingleBitDifferenceDetected) {
+  Xoshiro256 rng(10);
+  const BitVec a = rng.random_bits(10000);
+  for (const std::size_t flip_at : {0u, 5000u, 9999u}) {
+    BitVec b = a;
+    b.flip(flip_at);
+    int detected = 0;
+    for (int trial = 0; trial < 50; ++trial) {
+      detected += !keys_verify(a, b, trial);
+    }
+    EXPECT_EQ(detected, 50) << flip_at;
+  }
+}
+
+TEST(Verification, TagDependsOnSeed) {
+  Xoshiro256 rng(11);
+  const BitVec key = rng.random_bits(1000);
+  EXPECT_NE(verification_tag(key, 1), verification_tag(key, 2));
+}
+
+TEST(Verification, TagDeterministic) {
+  Xoshiro256 rng(12);
+  const BitVec key = rng.random_bits(1000);
+  EXPECT_EQ(verification_tag(key, 77), verification_tag(key, 77));
+}
+
+}  // namespace
+}  // namespace qkdpp::privacy

@@ -1,0 +1,377 @@
+// LDPC tests: PEG structure, syndrome math, decoder convergence across the
+// algorithm/schedule grid, rate adaptation, blind reconciliation.
+#include "reconcile/reconciler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/entropy.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace qkdpp::reconcile {
+namespace {
+
+BitVec corrupt(const BitVec& key, double q, Xoshiro256& rng) {
+  BitVec noisy = key;
+  for (std::size_t i = 0; i < key.size(); ++i) {
+    if (rng.bernoulli(q)) noisy.flip(i);
+  }
+  return noisy;
+}
+
+TEST(LdpcCode, PegStructureIsValid) {
+  const LdpcCode code = LdpcCode::peg(1024, 512, DegreeProfile::regular(3), 1);
+  EXPECT_EQ(code.n(), 1024u);
+  EXPECT_EQ(code.m(), 512u);
+  EXPECT_EQ(code.edges(), 3 * 1024u);
+  EXPECT_NO_THROW(code.validate());
+  EXPECT_DOUBLE_EQ(code.rate(), 0.5);
+}
+
+TEST(LdpcCode, PegAvoidsShortCycles) {
+  const LdpcCode code = LdpcCode::peg(1024, 512, DegreeProfile::regular(3), 2);
+  EXPECT_GE(code.girth_estimate(), 6u);
+}
+
+TEST(LdpcCode, PegDeterministicInSeed) {
+  const LdpcCode a = LdpcCode::peg(512, 256, DegreeProfile::regular(3), 7);
+  const LdpcCode b = LdpcCode::peg(512, 256, DegreeProfile::regular(3), 7);
+  Xoshiro256 rng(3);
+  const BitVec x = rng.random_bits(512);
+  EXPECT_EQ(a.syndrome(x), b.syndrome(x));
+}
+
+TEST(LdpcCode, IrregularProfileHonoursFractions) {
+  DegreeProfile profile{{{2, 0.5}, {4, 0.5}}};
+  const LdpcCode code = LdpcCode::peg(1000, 400, profile, 3);
+  EXPECT_EQ(code.edges(), 500u * 2 + 500u * 4);
+  std::size_t degree2 = 0;
+  for (std::size_t v = 0; v < code.n(); ++v) {
+    degree2 += code.var_checks(v).size() == 2;
+  }
+  EXPECT_EQ(degree2, 500u);
+}
+
+TEST(LdpcCode, SyndromeIsLinear) {
+  Xoshiro256 rng(4);
+  const LdpcCode code = LdpcCode::peg(512, 256, DegreeProfile::regular(3), 9);
+  const BitVec x = rng.random_bits(512);
+  const BitVec y = rng.random_bits(512);
+  BitVec xy = x;
+  xy ^= y;
+  BitVec sx = code.syndrome(x);
+  const BitVec sy = code.syndrome(y);
+  sx ^= sy;
+  EXPECT_EQ(code.syndrome(xy), sx);
+}
+
+TEST(LdpcCode, SyndromeMatchesNaive) {
+  Xoshiro256 rng(5);
+  const LdpcCode code = LdpcCode::peg(256, 128, DegreeProfile::regular(3), 11);
+  const BitVec x = rng.random_bits(256);
+  const BitVec s = code.syndrome(x);
+  for (std::size_t c = 0; c < code.m(); ++c) {
+    bool parity = false;
+    for (const auto v : code.check_vars(c)) parity ^= x.get(v);
+    EXPECT_EQ(s.get(c), parity) << c;
+  }
+  EXPECT_TRUE(code.syndrome_matches(x, s));
+}
+
+TEST(LdpcCode, TableLookupsWork) {
+  EXPECT_GE(code_table().size(), 10u);
+  const LdpcCode& code = code_by_id(0);
+  EXPECT_EQ(code.n(), 1024u);
+  EXPECT_EQ(&code, &code_by_id(0));  // memoized
+  EXPECT_THROW(code_by_id(9999), Error);
+}
+
+TEST(LdpcCode, PickCodeRespectsEfficiencyTarget) {
+  // q = 2%: h2 = 0.1414; f 1.25 -> max rate 0.823 -> expect the 0.8 code.
+  const auto id = pick_code(4096, 0.02, 1.25);
+  const LdpcCode& code = code_by_id(id);
+  // m = 3n/dc rounds down, so the realized rate is within 1e-3 of nominal.
+  EXPECT_NEAR(code.rate(), 0.8, 1e-3);
+  EXPECT_GE(code.n(), 4096u);
+
+  // q = 9%: h2 = 0.4365; f 1.25 -> max rate 0.454 -> falls back to 0.5
+  // (lowest available), the fallback path.
+  const auto low = pick_code(4096, 0.09, 1.25);
+  EXPECT_NEAR(code_by_id(low).rate(), 0.5, 1e-3);
+}
+
+TEST(Decoder, BscLlrValues) {
+  EXPECT_NEAR(bsc_llr(0.02), std::log(0.98 / 0.02), 1e-6);
+  EXPECT_GT(bsc_llr(1e-12), 0.0f);   // clamped, finite
+  EXPECT_NEAR(bsc_llr(0.5), 0.0f, 1e-6);
+}
+
+TEST(Decoder, ZeroNoiseConvergesImmediately) {
+  Xoshiro256 rng(6);
+  const LdpcCode& code = code_by_id(0);
+  const BitVec x = rng.random_bits(code.n());
+  const BitVec s = code.syndrome(x);
+  std::vector<float> llr(code.n());
+  for (std::size_t v = 0; v < code.n(); ++v) {
+    llr[v] = x.get(v) ? -8.0f : 8.0f;
+  }
+  for (const auto schedule : {BpSchedule::kFlooding, BpSchedule::kLayered}) {
+    DecoderConfig config;
+    config.schedule = schedule;
+    const auto result = decode_syndrome(code, s, llr, config);
+    EXPECT_TRUE(result.converged);
+    EXPECT_EQ(result.word, x);
+    EXPECT_EQ(result.iterations, 1u);
+  }
+}
+
+struct DecoderCase {
+  BpAlgorithm algorithm;
+  BpSchedule schedule;
+  double qber;
+};
+
+class DecoderGrid : public ::testing::TestWithParam<DecoderCase> {};
+
+TEST_P(DecoderGrid, RecoversAliceWordThroughBsc) {
+  const auto [algorithm, schedule, q] = GetParam();
+  Xoshiro256 rng(static_cast<std::uint64_t>(q * 1e5) + 77);
+  const LdpcCode& code = code_by_id(3);  // n=4096, rate 0.5
+  const BitVec alice = rng.random_bits(code.n());
+  const BitVec bob = corrupt(alice, q, rng);
+  const BitVec s = code.syndrome(alice);
+
+  const float channel = bsc_llr(q);
+  std::vector<float> llr(code.n());
+  for (std::size_t v = 0; v < code.n(); ++v) {
+    llr[v] = bob.get(v) ? -channel : channel;
+  }
+  DecoderConfig config;
+  config.algorithm = algorithm;
+  config.schedule = schedule;
+  config.max_iterations = 100;
+  const auto result = decode_syndrome(code, s, llr, config);
+  ASSERT_TRUE(result.converged);
+  EXPECT_EQ(result.word, alice);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, DecoderGrid,
+    ::testing::Values(
+        DecoderCase{BpAlgorithm::kMinSum, BpSchedule::kFlooding, 0.02},
+        DecoderCase{BpAlgorithm::kMinSum, BpSchedule::kLayered, 0.02},
+        DecoderCase{BpAlgorithm::kSumProduct, BpSchedule::kFlooding, 0.02},
+        DecoderCase{BpAlgorithm::kSumProduct, BpSchedule::kLayered, 0.02},
+        DecoderCase{BpAlgorithm::kMinSum, BpSchedule::kLayered, 0.05},
+        DecoderCase{BpAlgorithm::kSumProduct, BpSchedule::kLayered, 0.05}));
+
+TEST(Decoder, LayeredConvergesFasterThanFlooding) {
+  Xoshiro256 rng(88);
+  const LdpcCode& code = code_by_id(3);
+  const BitVec alice = rng.random_bits(code.n());
+  const BitVec bob = corrupt(alice, 0.04, rng);
+  const BitVec s = code.syndrome(alice);
+  const float channel = bsc_llr(0.04);
+  std::vector<float> llr(code.n());
+  for (std::size_t v = 0; v < code.n(); ++v) {
+    llr[v] = bob.get(v) ? -channel : channel;
+  }
+  DecoderConfig flooding;
+  flooding.schedule = BpSchedule::kFlooding;
+  flooding.max_iterations = 200;
+  DecoderConfig layered;
+  layered.schedule = BpSchedule::kLayered;
+  layered.max_iterations = 200;
+  const auto f = decode_syndrome(code, s, llr, flooding);
+  const auto l = decode_syndrome(code, s, llr, layered);
+  ASSERT_TRUE(f.converged);
+  ASSERT_TRUE(l.converged);
+  EXPECT_LT(l.iterations, f.iterations);
+}
+
+TEST(Decoder, ParallelFloodingMatchesSerial) {
+  Xoshiro256 rng(89);
+  const LdpcCode& code = code_by_id(3);
+  const BitVec alice = rng.random_bits(code.n());
+  const BitVec bob = corrupt(alice, 0.03, rng);
+  const BitVec s = code.syndrome(alice);
+  const float channel = bsc_llr(0.03);
+  std::vector<float> llr(code.n());
+  for (std::size_t v = 0; v < code.n(); ++v) {
+    llr[v] = bob.get(v) ? -channel : channel;
+  }
+  DecoderConfig serial;
+  serial.schedule = BpSchedule::kFlooding;
+  DecoderConfig parallel = serial;
+  ThreadPool pool(2);
+  parallel.pool = &pool;
+  const auto a = decode_syndrome(code, s, llr, serial);
+  const auto b = decode_syndrome(code, s, llr, parallel);
+  ASSERT_TRUE(a.converged);
+  ASSERT_TRUE(b.converged);
+  EXPECT_EQ(a.word, b.word);
+  EXPECT_EQ(a.iterations, b.iterations);
+}
+
+TEST(Decoder, FailsGracefullyAboveThreshold) {
+  // Rate 0.8 code at q = 11% is far beyond capacity: must report failure,
+  // not loop or crash.
+  Xoshiro256 rng(90);
+  const LdpcCode& code = code_by_id(7);
+  const BitVec alice = rng.random_bits(code.n());
+  const BitVec bob = corrupt(alice, 0.11, rng);
+  const BitVec s = code.syndrome(alice);
+  const float channel = bsc_llr(0.11);
+  std::vector<float> llr(code.n());
+  for (std::size_t v = 0; v < code.n(); ++v) {
+    llr[v] = bob.get(v) ? -channel : channel;
+  }
+  DecoderConfig config;
+  config.max_iterations = 30;
+  const auto result = decode_syndrome(code, s, llr, config);
+  EXPECT_FALSE(result.converged);
+  EXPECT_EQ(result.iterations, 30u);
+}
+
+TEST(RateAdapt, PartitionIsExactAndDeterministic) {
+  const auto a = derive_adaptation(1000, 100, 50, 42);
+  const auto b = derive_adaptation(1000, 100, 50, 42);
+  EXPECT_EQ(a.punctured, b.punctured);
+  EXPECT_EQ(a.shortened, b.shortened);
+  EXPECT_EQ(a.payload, b.payload);
+  EXPECT_EQ(a.punctured.size(), 100u);
+  EXPECT_EQ(a.shortened.size(), 50u);
+  EXPECT_EQ(a.payload.size(), 850u);
+  std::vector<bool> seen(1000, false);
+  for (const auto v : a.punctured) seen[v] = true;
+  for (const auto v : a.shortened) {
+    EXPECT_FALSE(seen[v]);
+    seen[v] = true;
+  }
+  for (const auto v : a.payload) {
+    EXPECT_FALSE(seen[v]);
+    seen[v] = true;
+  }
+  for (std::size_t i = 0; i < 1000; ++i) EXPECT_TRUE(seen[i]);
+}
+
+TEST(RateAdapt, OverBudgetThrows) {
+  EXPECT_THROW(derive_adaptation(100, 80, 30, 1), std::invalid_argument);
+}
+
+TEST(RateAdapt, PlanHitsEfficiencyTarget) {
+  const FramePlan plan = plan_frame(4096, 0.03, 1.25);
+  EXPECT_GT(plan.payload_bits, 0u);
+  EXPECT_NEAR(plan.predicted_efficiency, 1.25, 0.3);
+  const LdpcCode& code = code_by_id(plan.code_id);
+  EXPECT_EQ(plan.payload_bits,
+            code.n() - plan.n_punctured - plan.n_shortened);
+}
+
+TEST(RateAdapt, PlanValidatesInput) {
+  EXPECT_THROW(plan_frame(1024, 0.0, 1.2), std::invalid_argument);
+  EXPECT_THROW(plan_frame(1024, 0.02, 0.9), std::invalid_argument);
+}
+
+class LdpcLocalSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(LdpcLocalSweep, ReconcilesFrameEndToEnd) {
+  const double q = GetParam();
+  Xoshiro256 rng(static_cast<std::uint64_t>(q * 1e6));
+  Xoshiro256 alice_private(999);
+
+  LdpcReconcilerConfig config;
+  config.f_target = 1.3;
+  const FramePlan plan = plan_frame(4096, q, config.f_target);
+  const BitVec alice = rng.random_bits(plan.payload_bits);
+  const BitVec bob = corrupt(alice, q, rng);
+
+  const auto outcome = ldpc_reconcile_local(alice, bob, q, plan, 0xf00d,
+                                            config, alice_private);
+  ASSERT_TRUE(outcome.success) << "q=" << q;
+  EXPECT_EQ(outcome.corrected, alice) << "q=" << q;
+  EXPECT_GT(outcome.efficiency, 1.0);
+  EXPECT_LT(outcome.efficiency, 2.2) << "q=" << q;
+}
+
+INSTANTIATE_TEST_SUITE_P(Qbers, LdpcLocalSweep,
+                         ::testing::Values(0.01, 0.02, 0.03, 0.05, 0.07));
+
+TEST(LdpcLocal, BlindRevealRescuesUnderestimatedQber) {
+  // Plan for 2% but the channel actually runs at 3.5%: the first decode
+  // should fail and blind reveals should rescue the frame.
+  Xoshiro256 rng(404);
+  Xoshiro256 alice_private(405);
+  LdpcReconcilerConfig config;
+  config.f_target = 1.15;  // deliberately tight
+  const FramePlan plan = plan_frame(4096, 0.02, config.f_target);
+  ASSERT_GT(plan.n_punctured, 0u);
+  const BitVec alice = rng.random_bits(plan.payload_bits);
+  const BitVec bob = corrupt(alice, 0.035, rng);
+
+  const auto outcome = ldpc_reconcile_local(alice, bob, 0.035, plan, 0xbeef,
+                                            config, alice_private);
+  if (outcome.success) {
+    EXPECT_EQ(outcome.corrected, alice);
+    // Leak grows beyond the syndrome when blind rounds fire.
+    if (outcome.blind_rounds > 0) {
+      const LdpcCode& code = code_by_id(plan.code_id);
+      EXPECT_GT(outcome.leaked_bits, code.m() - plan.n_punctured);
+    }
+  }
+  // Either way the accounting must be self-consistent.
+  EXPECT_GE(outcome.rounds, 1u);
+}
+
+TEST(LdpcLocal, LeakAccountingMatchesPlan) {
+  Xoshiro256 rng(505);
+  Xoshiro256 alice_private(506);
+  LdpcReconcilerConfig config;
+  const FramePlan plan = plan_frame(4096, 0.03, 1.3);
+  const BitVec alice = rng.random_bits(plan.payload_bits);
+  const BitVec bob = corrupt(alice, 0.03, rng);
+  const auto outcome = ldpc_reconcile_local(alice, bob, 0.03, plan, 0xcafe,
+                                            config, alice_private);
+  ASSERT_TRUE(outcome.success);
+  if (outcome.blind_rounds == 0) {
+    const LdpcCode& code = code_by_id(plan.code_id);
+    EXPECT_EQ(outcome.leaked_bits, code.m() - plan.n_punctured);
+    EXPECT_EQ(outcome.rounds, 1u);
+  }
+}
+
+TEST(LdpcLocal, PayloadSizeMismatchThrows) {
+  Xoshiro256 alice_private(507);
+  const FramePlan plan = plan_frame(4096, 0.03, 1.3);
+  const BitVec wrong(plan.payload_bits + 1);
+  EXPECT_THROW(
+      LdpcFrameSender(plan, wrong, 1, alice_private),
+      std::invalid_argument);
+}
+
+TEST(CascadeVsLdpc, CascadeLeaksLessButTalksMore) {
+  // The headline trade-off behind experiment F4.
+  Xoshiro256 rng(606);
+  const double q = 0.03;
+  const FramePlan plan = plan_frame(16384, q, 1.3);
+  const BitVec alice = rng.random_bits(plan.payload_bits);
+  const BitVec bob = corrupt(alice, q, rng);
+
+  Xoshiro256 alice_private(607);
+  LdpcReconcilerConfig ldpc_config;
+  const auto ldpc = ldpc_reconcile_local(alice, bob, q, plan, 1, ldpc_config,
+                                         alice_private);
+  CascadeConfig cascade_config;
+  cascade_config.qber_hint = q;
+  cascade_config.passes = 6;
+  const auto cascade = cascade_reconcile_local(alice, bob, q, cascade_config);
+
+  ASSERT_TRUE(ldpc.success);
+  ASSERT_EQ(ldpc.corrected, alice);
+  ASSERT_EQ(cascade.corrected, alice);
+  EXPECT_LT(cascade.efficiency, ldpc.efficiency);
+  EXPECT_GT(cascade.rounds, ldpc.rounds * 5);
+}
+
+}  // namespace
+}  // namespace qkdpp::reconcile
