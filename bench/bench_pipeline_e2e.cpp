@@ -3,28 +3,75 @@
 //
 // Column 1-4: physics (per-pulse SKR falls exponentially with distance;
 // cutoff where dark counts dominate). Column 5-6: systems (blocks/s the
-// post-processing chain sustains on CPU wall-clock vs the modeled
-// hetero-mapped pipeline) - the paper-shaped claim is that CPU-only
+// post-processing chain sustains on CPU wall-clock vs the engine's
+// mapper-placed pipeline) - the paper-shaped claim is that CPU-only
 // post-processing caps the key rate at metro distances while the
 // accelerated mapping keeps up with the quantum layer.
+//
+// The final stdout line is a machine-readable JSON summary (items/s, stage
+// breakdown, chosen mapping per distance) for the cross-PR perf trajectory.
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
-#include <deque>
+#include <string>
+#include <vector>
 
-#include "hetero/kernels.hpp"
+#include "engine/engine.hpp"
 #include "hetero/mapper.hpp"
 #include "pipeline/offline.hpp"
 
+namespace {
+
+struct Row {
+  double km = 0.0;
+  bool ok = false;
+  std::string abort_reason;
+  double qber = 0.0;
+  std::size_t secret_bits = 0;
+  double skr_per_pulse = 0.0;
+  double cpu_blocks_per_s = 0.0;        ///< measured all-CPU wall-clock
+  double cpu_model_blocks_per_s = 0.0;  ///< modeled all-cpu-scalar placement
+  double hetero_blocks_per_s = 0.0;     ///< modeled optimized placement
+  qkdpp::engine::StageTimings timings;
+  std::vector<std::string> stage_names;
+  std::vector<std::string> mapping;  ///< device per stage
+};
+
+void print_json(const std::vector<Row>& rows) {
+  std::printf("{\"bench\":\"pipeline_e2e\",\"unit\":\"blocks_per_s\","
+              "\"rows\":[");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    std::printf("%s{\"km\":%.0f,\"ok\":%s", i ? "," : "", row.km,
+                row.ok ? "true" : "false");
+    if (!row.ok) {
+      std::printf(",\"abort\":\"%s\"}", row.abort_reason.c_str());
+      continue;
+    }
+    std::printf(",\"qber\":%.5f,\"secret_bits\":%zu,\"skr_per_pulse\":%.4e",
+                row.qber, row.secret_bits, row.skr_per_pulse);
+    std::printf(",\"cpu_blocks_per_s\":%.4f,\"cpu_model_blocks_per_s\":%.4f"
+                ",\"hetero_blocks_per_s\":%.4f",
+                row.cpu_blocks_per_s, row.cpu_model_blocks_per_s,
+                row.hetero_blocks_per_s);
+    std::printf(",\"stage_seconds\":{\"sift\":%.6f,\"estimate\":%.6f,"
+                "\"reconcile\":%.6f,\"verify\":%.6f,\"amplify\":%.6f}",
+                row.timings.sift, row.timings.estimate, row.timings.reconcile,
+                row.timings.verify, row.timings.amplify);
+    std::printf(",\"mapping\":{");
+    for (std::size_t s = 0; s < row.stage_names.size(); ++s) {
+      std::printf("%s\"%s\":\"%s\"", s ? "," : "", row.stage_names[s].c_str(),
+                  row.mapping[s].c_str());
+    }
+    std::printf("}}");
+  }
+  std::printf("]}\n");
+}
+
+}  // namespace
+
 int main() {
   using namespace qkdpp;
-
-  ThreadPool pool(2);
-  std::deque<hetero::Device> devices;
-  devices.emplace_back(hetero::cpu_scalar_props());
-  devices.emplace_back(hetero::cpu_parallel_props(pool.thread_count()), &pool);
-  devices.emplace_back(hetero::gpu_sim_props(), &pool);
-  devices.emplace_back(hetero::fpga_sim_props(), &pool);
 
   std::printf("T2: secret key rate vs distance (decoy BB84, blocks scaled "
               "to ~40k sifted bits, LDPC)\n\n");
@@ -32,6 +79,7 @@ int main() {
               "secret b", "SKR/pulse", "cpu blk/s", "hetero blk/s",
               "verdict");
 
+  std::vector<Row> rows;
   for (const double km : {10.0, 25.0, 50.0, 75.0, 100.0, 125.0, 150.0}) {
     pipeline::OfflineConfig config;
     config.link.channel.length_km = km;
@@ -57,62 +105,59 @@ int main() {
 
     const auto outcome = qkd.process_block(1, rng);
 
+    Row row;
+    row.km = km;
+    row.ok = outcome.success;
+    row.abort_reason = outcome.abort_reason;
+    row.qber = outcome.qber_estimate;
     if (!outcome.success) {
       std::printf("%6.0f | %7.2f%% %10d %12s | %12s %12s | aborted: %s\n",
                   km, outcome.qber_estimate * 100, 0, "-", "-", "-",
                   outcome.abort_reason.c_str());
+      rows.push_back(std::move(row));
       continue;
     }
 
-    // Post-processing throughput: all-CPU wall-clock vs hetero mapping.
+    // Post-processing throughput: all-CPU wall-clock vs the engine's
+    // mapper placement, priced for this block's actual workload.
     const double cpu_blocks_per_s =
         1.0 / outcome.timings.post_processing_total();
+    engine::EngineOptions hetero_options = engine::EngineOptions::standard();
+    hetero_options.workload.pulses = outcome.pulses;
+    hetero_options.workload.sifted_bits = outcome.sifted_bits;
+    hetero_options.workload.key_bits = outcome.reconciled_bits;
+    hetero_options.workload.qber = outcome.qber_estimate;
+    engine::PostprocessEngine hetero_engine(
+        static_cast<const engine::PostprocessParams&>(config), hetero_options);
+    const auto& placement = hetero_engine.placement();
+    // Model-vs-model baseline: the same cost matrix with every stage pinned
+    // to cpu-scalar (the measured cpu_blocks_per_s is reported alongside
+    // but is not directly comparable to modeled numbers).
+    const auto cpu_model =
+        hetero::fixed_mapping(hetero_engine.mapping_problem(), 0);
 
-    // Build the mapping problem from this block's stage costs. CPU columns:
-    // measured; accelerator columns: modeled from kernel work estimates for
-    // the block's dominant kernels.
-    hetero::MappingProblem problem;
-    problem.stage_names = {"sift+estimate", "reconcile", "verify+amplify"};
-    for (const auto& device : devices) {
-      problem.device_names.push_back(device.name());
+    row.secret_bits = outcome.final_key_bits;
+    row.skr_per_pulse = outcome.skr_per_pulse();
+    row.cpu_blocks_per_s = cpu_blocks_per_s;
+    row.cpu_model_blocks_per_s = cpu_model.throughput_items_per_s;
+    row.hetero_blocks_per_s = placement.predicted_items_per_s;
+    row.timings = outcome.timings;
+    row.stage_names = placement.stage_names;
+    for (std::size_t s = 0; s < placement.stage_names.size(); ++s) {
+      row.mapping.push_back(placement.device_of(s));
     }
-    const double sift_cost =
-        outcome.timings.sift + outcome.timings.estimate;
-    const double reconcile_cpu = outcome.timings.reconcile;
-    const double pa_cpu = outcome.timings.verify + outcome.timings.amplify;
-    // Accelerator models for the two offloadable stages (decode ~ 30 iters
-    // over the block's frames; toeplitz over the reconciled key).
-    const double frame_bits = 16384.0;
-    const double frames =
-        std::max(1.0, static_cast<double>(outcome.reconciled_bits) / frame_bits);
-    auto modeled = [&](const hetero::Device& device, double ops,
-                       double bytes_touched, double transferred) {
-      return device.model_seconds({ops, bytes_touched, transferred});
-    };
-    const double decode_ops = frames * 30.0 * frame_bits * 3.0 *
-                              hetero::kOpsPerEdge;
-    const double pa_n = static_cast<double>(outcome.reconciled_bits);
-    const double pa_fft = 3.0 * pa_n * std::log2(std::max(2.0, pa_n)) *
-                          hetero::kOpsPerButterfly;
-    problem.seconds_per_item = {
-        {sift_cost, sift_cost, hetero::kInfeasible, hetero::kInfeasible},
-        {reconcile_cpu, reconcile_cpu * 0.7,
-         modeled(devices[2], decode_ops, decode_ops, frames * frame_bits),
-         modeled(devices[3], decode_ops * 2, decode_ops, frames * frame_bits)},
-        {pa_cpu, pa_cpu * 0.8,
-         modeled(devices[2], pa_fft, pa_fft * 0.4, pa_n / 4),
-         modeled(devices[3], pa_fft * 4, pa_fft, pa_n / 4)},
-    };
-    const auto mapping = hetero::optimize_mapping(problem);
-    const double hetero_blocks_per_s = mapping.throughput_items_per_s;
 
     std::printf("%6.0f | %7.2f%% %10zu %12.2e | %12.2f %12.2f | key ok\n",
                 km, outcome.qber_estimate * 100, outcome.final_key_bits,
                 outcome.skr_per_pulse(), cpu_blocks_per_s,
-                hetero_blocks_per_s);
+                row.hetero_blocks_per_s);
+    rows.push_back(std::move(row));
   }
-  std::printf("\nshape check: SKR/pulse decays ~10x per 25 km; hetero "
-              "blk/s exceeds cpu blk/s by >5x at every distance (the "
-              "post-processing ceiling lifts).\n");
+  std::printf("\nshape check: SKR/pulse decays ~10x per 25 km; under the "
+              "device model the optimized placement beats the all-cpu-scalar "
+              "placement at every distance (cpu blk/s is measured wall-clock "
+              "and not directly comparable to the modeled columns - see "
+              "cpu_model_blocks_per_s in the JSON).\n\n");
+  print_json(rows);
   return 0;
 }

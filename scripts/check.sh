@@ -1,0 +1,5 @@
+#!/usr/bin/env sh
+# Tier-1 verify: configure, build, run the full test suite.
+set -eu
+cd "$(dirname "$0")/.."
+cmake -B build -S . && cmake --build build -j && cd build && ctest --output-on-failure -j

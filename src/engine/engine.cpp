@@ -1,0 +1,200 @@
+#include "engine/engine.hpp"
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace qkdpp::engine {
+
+EngineOptions EngineOptions::cpu_only() {
+  EngineOptions options;
+  options.devices = {hetero::cpu_scalar_props()};
+  options.policy = PlacementPolicy::kFixed;
+  options.fixed_device = 0;
+  return options;
+}
+
+EngineOptions EngineOptions::standard(std::size_t threads) {
+  EngineOptions options;
+  options.threads = threads;
+  return options;
+}
+
+EngineOptions EngineOptions::pinned(hetero::DeviceKind kind,
+                                    std::size_t threads) {
+  EngineOptions options = standard(threads);
+  options.policy = PlacementPolicy::kFixed;
+  options.fixed_device = static_cast<std::uint32_t>(kind);
+  return options;
+}
+
+namespace {
+
+std::vector<hetero::DeviceProps> standard_roster(std::size_t threads) {
+  return {hetero::cpu_scalar_props(), hetero::cpu_parallel_props(threads),
+          hetero::gpu_sim_props(), hetero::fpga_sim_props()};
+}
+
+double& timing_of(StageTimings& timings, StageKind kind) {
+  switch (kind) {
+    case StageKind::kSift: return timings.sift;
+    case StageKind::kEstimate: return timings.estimate;
+    case StageKind::kReconcile: return timings.reconcile;
+    case StageKind::kVerify: return timings.verify;
+    case StageKind::kAmplify: return timings.amplify;
+  }
+  return timings.sift;  // unreachable
+}
+
+}  // namespace
+
+PostprocessEngine::PostprocessEngine(PostprocessParams params,
+                                     EngineOptions options)
+    : params_(std::move(params)), options_(std::move(options)) {
+  QKDPP_REQUIRE(params_.pe_fraction > 0 && params_.pe_fraction < 1,
+                "pe fraction outside (0,1)");
+  QKDPP_REQUIRE(params_.qber_abort > 0 && params_.qber_abort <= 0.5,
+                "qber abort threshold outside (0,0.5]");
+  const std::size_t pool_threads =
+      options_.threads
+          ? options_.threads
+          : std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  if (options_.devices.empty()) {
+    options_.devices = standard_roster(pool_threads);
+  }
+  if (options_.policy == PlacementPolicy::kFixed &&
+      options_.fixed_device >= options_.devices.size()) {
+    throw_error(ErrorCode::kConfig, "fixed device index outside roster");
+  }
+  // CpuScalar stays single-threaded by definition; everything else
+  // (including the sims, which execute host-side) may use the pool - which
+  // is only spun up when some roster device can actually use it.
+  const bool needs_pool = std::any_of(
+      options_.devices.begin(), options_.devices.end(),
+      [](const hetero::DeviceProps& props) {
+        return props.kind != hetero::DeviceKind::kCpuScalar;
+      });
+  if (needs_pool) {
+    kernel_pool_ = std::make_unique<ThreadPool>(pool_threads);
+  }
+  for (const auto& props : options_.devices) {
+    ThreadPool* pool = props.kind == hetero::DeviceKind::kCpuScalar
+                           ? nullptr
+                           : kernel_pool_.get();
+    devices_.emplace_back(props, pool);
+  }
+  executors_ = make_stage_executors(params_);
+  choose_placement();
+}
+
+PostprocessEngine::~PostprocessEngine() {
+  // Join (and drain) the batch workers before devices_/executors_ are
+  // destroyed: queued submit_block tasks capture `this` and run the full
+  // stage chain, so they must not outlive the members they dereference.
+  batch_pool_.reset();
+}
+
+void PostprocessEngine::choose_placement() {
+  problem_ = hetero::MappingProblem{};
+  for (const auto& executor : executors_) {
+    problem_.stage_names.emplace_back(executor->name());
+  }
+  for (const auto& device : devices_) {
+    problem_.device_names.push_back(device.name());
+  }
+  for (const auto& executor : executors_) {
+    std::vector<double> row;
+    row.reserve(devices_.size());
+    for (const auto& device : devices_) {
+      if (!executor->feasible_on(device.kind()) &&
+          options_.policy != PlacementPolicy::kFixed) {
+        row.push_back(hetero::kInfeasible);
+        continue;
+      }
+      // Infeasible cells are still priced under kFixed: pinning overrides
+      // the feasibility mask (the compute runs host-side regardless), which
+      // is what makes the cross-device golden test possible.
+      row.push_back(device.model_seconds(
+          executor->work_model(options_.workload, device.kind())));
+    }
+    problem_.seconds_per_item.push_back(std::move(row));
+  }
+
+  hetero::MappingResult result;
+  switch (options_.policy) {
+    case PlacementPolicy::kOptimized:
+      result = hetero::optimize_mapping(problem_);
+      break;
+    case PlacementPolicy::kGreedy:
+      result = hetero::greedy_mapping(problem_);
+      break;
+    case PlacementPolicy::kFixed:
+      result = hetero::fixed_mapping(problem_, options_.fixed_device);
+      break;
+  }
+  placement_.stage_names = problem_.stage_names;
+  placement_.device_names = problem_.device_names;
+  placement_.device_of_stage = result.device_of_stage;
+  placement_.predicted_items_per_s = result.throughput_items_per_s;
+  placement_.bottleneck_load_s = result.bottleneck_load_s;
+}
+
+std::vector<DeviceReport> PostprocessEngine::device_report() const {
+  std::vector<DeviceReport> reports;
+  reports.reserve(devices_.size());
+  for (const auto& device : devices_) {
+    reports.push_back({device.name(), device.kind(), device.busy_seconds(),
+                       device.kernels_launched()});
+  }
+  return reports;
+}
+
+BlockOutcome PostprocessEngine::process_block(const BlockInput& input,
+                                              std::uint64_t block_id,
+                                              Xoshiro256& rng) {
+  BlockState state;
+  state.input = &input;
+  state.block_id = block_id;
+  state.outcome.block_id = block_id;
+  state.outcome.pulses = static_cast<std::size_t>(input.report.n_pulses);
+  state.outcome.detections = input.report.detected_idx.size();
+
+  ExecutionContext ctx;
+  ctx.params = &params_;
+  ctx.rng = &rng;
+  ctx.ledger = &state.ledger;
+
+  for (std::size_t s = 0; s < executors_.size(); ++s) {
+    ctx.device = &devices_[placement_.device_of_stage[s]];
+    ctx.pool = ctx.device->pool();
+    const double charged = executors_[s]->run(state, ctx);
+    timing_of(state.outcome.timings, executors_[s]->kind()) = charged;
+    if (state.aborted()) break;
+  }
+  state.outcome.leak_ec_bits = state.ledger.ec_bits;
+  return state.outcome;
+}
+
+std::future<BlockOutcome> PostprocessEngine::submit_block(
+    BlockInput input, std::uint64_t block_id, std::uint64_t rng_seed) {
+  std::call_once(batch_pool_once_, [this] {
+    batch_pool_ = std::make_unique<ThreadPool>(
+        std::max<std::size_t>(1, options_.batch_threads));
+  });
+  auto promise = std::make_shared<std::promise<BlockOutcome>>();
+  std::future<BlockOutcome> future = promise->get_future();
+  auto shared_input = std::make_shared<BlockInput>(std::move(input));
+  batch_pool_->submit([this, promise, shared_input, block_id, rng_seed] {
+    try {
+      Xoshiro256 rng(rng_seed);
+      promise->set_value(process_block(*shared_input, block_id, rng));
+    } catch (...) {
+      promise->set_exception(std::current_exception());
+    }
+  });
+  return future;
+}
+
+}  // namespace qkdpp::engine

@@ -1,0 +1,100 @@
+// PostprocessEngine: the public entry point of the library.
+//
+// Construction runs the stage->device mapping optimizer over the configured
+// device roster (the paper's placement search), then every block - whether
+// submitted synchronously (process_block) or as a batch of futures
+// (submit_block) - executes the five-stage chain with each stage on its
+// assigned device. CPU devices charge measured wall-clock, the simulated
+// accelerators charge modeled time, and the arithmetic is host-side and
+// bit-exact on every placement, so device selection changes the clock, not
+// the key. OfflinePipeline and the two-party session are thin adapters over
+// this engine.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/threadpool.hpp"
+#include "engine/block.hpp"
+#include "engine/params.hpp"
+#include "engine/stage.hpp"
+#include "hetero/device.hpp"
+#include "hetero/mapper.hpp"
+
+namespace qkdpp::engine {
+
+/// The placement the engine chose at construction.
+struct Placement {
+  std::vector<std::string> stage_names;
+  std::vector<std::string> device_names;
+  std::vector<std::uint32_t> device_of_stage;
+  double predicted_items_per_s = 0.0;
+  double bottleneck_load_s = 0.0;
+
+  const std::string& device_of(std::size_t stage) const {
+    return device_names[device_of_stage[stage]];
+  }
+};
+
+/// Post-construction per-device accounting snapshot.
+struct DeviceReport {
+  std::string name;
+  hetero::DeviceKind kind = hetero::DeviceKind::kCpuScalar;
+  double busy_seconds = 0.0;
+  std::uint64_t kernels_launched = 0;
+};
+
+class PostprocessEngine {
+ public:
+  explicit PostprocessEngine(PostprocessParams params,
+                             EngineOptions options = EngineOptions::standard());
+  ~PostprocessEngine();
+
+  PostprocessEngine(const PostprocessEngine&) = delete;
+  PostprocessEngine& operator=(const PostprocessEngine&) = delete;
+
+  const PostprocessParams& params() const noexcept { return params_; }
+  const Placement& placement() const noexcept { return placement_; }
+  /// The stage x device cost matrix the placement was chosen from.
+  const hetero::MappingProblem& mapping_problem() const noexcept {
+    return problem_;
+  }
+  std::vector<DeviceReport> device_report() const;
+
+  /// Run one block end to end, synchronously. Aborted blocks return
+  /// success=false with the stage's reason in abort_reason (expected
+  /// behaviour on hot channels, not an exception).
+  BlockOutcome process_block(const BlockInput& input, std::uint64_t block_id,
+                             Xoshiro256& rng);
+
+  /// Queue one block for asynchronous processing; each block draws from its
+  /// own RNG stream seeded with `rng_seed`, so a batch is deterministic
+  /// regardless of completion order.
+  std::future<BlockOutcome> submit_block(BlockInput input,
+                                         std::uint64_t block_id,
+                                         std::uint64_t rng_seed);
+
+ private:
+  void choose_placement();
+
+  PostprocessParams params_;
+  EngineOptions options_;
+  /// Created only when a roster device can use it (anything non-scalar).
+  std::unique_ptr<ThreadPool> kernel_pool_;
+  /// Created lazily on the first submit_block().
+  std::once_flag batch_pool_once_;
+  std::unique_ptr<ThreadPool> batch_pool_;
+  std::deque<hetero::Device> devices_;  // Device is pinned (owns a mutex)
+  std::vector<std::unique_ptr<StageExecutor>> executors_;
+  hetero::MappingProblem problem_;
+  Placement placement_;
+};
+
+}  // namespace qkdpp::engine

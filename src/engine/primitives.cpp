@@ -1,0 +1,68 @@
+#include "engine/primitives.hpp"
+
+#include <algorithm>
+
+#include "common/entropy.hpp"
+#include "privacy/toeplitz.hpp"
+
+namespace qkdpp::engine {
+
+SignalSplit split_sifted(const BitVec& sifted, const BitVec& signal_mask) {
+  SignalSplit split;
+  split.signal_positions.reserve(sifted.size());
+  for (std::size_t i = 0; i < sifted.size(); ++i) {
+    if (signal_mask.get(i)) {
+      split.signal_positions.push_back(static_cast<std::uint32_t>(i));
+    } else {
+      split.revealed_positions.push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+  return split;
+}
+
+std::vector<std::uint32_t> choose_pe_positions(const SignalSplit& split,
+                                               double fraction,
+                                               Xoshiro256& rng) {
+  std::vector<std::uint32_t> positions = split.revealed_positions;
+  const auto sample_size = static_cast<std::size_t>(
+      fraction * static_cast<double>(split.signal_positions.size()));
+  for (const auto s : rng.sample_without_replacement(
+           split.signal_positions.size(), sample_size)) {
+    positions.push_back(split.signal_positions[s]);
+  }
+  std::sort(positions.begin(), positions.end());
+  return positions;
+}
+
+BitVec remaining_key(const BitVec& sifted, const BitVec& signal_mask,
+                     const std::vector<std::uint32_t>& revealed) {
+  std::vector<std::uint8_t> is_revealed(sifted.size(), 0);
+  for (const auto p : revealed) {
+    if (p < is_revealed.size()) is_revealed[p] = 1;
+  }
+  BitVec key;
+  for (std::size_t i = 0; i < sifted.size(); ++i) {
+    if (signal_mask.get(i) && !is_revealed[i]) {
+      key.push_back(sifted.get(i));
+    }
+  }
+  return key;
+}
+
+BitVec apply_toeplitz(std::uint64_t seed, const BitVec& key,
+                      std::size_t out_len) {
+  const BitVec seed_bits =
+      privacy::toeplitz_seed(seed, key.size() + out_len - 1);
+  return privacy::toeplitz_hash(key, seed_bits, out_len);
+}
+
+double reconciliation_efficiency(std::uint64_t leaked_bits,
+                                 std::size_t reconciled_bits,
+                                 double qber) noexcept {
+  if (reconciled_bits == 0) return 0.0;
+  return static_cast<double>(leaked_bits) /
+         (static_cast<double>(reconciled_bits) *
+          binary_entropy(qber_floor(qber)));
+}
+
+}  // namespace qkdpp::engine

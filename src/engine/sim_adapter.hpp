@@ -1,0 +1,26 @@
+// Adapter from the link simulator's batch record to the engine's
+// BlockInput. Header-only so the engine core stays independent of sim/;
+// include this only where simulated blocks feed the engine (the offline
+// pipeline, examples, tests).
+#pragma once
+
+#include <cstdint>
+
+#include "engine/block.hpp"
+#include "sim/bb84.hpp"
+
+namespace qkdpp::engine {
+
+inline BlockInput make_block_input(const sim::DetectionRecord& record,
+                                   std::uint64_t block_id) {
+  BlockInput input;
+  input.log = {record.alice_bits, record.alice_bases, record.alice_class};
+  input.report.block_id = block_id;
+  input.report.n_pulses = record.n_pulses;
+  input.report.detected_idx = record.detected_idx;
+  input.report.bob_bases = record.bob_bases;
+  input.bob_bits = record.bob_bits;
+  return input;
+}
+
+}  // namespace qkdpp::engine

@@ -1,0 +1,111 @@
+// StageExecutor: the unit of work the engine schedules onto devices.
+//
+// One executor per post-processing stage (sift, estimate, reconcile,
+// verify, amplify). Each runs its hot loop as a hetero::Device::execute
+// body and reports a WorkEstimate, so CPU devices charge measured
+// wall-clock while simulated accelerators charge modeled time - yet the
+// computation itself is host-side and bit-exact on every device kind.
+// Executors also price themselves for the mapper (work_model/feasible_on),
+// which is how the engine turns the paper's stage->device placement search
+// into a property of the real pipeline instead of a bench-only simulation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/bitvec.hpp"
+#include "common/rng.hpp"
+#include "common/threadpool.hpp"
+#include "engine/block.hpp"
+#include "engine/params.hpp"
+#include "engine/primitives.hpp"
+#include "hetero/device.hpp"
+#include "protocol/param_estimation.hpp"
+#include "protocol/sifting.hpp"
+
+namespace qkdpp::engine {
+
+enum class StageKind : std::uint8_t {
+  kSift = 0,
+  kEstimate = 1,
+  kReconcile = 2,
+  kVerify = 3,
+  kAmplify = 4,
+};
+
+constexpr std::size_t kStageCount = 5;
+
+const char* stage_name(StageKind kind) noexcept;
+
+/// Working state of one block as it moves through the stage chain. Owned by
+/// the engine for the duration of one process_block call.
+struct BlockState {
+  const BlockInput* input = nullptr;
+  std::uint64_t block_id = 0;
+
+  // sift
+  protocol::AliceSiftOutcome sift;
+  BitVec bob_sifted;
+
+  // estimate
+  SignalSplit split;
+  std::vector<std::uint32_t> revealed_positions;
+  protocol::QberEstimate estimate;
+  BitVec alice_key;
+  BitVec bob_key;
+
+  // reconcile
+  BitVec alice_reconciled;
+  BitVec bob_reconciled;
+
+  LeakageLedger ledger;
+  BlockOutcome outcome;
+
+  bool aborted() const noexcept { return !outcome.abort_reason.empty(); }
+};
+
+/// Everything a stage needs beyond the block itself: the device it was
+/// placed on, the host pool backing that device's parallel kernels (null
+/// for cpu-scalar), the block's RNG stream and the shared leakage ledger.
+struct ExecutionContext {
+  const PostprocessParams* params = nullptr;
+  hetero::Device* device = nullptr;
+  ThreadPool* pool = nullptr;  ///< == device->pool(), set per stage
+  Xoshiro256* rng = nullptr;
+  LeakageLedger* ledger = nullptr;
+};
+
+class StageExecutor {
+ public:
+  virtual ~StageExecutor() = default;
+
+  virtual StageKind kind() const noexcept = 0;
+  const char* name() const noexcept { return stage_name(kind()); }
+
+  /// Can this stage's kernel run on a device of `kind` at all? Control-heavy
+  /// stages (sifting, estimation, interactive cascade) are host-only; the
+  /// mapper never places them on accelerators.
+  virtual bool feasible_on(hetero::DeviceKind kind) const noexcept = 0;
+
+  /// Modeled work of one block of `workload` size on a device of
+  /// `device_kind` (the FPGA prices worst-case iteration counts - its
+  /// hardware runs fixed depth). Feeds Device::model_seconds for the
+  /// mapper's cost matrix.
+  virtual hetero::WorkEstimate work_model(
+      const StageWorkload& workload,
+      hetero::DeviceKind device_kind) const noexcept = 0;
+
+  /// Execute the stage on ctx.device. Returns the seconds the device
+  /// charged. Sets state.outcome.abort_reason on expected aborts (hot
+  /// channel, short key) - the engine stops the chain there.
+  virtual double run(BlockState& state, const ExecutionContext& ctx) const = 0;
+};
+
+/// The canonical five-stage chain, in execution order. `params` must
+/// outlive the executors (the engine owns both).
+std::vector<std::unique_ptr<StageExecutor>> make_stage_executors(
+    const PostprocessParams& params);
+
+}  // namespace qkdpp::engine

@@ -19,6 +19,7 @@
 // same quantities that govern the real devices.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <mutex>

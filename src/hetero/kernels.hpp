@@ -14,6 +14,8 @@
 // the effect experiment F3 quantifies.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 

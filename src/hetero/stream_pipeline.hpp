@@ -9,6 +9,8 @@
 #pragma once
 
 #include <condition_variable>
+#include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>

@@ -1,203 +1,32 @@
 #include "pipeline/offline.hpp"
 
-#include <algorithm>
+#include <utility>
 
-#include "common/entropy.hpp"
 #include "common/error.hpp"
 #include "common/stats.hpp"
-#include "privacy/toeplitz.hpp"
-#include "privacy/verification.hpp"
-#include "protocol/param_estimation.hpp"
-#include "protocol/sifting.hpp"
+#include "engine/sim_adapter.hpp"
 
 namespace qkdpp::pipeline {
 
 OfflinePipeline::OfflinePipeline(OfflineConfig config)
     : config_(std::move(config)), simulator_(config_.link) {
   QKDPP_REQUIRE(config_.pulses_per_block > 0, "empty block");
-  QKDPP_REQUIRE(config_.pe_fraction > 0 && config_.pe_fraction < 1,
-                "pe fraction outside (0,1)");
+  engine_ = std::make_unique<engine::PostprocessEngine>(
+      static_cast<const engine::PostprocessParams&>(config_),
+      config_.engine_options);
 }
 
 BlockOutcome OfflinePipeline::process_block(std::uint64_t block_id,
                                             Xoshiro256& rng) {
-  BlockOutcome outcome;
-  outcome.block_id = block_id;
-  outcome.pulses = config_.pulses_per_block;
-
   // --- link simulation (the "hardware"; timed separately) ----------------
   Stopwatch stopwatch;
   const sim::DetectionRecord record =
       simulator_.run(config_.pulses_per_block, rng);
-  outcome.timings.simulate = stopwatch.seconds();
-  outcome.detections = record.detections();
+  const double simulate_seconds = stopwatch.seconds();
 
-  // --- sifting ------------------------------------------------------------
-  stopwatch.reset();
-  protocol::DetectionReport report;
-  report.block_id = block_id;
-  report.n_pulses = record.n_pulses;
-  report.detected_idx = record.detected_idx;
-  report.bob_bases = record.bob_bases;
-
-  const protocol::AliceTransmitLog log{record.alice_bits, record.alice_bases,
-                                       record.alice_class};
-  const auto sift = protocol::sift_alice(log, report);
-  const BitVec bob_sifted = protocol::sift_bob(record.bob_bits, sift.result);
-  outcome.sifted_bits = sift.sifted_key.size();
-  outcome.timings.sift = stopwatch.seconds();
-
-  // --- parameter estimation ------------------------------------------------
-  stopwatch.reset();
-  // Key candidates = signal-class sifted bits; everything else is revealed.
-  std::vector<std::uint32_t> signal_positions;
-  signal_positions.reserve(outcome.sifted_bits);
-  std::size_t revealed_mismatches = 0;
-  std::size_t revealed_count = 0;
-  for (std::size_t i = 0; i < sift.sifted_key.size(); ++i) {
-    if (sift.result.signal_mask.get(i)) {
-      signal_positions.push_back(static_cast<std::uint32_t>(i));
-    } else {
-      ++revealed_count;
-      revealed_mismatches +=
-          sift.sifted_key.get(i) != bob_sifted.get(i);
-    }
-  }
-  outcome.key_candidate_bits = signal_positions.size();
-  if (signal_positions.size() < 64) {
-    outcome.abort_reason = "insufficient sifted key";
-    outcome.timings.estimate = stopwatch.seconds();
-    return outcome;
-  }
-
-  const auto sample_size = static_cast<std::size_t>(
-      config_.pe_fraction * static_cast<double>(signal_positions.size()));
-  const auto sample_of_signal =
-      rng.sample_without_replacement(signal_positions.size(), sample_size);
-  std::size_t sample_mismatches = 0;
-  std::vector<std::uint8_t> sampled(signal_positions.size(), 0);
-  for (const auto s : sample_of_signal) {
-    sampled[s] = 1;
-    const std::uint32_t position = signal_positions[s];
-    sample_mismatches +=
-        sift.sifted_key.get(position) != bob_sifted.get(position);
-  }
-  // Pool the revealed non-signal bits into the estimate as well.
-  const auto estimate = protocol::estimate_qber(
-      sample_size + revealed_count, sample_mismatches + revealed_mismatches,
-      config_.security.eps_pe);
-  outcome.pe_sample_bits = estimate.sample_size;
-  outcome.qber_estimate = estimate.qber;
-  outcome.qber_upper = estimate.qber_upper;
-  outcome.timings.estimate = stopwatch.seconds();
-
-  // Abort on the point estimate: the eps_pe-confidence upper bound is for
-  // the PA planner's phase-error budget, not the go/no-go decision (it
-  // would reject every modest-sized block).
-  if (estimate.qber >= config_.qber_abort) {
-    outcome.abort_reason = "qber above abort threshold";
-    return outcome;
-  }
-
-  // Remaining key: unsampled signal positions.
-  BitVec alice_key, bob_key;
-  for (std::size_t s = 0; s < signal_positions.size(); ++s) {
-    if (sampled[s]) continue;
-    const std::uint32_t position = signal_positions[s];
-    alice_key.push_back(sift.sifted_key.get(position));
-    bob_key.push_back(bob_sifted.get(position));
-  }
-
-  // --- reconciliation -------------------------------------------------------
-  stopwatch.reset();
-  // Effective crossover for decoding: the point estimate, floored to keep
-  // the LLRs finite on ultra-clean channels.
-  const double qber_for_decoding = std::max(estimate.qber, 1e-4);
-  BitVec alice_reconciled, bob_reconciled;
-  if (config_.method == protocol::ReconcileMethod::kLdpc) {
-    reconcile::FramePlan plan;
-    try {
-      plan = reconcile::plan_frame_fitting(alice_key.size(),
-                                           qber_for_decoding,
-                                           config_.ldpc.f_target,
-                                           config_.ldpc.adapt_fraction);
-    } catch (const Error&) {
-      outcome.abort_reason = "key shorter than one reconciliation frame";
-      outcome.timings.reconcile = stopwatch.seconds();
-      return outcome;
-    }
-    const std::size_t frames = alice_key.size() / plan.payload_bits;
-    for (std::size_t f = 0; f < frames; ++f) {
-      const BitVec alice_payload =
-          alice_key.subvec(f * plan.payload_bits, plan.payload_bits);
-      const BitVec bob_payload =
-          bob_key.subvec(f * plan.payload_bits, plan.payload_bits);
-      const std::uint64_t frame_seed =
-          (block_id << 20) ^ (f * 0x9e3779b97f4a7c15ULL);
-      const auto result = reconcile::ldpc_reconcile_local(
-          alice_payload, bob_payload, qber_for_decoding, plan, frame_seed,
-          config_.ldpc, rng);
-      outcome.leak_ec_bits += result.leaked_bits;
-      outcome.reconcile_rounds += result.rounds;
-      if (!result.success) {
-        // Frame lost: skip it (its leakage still counts - Eve heard it).
-        continue;
-      }
-      alice_reconciled.append(alice_payload);
-      bob_reconciled.append(result.corrected);
-    }
-  } else {
-    reconcile::CascadeConfig cascade = config_.cascade;
-    cascade.qber_hint = qber_for_decoding;
-    cascade.seed = block_id * 0x2545f4914f6cdd1dULL + 1;
-    const auto result = reconcile::cascade_reconcile_local(
-        alice_key, bob_key, qber_for_decoding, cascade);
-    outcome.leak_ec_bits += result.leaked_bits;
-    outcome.reconcile_rounds += result.rounds;
-    alice_reconciled = alice_key;
-    bob_reconciled = result.corrected;
-  }
-  outcome.reconciled_bits = bob_reconciled.size();
-  if (outcome.reconciled_bits == 0) {
-    outcome.abort_reason = "reconciliation produced no frames";
-    outcome.timings.reconcile = stopwatch.seconds();
-    return outcome;
-  }
-  outcome.efficiency =
-      static_cast<double>(outcome.leak_ec_bits) /
-      (static_cast<double>(outcome.reconciled_bits) *
-       binary_entropy(std::max(estimate.qber, 1e-4)));
-  outcome.timings.reconcile = stopwatch.seconds();
-
-  // --- verification ----------------------------------------------------------
-  stopwatch.reset();
-  const std::uint64_t verify_seed = rng.next_u64();
-  if (privacy::verification_tag(alice_reconciled, verify_seed) !=
-      privacy::verification_tag(bob_reconciled, verify_seed)) {
-    outcome.abort_reason = "verification mismatch";
-    outcome.timings.verify = stopwatch.seconds();
-    return outcome;
-  }
-  constexpr std::uint64_t kVerifyTagBits = 128;  // tag reveals <= its length
-  outcome.timings.verify = stopwatch.seconds();
-
-  // --- privacy amplification --------------------------------------------------
-  stopwatch.reset();
-  const auto plan = privacy::plan_privacy_amplification(
-      bob_reconciled.size(), outcome.pe_sample_bits, estimate.qber,
-      outcome.leak_ec_bits + kVerifyTagBits, config_.security);
-  if (!plan.viable) {
-    outcome.abort_reason = "no extractable secret key";
-    outcome.timings.amplify = stopwatch.seconds();
-    return outcome;
-  }
-  const BitVec seed = privacy::toeplitz_seed(
-      rng.next_u64(), bob_reconciled.size() + plan.output_bits - 1);
-  outcome.final_key =
-      privacy::toeplitz_hash(bob_reconciled, seed, plan.output_bits);
-  outcome.final_key_bits = outcome.final_key.size();
-  outcome.timings.amplify = stopwatch.seconds();
-  outcome.success = true;
+  const engine::BlockInput input = engine::make_block_input(record, block_id);
+  BlockOutcome outcome = engine_->process_block(input, block_id, rng);
+  outcome.timings.simulate = simulate_seconds;
   return outcome;
 }
 

@@ -1,81 +1,38 @@
-// Offline (single-process) post-processing pipeline.
+// Offline (single-process) pipeline: a thin adapter over PostprocessEngine.
 //
-// Holds both endpoints of the link in one process and runs the complete
-// distillation chain - simulate, sift, estimate, reconcile, verify,
-// amplify - over blocks of pulses, with per-stage wall-clock timings and an
-// exact leakage ledger. This is the workhorse behind the throughput benches
-// (F1, T2) and the quickstart; the two-party state machines over a real
-// channel live in session.hpp.
+// Holds both endpoints of the link in one process: it simulates a block of
+// pulses (the "hardware", timed separately) and hands the raw detection
+// material to engine::PostprocessEngine, which owns the complete
+// distillation chain - sift, estimate, reconcile, verify, amplify - with
+// each stage placed on a device by the mapping optimizer. All stage logic,
+// timings and the leakage ledger live in src/engine/; this file only adds
+// the simulator and the block-size policy. The two-party state machines
+// over a real channel live in session.hpp.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-#include <string>
+#include <memory>
 
-#include "common/bitvec.hpp"
 #include "common/rng.hpp"
-#include "privacy/pa_planner.hpp"
-#include "reconcile/reconciler.hpp"
-#include "protocol/messages.hpp"
+#include "engine/engine.hpp"
 #include "sim/bb84.hpp"
 
 namespace qkdpp::pipeline {
 
-struct OfflineConfig {
+// Block-level result types are engine types; aliased for source
+// compatibility with pre-engine callers.
+using engine::BlockOutcome;
+using engine::StageTimings;
+
+struct OfflineConfig : engine::PostprocessParams {
   sim::LinkConfig link;
-  std::size_t pulses_per_block = 1 << 20;
-  /// Fraction of sifted *signal* bits sacrificed to parameter estimation.
-  double pe_fraction = 0.10;
-  /// Abort threshold on the estimated QBER (BB84 hard limit is 11%).
-  double qber_abort = 0.11;
-  protocol::ReconcileMethod method = protocol::ReconcileMethod::kLdpc;
-  reconcile::LdpcReconcilerConfig ldpc;
-  reconcile::CascadeConfig cascade;
-  privacy::SecurityParams security;
-};
-
-/// Wall-clock seconds per stage for one block (drives experiment F1).
-struct StageTimings {
-  double simulate = 0.0;  ///< not post-processing; reported separately
-  double sift = 0.0;
-  double estimate = 0.0;
-  double reconcile = 0.0;
-  double verify = 0.0;
-  double amplify = 0.0;
-
-  double post_processing_total() const noexcept {
-    return sift + estimate + reconcile + verify + amplify;
-  }
-};
-
-struct BlockOutcome {
-  std::uint64_t block_id = 0;
-  bool success = false;
-  std::string abort_reason;
-
-  std::size_t pulses = 0;
-  std::size_t detections = 0;
-  std::size_t sifted_bits = 0;       ///< matched-basis detections
-  std::size_t key_candidate_bits = 0;///< signal-class sifted bits
-  std::size_t pe_sample_bits = 0;
-  double qber_estimate = 0.0;
-  double qber_upper = 0.0;
-
-  std::size_t reconciled_bits = 0;   ///< payload that survived framing
-  std::uint64_t leak_ec_bits = 0;
-  double efficiency = 0.0;
-  std::uint64_t reconcile_rounds = 0;
-
-  std::size_t final_key_bits = 0;
-  BitVec final_key;                  ///< identical on both ends by construction
-
-  StageTimings timings;
-
-  /// Secret key rate per emitted pulse.
-  double skr_per_pulse() const noexcept {
-    return pulses ? static_cast<double>(final_key_bits) /
-                        static_cast<double>(pulses)
-                  : 0.0;
-  }
+  std::size_t pulses_per_block = std::size_t{1} << 20;
+  /// Device roster + placement policy for the underlying engine. The
+  /// default single-CPU roster reproduces the classic all-host pipeline;
+  /// pass engine::EngineOptions::standard() to let the mapper spread the
+  /// stages over the heterogeneous device set.
+  engine::EngineOptions engine_options = engine::EngineOptions::cpu_only();
 };
 
 class OfflinePipeline {
@@ -83,6 +40,11 @@ class OfflinePipeline {
   explicit OfflinePipeline(OfflineConfig config);
 
   const OfflineConfig& config() const noexcept { return config_; }
+
+  /// The engine this pipeline adapts (placement, device accounting).
+  const engine::PostprocessEngine& postprocess_engine() const noexcept {
+    return *engine_;
+  }
 
   /// Run one block end to end. Aborted blocks return success=false with the
   /// stage that aborted in abort_reason (this is the expected behaviour on
@@ -92,6 +54,7 @@ class OfflinePipeline {
  private:
   OfflineConfig config_;
   sim::Bb84Simulator simulator_;
+  std::unique_ptr<engine::PostprocessEngine> engine_;
 };
 
 }  // namespace qkdpp::pipeline

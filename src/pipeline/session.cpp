@@ -1,11 +1,9 @@
 #include "pipeline/session.hpp"
 
-#include <algorithm>
-
 #include "common/crc.hpp"
-#include "common/entropy.hpp"
 #include "common/error.hpp"
-#include "privacy/toeplitz.hpp"
+#include "engine/primitives.hpp"
+#include "privacy/pa_planner.hpp"
 #include "privacy/verification.hpp"
 #include "protocol/messages.hpp"
 #include "protocol/param_estimation.hpp"
@@ -62,23 +60,6 @@ T expect_msg(ClassicalChannel& channel) {
                     protocol::message_name(message));
   }
   return std::move(*typed);
-}
-
-/// Shared by both sides: the key candidates left after estimation are the
-/// signal-class sifted positions that were not revealed.
-BitVec remaining_key(const BitVec& sifted, const BitVec& signal_mask,
-                     const std::vector<std::uint32_t>& revealed) {
-  std::vector<std::uint8_t> is_revealed(sifted.size(), 0);
-  for (const auto p : revealed) {
-    if (p < is_revealed.size()) is_revealed[p] = 1;
-  }
-  BitVec key;
-  for (std::size_t i = 0; i < sifted.size(); ++i) {
-    if (signal_mask.get(i) && !is_revealed[i]) {
-      key.push_back(sifted.get(i));
-    }
-  }
-  return key;
 }
 
 std::uint32_t pa_params_crc(const PaParams& params) {
@@ -140,30 +121,19 @@ SessionResult run_alice_session(ClassicalChannel& channel,
     result.sifted_bits = sift.sifted_key.size();
 
     // --- parameter estimation ---------------------------------------------
-    std::vector<std::uint32_t> signal_positions;
-    PeReveal reveal;
-    reveal.block_id = block_id;
-    for (std::size_t i = 0; i < sift.sifted_key.size(); ++i) {
-      if (sift.result.signal_mask.get(i)) {
-        signal_positions.push_back(static_cast<std::uint32_t>(i));
-      } else {
-        reveal.positions.push_back(static_cast<std::uint32_t>(i));
-      }
-    }
-    result.key_candidate_bits = signal_positions.size();
-    if (signal_positions.size() < 64) {
+    const auto split =
+        engine::split_sifted(sift.sifted_key, sift.result.signal_mask);
+    result.key_candidate_bits = split.signal_positions.size();
+    if (split.signal_positions.size() < 64) {
       send_abort(channel, block_id, "insufficient sifted key");
       result.abort_reason = "insufficient sifted key";
       result.channel = channel.counters();
       return result;
     }
-    const auto sample_size = static_cast<std::size_t>(
-        config.pe_fraction * static_cast<double>(signal_positions.size()));
-    for (const auto s :
-         rng.sample_without_replacement(signal_positions.size(), sample_size)) {
-      reveal.positions.push_back(signal_positions[s]);
-    }
-    std::sort(reveal.positions.begin(), reveal.positions.end());
+    PeReveal reveal;
+    reveal.block_id = block_id;
+    reveal.positions =
+        engine::choose_pe_positions(split, config.pe_fraction, rng);
     for (const auto p : reveal.positions) {
       reveal.alice_bits.push_back(sift.sifted_key.get(p));
     }
@@ -192,10 +162,9 @@ SessionResult run_alice_session(ClassicalChannel& channel,
       return result;
     }
 
-    const BitVec key = remaining_key(sift.sifted_key,
-                                     sift.result.signal_mask,
-                                     reveal.positions);
-    const double qber_hint = std::max(estimate.qber, 1e-4);
+    const BitVec key = engine::remaining_key(
+        sift.sifted_key, sift.result.signal_mask, reveal.positions);
+    const double qber_hint = engine::qber_floor(estimate.qber);
 
     // --- reconciliation -----------------------------------------------------
     BitVec reconciled;
@@ -270,7 +239,7 @@ SessionResult run_alice_session(ClassicalChannel& channel,
       send_msg(channel, start);
 
       const reconcile::CascadeResponder responder(key, perm_seed,
-                                                  config.cascade_passes);
+                                                  config.cascade.passes);
       for (;;) {
         Message message = protocol::decode_message(channel.receive());
         if (auto* abort = std::get_if<Abort>(&message)) {
@@ -326,7 +295,7 @@ SessionResult run_alice_session(ClassicalChannel& channel,
     // --- privacy amplification --------------------------------------------------
     const auto pa_plan = privacy::plan_privacy_amplification(
         reconciled.size(), reveal.positions.size(), estimate.qber,
-        result.leak_ec_bits + 128, config.security);
+        result.leak_ec_bits + engine::kVerifyTagBits, config.security);
     if (!pa_plan.viable) {
       send_abort(channel, block_id, "no extractable secret key");
       result.abort_reason = "no extractable secret key";
@@ -338,10 +307,8 @@ SessionResult run_alice_session(ClassicalChannel& channel,
     pa.seed = rng.next_u64();
     pa.out_len = pa_plan.output_bits;
     send_msg(channel, pa);
-    const BitVec seed = privacy::toeplitz_seed(
-        pa.seed, reconciled.size() + pa_plan.output_bits - 1);
-    result.final_key = privacy::toeplitz_hash(reconciled, seed,
-                                              pa_plan.output_bits);
+    result.final_key =
+        engine::apply_toeplitz(pa.seed, reconciled, pa_plan.output_bits);
 
     // --- confirmation (non-secret parameter checksum) ---------------------------
     KeyConfirm confirm{block_id, block_id, pa_params_crc(pa)};
@@ -397,8 +364,8 @@ SessionResult run_bob_session(ClassicalChannel& channel,
       return result;
     }
 
-    const BitVec key = remaining_key(sifted, sift_result.signal_mask,
-                                     reveal.positions);
+    const BitVec key = engine::remaining_key(sifted, sift_result.signal_mask,
+                                             reveal.positions);
     result.key_candidate_bits = key.size();
 
     // --- reconciliation -----------------------------------------------------
@@ -423,7 +390,7 @@ SessionResult run_bob_session(ClassicalChannel& channel,
             key.subvec(f * plan.payload_bits, plan.payload_bits);
         reconcile::LdpcFrameReceiver receiver(
             plan, payload, start.perm_seed,
-            std::max(start.qber_hint, 1e-4), config.ldpc.decoder);
+            engine::qber_floor(start.qber_hint), config.ldpc.decoder);
         auto attempt = receiver.try_decode(start.syndrome);
         unsigned round = 0;
         while (!attempt.converged && round < config.ldpc.max_blind_rounds) {
@@ -442,9 +409,8 @@ SessionResult run_bob_session(ClassicalChannel& channel,
     } else {
       // Cascade: Bob drives, Alice serves parities.
       RemoteParityOracle oracle(channel, block_id);
-      reconcile::CascadeConfig cascade;
-      cascade.passes = config.cascade_passes;
-      cascade.qber_hint = std::max(first_start.qber_hint, 1e-4);
+      reconcile::CascadeConfig cascade = config.cascade;
+      cascade.qber_hint = engine::qber_floor(first_start.qber_hint);
       cascade.seed = first_start.perm_seed;
       BitVec corrected = key;
       const auto cascade_result =
@@ -473,10 +439,8 @@ SessionResult run_bob_session(ClassicalChannel& channel,
 
     // --- privacy amplification --------------------------------------------------
     const auto pa = expect_msg<PaParams>(channel);
-    const BitVec seed = privacy::toeplitz_seed(
-        pa.seed, reconciled.size() + pa.out_len - 1);
-    result.final_key = privacy::toeplitz_hash(
-        reconciled, seed, static_cast<std::size_t>(pa.out_len));
+    result.final_key = engine::apply_toeplitz(
+        pa.seed, reconciled, static_cast<std::size_t>(pa.out_len));
 
     // --- confirmation -----------------------------------------------------------
     const auto alice_confirm = expect_msg<KeyConfirm>(channel);

@@ -18,30 +18,32 @@
 //   Alice:                 <- PaParams
 //   both:  KeyConfirm      (non-secret bookkeeping)
 //
-// Abort at any decision point is a message, not an exception; both sides
-// return success=false with the same reason. Channel/authentication
-// failures do throw - they are attacks or bugs, not expected physics.
+// The per-stage computations (PE position selection, key extraction,
+// leakage accounting, PA application) are the engine's shared primitives
+// (engine/primitives.hpp) - this file only owns the message choreography,
+// so both deployments distill bit-identical keys from the same raw
+// material. Abort at any decision point is a message, not an exception;
+// both sides return success=false with the same reason. Channel /
+// authentication failures do throw - they are attacks or bugs, not
+// expected physics.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/bitvec.hpp"
 #include "common/rng.hpp"
-#include "pipeline/offline.hpp"
+#include "engine/params.hpp"
 #include "protocol/channel.hpp"
 #include "protocol/sifting.hpp"
 
 namespace qkdpp::pipeline {
 
-struct SessionConfig {
-  double pe_fraction = 0.10;
-  double qber_abort = 0.11;
-  protocol::ReconcileMethod method = protocol::ReconcileMethod::kLdpc;
-  reconcile::LdpcReconcilerConfig ldpc;
-  std::uint32_t cascade_passes = 6;
-  privacy::SecurityParams security;
-};
+/// The session consumes the same parameter set as the engine and the
+/// offline pipeline - one struct, three deployments.
+using SessionConfig = engine::PostprocessParams;
 
 struct SessionResult {
   bool success = false;
