@@ -58,6 +58,17 @@ void print_json(const std::vector<Row>& rows) {
                 "\"reconcile\":%.6f,\"verify\":%.6f,\"amplify\":%.6f}",
                 row.timings.sift, row.timings.estimate, row.timings.reconcile,
                 row.timings.verify, row.timings.amplify);
+    // Per-stage throughput (blocks/s if this stage ran alone) - the number
+    // the cross-PR perf trajectory tracks per kernel.
+    const auto items_per_s = [](double seconds) {
+      return seconds > 0.0 ? 1.0 / seconds : 0.0;
+    };
+    std::printf(",\"stage_items_per_s\":{\"sift\":%.2f,\"estimate\":%.2f,"
+                "\"reconcile\":%.2f,\"verify\":%.2f,\"amplify\":%.2f}",
+                items_per_s(row.timings.sift), items_per_s(row.timings.estimate),
+                items_per_s(row.timings.reconcile),
+                items_per_s(row.timings.verify),
+                items_per_s(row.timings.amplify));
     std::printf(",\"mapping\":{");
     for (std::size_t s = 0; s < row.stage_names.size(); ++s) {
       std::printf("%s\"%s\":\"%s\"", s ? "," : "", row.stage_names[s].c_str(),

@@ -1,5 +1,17 @@
 #!/usr/bin/env sh
 # Tier-1 verify: configure, build, run the full test suite.
+#
+# Set QKDPP_CHECK_SANITIZE=1 to additionally build and run the suite under
+# ASan+UBSan (separate build tree) - the word-twiddling kernels (clmul,
+# BitVec select/scatter) are exactly the kind of code where shift and
+# masking bugs hide, and the sanitizers catch them deterministically.
 set -eu
 cd "$(dirname "$0")/.."
-cmake -B build -S . && cmake --build build -j && cd build && ctest --output-on-failure -j
+cmake -B build -S . && cmake --build build -j && (cd build && ctest --output-on-failure -j)
+
+if [ "${QKDPP_CHECK_SANITIZE:-0}" = "1" ]; then
+  echo "== ASan+UBSan pass =="
+  cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DQKDPP_SANITIZE=ON
+  cmake --build build-asan -j
+  (cd build-asan && ctest --output-on-failure -j)
+fi

@@ -1,0 +1,45 @@
+#!/usr/bin/env sh
+# Perf trajectory plumbing: run bench_pipeline_e2e + bench_toeplitz and
+# write BENCH_pipeline.json at the repo root, so subsequent PRs can compare
+# end-to-end blocks/s, per-stage items/s, and the Toeplitz kernel times
+# against this baseline.
+#
+# Env knobs:
+#   BUILD_DIR        build tree to use (default: build)
+#   TOEPLITZ_FILTER  google-benchmark filter for the kernel sweep
+#                    (default: the 65536/100000-bit acceptance points)
+set -eu
+cd "$(dirname "$0")/.."
+BUILD=${BUILD_DIR:-build}
+FILTER=${TOEPLITZ_FILTER:-'(BM_ToeplitzDirect|BM_ToeplitzClmul|BM_ToeplitzNtt)/(65536|100000)$'}
+
+cmake -B "$BUILD" -S . >/dev/null
+cmake --build "$BUILD" -j --target bench_pipeline_e2e >/dev/null
+
+echo "== bench_pipeline_e2e =="
+# No pipe here: under `set -e` a pipeline would mask a crashing bench with
+# tee's exit status and bake a garbage baseline into BENCH_pipeline.json.
+"$BUILD"/bench_pipeline_e2e > "$BUILD"/bench_pipeline_e2e.out
+cat "$BUILD"/bench_pipeline_e2e.out
+PIPELINE_JSON=$(tail -n 1 "$BUILD"/bench_pipeline_e2e.out)
+case "$PIPELINE_JSON" in
+  '{'*'}') ;;
+  *) echo "error: bench_pipeline_e2e summary line is not JSON" >&2; exit 1 ;;
+esac
+
+# bench_toeplitz needs google-benchmark; degrade gracefully without it.
+TOEPLITZ_JSON=null
+if cmake --build "$BUILD" -j --target bench_toeplitz >/dev/null 2>&1 \
+    && [ -x "$BUILD"/bench_toeplitz ]; then
+  echo "== bench_toeplitz ($FILTER) =="
+  "$BUILD"/bench_toeplitz --benchmark_filter="$FILTER" \
+    --benchmark_format=json > "$BUILD"/bench_toeplitz.json
+  TOEPLITZ_JSON=$(cat "$BUILD"/bench_toeplitz.json)
+fi
+
+{
+  printf '{"schema":"qkdpp-bench-v1","unit":"blocks_per_s",'
+  printf '"pipeline_e2e":%s,' "$PIPELINE_JSON"
+  printf '"toeplitz":%s}\n' "$TOEPLITZ_JSON"
+} > BENCH_pipeline.json
+echo "wrote BENCH_pipeline.json"

@@ -5,7 +5,79 @@
 
 #include "common/error.hpp"
 
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define QKDPP_X86_BMI2 1
+#include <immintrin.h>
+#endif
+
 namespace qkdpp {
+
+namespace {
+
+// Per-word compress/expand primitives. The BMI2 variants are compiled with
+// function-level target attributes and chosen once at startup, so the
+// default build stays portable while PEXT/PDEP-capable CPUs get the
+// single-instruction path.
+
+std::uint64_t extract_bits_portable(std::uint64_t w, std::uint64_t m) noexcept {
+  std::uint64_t out = 0;
+  unsigned k = 0;
+  while (m != 0) {
+    const std::uint64_t lsb = m & (~m + 1);
+    out |= std::uint64_t{(w & lsb) != 0} << k;
+    ++k;
+    m &= m - 1;
+  }
+  return out;
+}
+
+std::uint64_t deposit_bits_portable(std::uint64_t w, std::uint64_t m) noexcept {
+  std::uint64_t out = 0;
+  unsigned k = 0;
+  while (m != 0) {
+    const std::uint64_t lsb = m & (~m + 1);
+    out |= ((w >> k) & 1u) ? lsb : 0;
+    ++k;
+    m &= m - 1;
+  }
+  return out;
+}
+
+#ifdef QKDPP_X86_BMI2
+
+__attribute__((target("bmi2"))) std::uint64_t extract_bits_bmi2(
+    std::uint64_t w, std::uint64_t m) noexcept {
+  return _pext_u64(w, m);
+}
+
+__attribute__((target("bmi2"))) std::uint64_t deposit_bits_bmi2(
+    std::uint64_t w, std::uint64_t m) noexcept {
+  return _pdep_u64(w, m);
+}
+
+const bool g_has_bmi2 = __builtin_cpu_supports("bmi2") != 0;
+
+inline std::uint64_t extract_bits(std::uint64_t w, std::uint64_t m) noexcept {
+  return g_has_bmi2 ? extract_bits_bmi2(w, m) : extract_bits_portable(w, m);
+}
+
+inline std::uint64_t deposit_bits(std::uint64_t w, std::uint64_t m) noexcept {
+  return g_has_bmi2 ? deposit_bits_bmi2(w, m) : deposit_bits_portable(w, m);
+}
+
+#else
+
+inline std::uint64_t extract_bits(std::uint64_t w, std::uint64_t m) noexcept {
+  return extract_bits_portable(w, m);
+}
+
+inline std::uint64_t deposit_bits(std::uint64_t w, std::uint64_t m) noexcept {
+  return deposit_bits_portable(w, m);
+}
+
+#endif  // QKDPP_X86_BMI2
+
+}  // namespace
 
 BitVec::BitVec(std::size_t nbits, bool value)
     : nbits_(nbits),
@@ -15,8 +87,14 @@ BitVec::BitVec(std::size_t nbits, bool value)
 
 BitVec BitVec::from_bools(std::span<const std::uint8_t> bools) {
   BitVec v(bools.size());
-  for (std::size_t i = 0; i < bools.size(); ++i) {
-    if (bools[i]) v.set(i, true);
+  // Build each word in a register instead of 64 read-modify-writes.
+  for (std::size_t base = 0; base < bools.size(); base += 64) {
+    const std::size_t lim = std::min<std::size_t>(64, bools.size() - base);
+    std::uint64_t acc = 0;
+    for (std::size_t k = 0; k < lim; ++k) {
+      acc |= std::uint64_t{bools[base + k] != 0} << k;
+    }
+    v.words_[base >> 6] = acc;
   }
   return v;
 }
@@ -151,8 +229,60 @@ void BitVec::append(const BitVec& other) {
 
 BitVec BitVec::gather(std::span<const std::uint32_t> positions) const {
   BitVec out(positions.size());
-  for (std::size_t i = 0; i < positions.size(); ++i) {
-    if (get(positions[i])) out.set(i, true);
+  // Accumulate each output word in a register; the source reads stay
+  // irregular but the writes become one store per 64 bits.
+  for (std::size_t base = 0; base < positions.size(); base += 64) {
+    const std::size_t lim = std::min<std::size_t>(64, positions.size() - base);
+    std::uint64_t acc = 0;
+    for (std::size_t k = 0; k < lim; ++k) {
+      acc |= std::uint64_t{get(positions[base + k])} << k;
+    }
+    out.words_[base >> 6] = acc;
+  }
+  return out;
+}
+
+BitVec BitVec::select(const BitVec& mask) const {
+  QKDPP_REQUIRE(nbits_ == mask.nbits_, "BitVec size mismatch in select");
+  BitVec out(mask.popcount());
+  std::uint64_t acc = 0;
+  unsigned fill = 0;
+  std::size_t ow = 0;
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    const std::uint64_t m = mask.words_[i];
+    if (m == 0) continue;
+    const std::uint64_t bits = extract_bits(words_[i], m);
+    const auto cnt = static_cast<unsigned>(std::popcount(m));
+    acc |= bits << fill;
+    if (fill + cnt >= 64) {
+      out.words_[ow++] = acc;
+      acc = fill != 0 ? bits >> (64 - fill) : 0;
+      fill = fill + cnt - 64;
+    } else {
+      fill += cnt;
+    }
+  }
+  if (fill != 0) out.words_[ow] = acc;
+  return out;
+}
+
+BitVec BitVec::scatter(const BitVec& mask) const {
+  QKDPP_REQUIRE(nbits_ == mask.popcount(), "BitVec size mismatch in scatter");
+  BitVec out(mask.nbits_);
+  std::size_t cursor = 0;  // next unread source bit
+  for (std::size_t i = 0; i < out.words_.size(); ++i) {
+    const std::uint64_t m = mask.words_[i];
+    if (m == 0) continue;
+    // Read the next popcount(m) source bits (they span at most two words);
+    // deposit_bits ignores anything above that count.
+    const std::size_t word = cursor >> 6;
+    const std::size_t shift = cursor & 63;
+    std::uint64_t bits = words_[word] >> shift;
+    if (shift != 0 && word + 1 < words_.size()) {
+      bits |= words_[word + 1] << (64 - shift);
+    }
+    out.words_[i] = deposit_bits(bits, m);
+    cursor += static_cast<std::size_t>(std::popcount(m));
   }
   return out;
 }

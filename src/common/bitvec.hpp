@@ -47,6 +47,8 @@ class BitVec {
   void push_back(bool v);
   void resize(std::size_t nbits);
   void clear() noexcept;
+  /// Pre-allocate backing words for `nbits` bits (size() is unchanged).
+  void reserve(std::size_t nbits) { words_.reserve(words_for(nbits)); }
 
   /// Word-level read access for bulk kernels.
   std::span<const std::uint64_t> words() const noexcept { return words_; }
@@ -79,6 +81,16 @@ class BitVec {
 
   /// Gather bits at the given positions (in order) into a new vector.
   BitVec gather(std::span<const std::uint32_t> positions) const;
+
+  /// Word-level compress: the bits at positions where `mask` is set, in
+  /// order. Result length is mask.popcount(). Requires equal sizes.
+  /// (BMI2 PEXT per word when the CPU has it, portable bit loop otherwise.)
+  BitVec select(const BitVec& mask) const;
+
+  /// Word-level expand, the inverse of select(): bit k of *this lands at
+  /// the position of the k-th set bit of `mask`; other positions are zero.
+  /// Requires size() == mask.popcount(); result length is mask.size().
+  BitVec scatter(const BitVec& mask) const;
 
   /// Little-endian byte serialization (size() bits, last byte zero-padded).
   std::vector<std::uint8_t> to_bytes() const;

@@ -1,0 +1,215 @@
+#include "common/clmul.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/error.hpp"
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define QKDPP_X86_CLMUL 1
+#include <immintrin.h>
+#endif
+
+namespace qkdpp {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Leaf kernels: word-level schoolbook, XOR-accumulating into out[0 .. na+nb).
+// Pure accumulation (only ^=), so they are safe on any target region.
+
+/// Portable leaf: 4-bit-window clmul with the window table hoisted out of
+/// the inner loop (one table build per multiplicand word, not per product).
+void schoolbook_portable(const std::uint64_t* a, std::size_t na,
+                         const std::uint64_t* b, std::size_t nb,
+                         std::uint64_t* out) noexcept {
+  std::uint64_t tab_lo[16];
+  std::uint64_t tab_hi[16];
+  for (std::size_t i = 0; i < na; ++i) {
+    const std::uint64_t ai = a[i];
+    tab_lo[0] = 0;
+    tab_hi[0] = 0;
+    tab_lo[1] = ai;
+    tab_hi[1] = 0;
+    for (int w = 2; w < 16; w += 2) {
+      tab_lo[w] = tab_lo[w / 2] << 1;
+      tab_hi[w] = (tab_hi[w / 2] << 1) | (tab_lo[w / 2] >> 63);
+      tab_lo[w + 1] = tab_lo[w] ^ ai;
+      tab_hi[w + 1] = tab_hi[w];
+    }
+    for (std::size_t j = 0; j < nb; ++j) {
+      const std::uint64_t bj = b[j];
+      std::uint64_t lo = 0;
+      std::uint64_t hi = 0;
+      for (int k = 15; k >= 0; --k) {
+        hi = (hi << 4) | (lo >> 60);
+        lo <<= 4;
+        const unsigned w = static_cast<unsigned>(bj >> (4 * k)) & 0xfu;
+        lo ^= tab_lo[w];
+        hi ^= tab_hi[w];
+      }
+      out[i + j] ^= lo;
+      out[i + j + 1] ^= hi;
+    }
+  }
+}
+
+#ifdef QKDPP_X86_CLMUL
+
+/// Hardware leaf: one PCLMULQDQ per 64x64 product. Compiled with a
+/// function-level target attribute so the rest of the build stays portable;
+/// selected at runtime only when the CPU reports the feature.
+__attribute__((target("pclmul,sse2"))) void schoolbook_pclmul(
+    const std::uint64_t* a, std::size_t na, const std::uint64_t* b,
+    std::size_t nb, std::uint64_t* out) noexcept {
+  for (std::size_t i = 0; i < na; ++i) {
+    const __m128i va = _mm_cvtsi64_si128(static_cast<long long>(a[i]));
+    for (std::size_t j = 0; j < nb; ++j) {
+      const __m128i vb = _mm_cvtsi64_si128(static_cast<long long>(b[j]));
+      const __m128i p = _mm_clmulepi64_si128(va, vb, 0x00);
+      out[i + j] ^=
+          static_cast<std::uint64_t>(_mm_cvtsi128_si64(p));
+      out[i + j + 1] ^= static_cast<std::uint64_t>(
+          _mm_cvtsi128_si64(_mm_unpackhi_epi64(p, p)));
+    }
+  }
+}
+
+__attribute__((target("pclmul,sse2"))) U128
+clmul64_pclmul(std::uint64_t a, std::uint64_t b) noexcept {
+  const __m128i p =
+      _mm_clmulepi64_si128(_mm_cvtsi64_si128(static_cast<long long>(a)),
+                           _mm_cvtsi64_si128(static_cast<long long>(b)), 0x00);
+  return {static_cast<std::uint64_t>(
+              _mm_cvtsi128_si64(_mm_unpackhi_epi64(p, p))),
+          static_cast<std::uint64_t>(_mm_cvtsi128_si64(p))};
+}
+
+bool detect_pclmul() noexcept {
+  return __builtin_cpu_supports("pclmul") != 0;
+}
+
+#else
+
+bool detect_pclmul() noexcept { return false; }
+
+#endif  // QKDPP_X86_CLMUL
+
+const bool g_has_pclmul = detect_pclmul();
+
+inline void schoolbook(const std::uint64_t* a, std::size_t na,
+                       const std::uint64_t* b, std::size_t nb,
+                       std::uint64_t* out) noexcept {
+#ifdef QKDPP_X86_CLMUL
+  if (g_has_pclmul) {
+    schoolbook_pclmul(a, na, b, nb, out);
+    return;
+  }
+#endif
+  schoolbook_portable(a, na, b, nb, out);
+}
+
+// ---------------------------------------------------------------------------
+// Balanced Karatsuba over n-word operands.
+//
+// XORs a*b into out[0 .. 2n), which must be *pristine* (contain no prior
+// data this call must preserve): the middle-term correction reads the z0/z2
+// partial products back out of `out`, so foreign bits there would leak into
+// the result. The chunking driver below guarantees this by multiplying into
+// a zeroed product buffer.
+
+std::size_t kara_scratch_words(std::size_t n) noexcept {
+  std::size_t total = 0;
+  while (n > kKaratsubaThresholdWords) {
+    const std::size_t m = n - n / 2;
+    total += 4 * m;
+    n = m;
+  }
+  return total;
+}
+
+void kara(const std::uint64_t* a, const std::uint64_t* b, std::size_t n,
+          std::uint64_t* out, std::uint64_t* scratch) noexcept {
+  if (n <= kKaratsubaThresholdWords) {
+    schoolbook(a, n, b, n, out);
+    return;
+  }
+  const std::size_t h = n / 2;
+  const std::size_t m = n - h;  // m >= h
+  std::uint64_t* asum = scratch;
+  std::uint64_t* bsum = scratch + m;
+  std::uint64_t* z1 = scratch + 2 * m;
+  std::uint64_t* sub = scratch + 4 * m;
+  // (a0 ^ a1), (b0 ^ b1): low halves zero-extended to m words.
+  for (std::size_t k = 0; k < m; ++k) {
+    asum[k] = a[h + k];
+    bsum[k] = b[h + k];
+  }
+  for (std::size_t k = 0; k < h; ++k) {
+    asum[k] ^= a[k];
+    bsum[k] ^= b[k];
+  }
+  std::fill(z1, z1 + 2 * m, 0);
+  kara(asum, bsum, m, z1, sub);   // (a0^a1)(b0^b1)
+  kara(a, b, h, out, sub);        // z0 -> out[0, 2h)
+  kara(a + h, b + h, m, out + 2 * h, sub);  // z2 -> out[2h, 2n)
+  // Middle term z1 ^ z0 ^ z2 at word offset h. Fold z0/z2 into z1 *before*
+  // touching out's middle so no read observes a partially updated word.
+  for (std::size_t k = 0; k < 2 * h; ++k) z1[k] ^= out[k];
+  for (std::size_t k = 0; k < 2 * m; ++k) z1[k] ^= out[2 * h + k];
+  for (std::size_t k = 0; k < 2 * m; ++k) out[h + k] ^= z1[k];
+}
+
+}  // namespace
+
+bool clmul_has_hardware() noexcept { return g_has_pclmul; }
+
+U128 clmul64_fast(std::uint64_t a, std::uint64_t b) noexcept {
+#ifdef QKDPP_X86_CLMUL
+  if (g_has_pclmul) return clmul64_pclmul(a, b);
+#endif
+  return clmul64(a, b);
+}
+
+void gf2_poly_mul_acc(std::span<const std::uint64_t> a,
+                      std::span<const std::uint64_t> b,
+                      std::span<std::uint64_t> out) {
+  if (a.empty() || b.empty()) return;
+  QKDPP_REQUIRE(out.size() >= a.size() + b.size(),
+                "gf2_poly_mul_acc output too short");
+  // Orient so `a` is the shorter operand; chunk `b` into |a|-word pieces and
+  // run a balanced Karatsuba per chunk.
+  if (a.size() > b.size()) std::swap(a, b);
+  const std::size_t na = a.size();
+  if (na <= kKaratsubaThresholdWords) {
+    schoolbook(a.data(), na, b.data(), b.size(), out.data());
+    return;
+  }
+  std::vector<std::uint64_t> prod(2 * na);
+  std::vector<std::uint64_t> scratch(kara_scratch_words(na));
+  std::size_t off = 0;
+  for (; off + na <= b.size(); off += na) {
+    std::fill(prod.begin(), prod.end(), 0);
+    kara(a.data(), b.data() + off, na, prod.data(), scratch.data());
+    for (std::size_t k = 0; k < 2 * na; ++k) out[off + k] ^= prod[k];
+  }
+  if (off < b.size()) {
+    // Ragged tail chunk (shorter than |a|): recurse with roles flipped.
+    gf2_poly_mul_acc(b.subspan(off), a, out.subspan(off));
+  }
+}
+
+BitVec gf2_poly_mul(const BitVec& a, const BitVec& b) {
+  if (a.empty() || b.empty()) return BitVec();
+  const std::size_t out_bits = a.size() + b.size() - 1;
+  // The leaf kernels write one word past each partial product, so multiply
+  // into a full na+nb-word buffer and trim to the logical bit length (the
+  // mathematical product never sets bits beyond out_bits).
+  std::vector<std::uint64_t> prod(a.words().size() + b.words().size(), 0);
+  gf2_poly_mul_acc(a.words(), b.words(), prod);
+  BitVec out(out_bits);
+  std::copy_n(prod.begin(), out.words().size(), out.mutable_words().begin());
+  return out;
+}
+
+}  // namespace qkdpp

@@ -1,20 +1,41 @@
 #include "engine/primitives.hpp"
 
 #include <algorithm>
+#include <bit>
 
 #include "common/entropy.hpp"
+#include "common/error.hpp"
 #include "privacy/toeplitz.hpp"
 
 namespace qkdpp::engine {
 
 SignalSplit split_sifted(const BitVec& sifted, const BitVec& signal_mask) {
+  QKDPP_REQUIRE(sifted.size() == signal_mask.size(),
+                "signal mask does not match sifted length");
   SignalSplit split;
-  split.signal_positions.reserve(sifted.size());
-  for (std::size_t i = 0; i < sifted.size(); ++i) {
-    if (signal_mask.get(i)) {
-      split.signal_positions.push_back(static_cast<std::uint32_t>(i));
-    } else {
-      split.revealed_positions.push_back(static_cast<std::uint32_t>(i));
+  const std::size_t n_signal = signal_mask.popcount();
+  split.signal_positions.reserve(n_signal);
+  split.revealed_positions.reserve(sifted.size() - n_signal);
+  // Walk mask words with count-trailing-zeros instead of testing every bit;
+  // zero runs (and their complements) cost one word op each.
+  const auto words = signal_mask.words();
+  for (std::size_t wi = 0; wi < words.size(); ++wi) {
+    const auto base = static_cast<std::uint32_t>(wi << 6);
+    std::uint64_t sig = words[wi];
+    while (sig != 0) {
+      split.signal_positions.push_back(
+          base + static_cast<std::uint32_t>(std::countr_zero(sig)));
+      sig &= sig - 1;
+    }
+    std::uint64_t rev = ~words[wi];
+    if (wi == words.size() - 1) {
+      const std::size_t tail = sifted.size() & 63;
+      if (tail != 0) rev &= (std::uint64_t{1} << tail) - 1;
+    }
+    while (rev != 0) {
+      split.revealed_positions.push_back(
+          base + static_cast<std::uint32_t>(std::countr_zero(rev)));
+      rev &= rev - 1;
     }
   }
   return split;
@@ -23,9 +44,10 @@ SignalSplit split_sifted(const BitVec& sifted, const BitVec& signal_mask) {
 std::vector<std::uint32_t> choose_pe_positions(const SignalSplit& split,
                                                double fraction,
                                                Xoshiro256& rng) {
-  std::vector<std::uint32_t> positions = split.revealed_positions;
   const auto sample_size = static_cast<std::size_t>(
       fraction * static_cast<double>(split.signal_positions.size()));
+  std::vector<std::uint32_t> positions = split.revealed_positions;
+  positions.reserve(positions.size() + sample_size);
   for (const auto s : rng.sample_without_replacement(
            split.signal_positions.size(), sample_size)) {
     positions.push_back(split.signal_positions[s]);
@@ -36,17 +58,15 @@ std::vector<std::uint32_t> choose_pe_positions(const SignalSplit& split,
 
 BitVec remaining_key(const BitVec& sifted, const BitVec& signal_mask,
                      const std::vector<std::uint32_t>& revealed) {
-  std::vector<std::uint8_t> is_revealed(sifted.size(), 0);
+  QKDPP_REQUIRE(sifted.size() == signal_mask.size(),
+                "signal mask does not match sifted length");
+  // keep = signal & ~revealed, then one word-level compress.
+  BitVec keep = signal_mask;
+  auto keep_words = keep.mutable_words();
   for (const auto p : revealed) {
-    if (p < is_revealed.size()) is_revealed[p] = 1;
+    if (p < sifted.size()) keep_words[p >> 6] &= ~(std::uint64_t{1} << (p & 63));
   }
-  BitVec key;
-  for (std::size_t i = 0; i < sifted.size(); ++i) {
-    if (signal_mask.get(i) && !is_revealed[i]) {
-      key.push_back(sifted.get(i));
-    }
-  }
-  return key;
+  return sifted.select(keep);
 }
 
 BitVec apply_toeplitz(std::uint64_t seed, const BitVec& key,

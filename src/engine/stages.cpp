@@ -227,6 +227,10 @@ class ReconcileExecutor final : public StageExecutor {
     reconcile::LdpcReconcilerConfig effective = ctx.params->ldpc;
     effective.decoder.pool = ctx.pool;
     const std::size_t frames = state.alice_key.size() / plan.payload_bits;
+    // Reserve the reconciled accumulators once so the per-frame append()s
+    // never reallocate mid-block.
+    state.alice_reconciled.reserve(frames * plan.payload_bits);
+    state.bob_reconciled.reserve(frames * plan.payload_bits);
     for (std::size_t f = 0; f < frames; ++f) {
       const BitVec alice_payload =
           state.alice_key.subvec(f * plan.payload_bits, plan.payload_bits);

@@ -4,17 +4,27 @@
 // mapping into sustained pipeline throughput - the object the mapping
 // optimizer (mapper.hpp) reasons about.
 //
+// Concurrency design: each stage owns its *input* queue, with its own
+// mutex + condition variables. Neighbouring stages only ever contend on
+// the single queue they share, so stages mapped to different devices run
+// lock-free with respect to each other - under one global lock (the old
+// design) every enqueue/dequeue serialized the whole pipeline. End-of-
+// stream and failure propagate queue-to-queue: finish() closes the first
+// queue, each worker closes its downstream queue when its input drains,
+// and a failing stage flags the shared atomic and wakes every waiter.
+//
 // Header-only template so the runtime stays independent of the item type
 // (the key pipeline streams KeyBlocks; tests stream synthetic items).
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
-#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -45,12 +55,13 @@ class StreamPipeline {
   };
 
   StreamPipeline(std::vector<Stage> stages, std::size_t queue_capacity)
-      : stages_(std::move(stages)), queues_(stages_.size()) {
+      : stages_(std::move(stages)), capacity_(queue_capacity) {
     QKDPP_REQUIRE(!stages_.empty(), "pipeline needs at least one stage");
     QKDPP_REQUIRE(queue_capacity >= 1, "queue capacity must be positive");
-    capacity_ = queue_capacity;
+    queues_.reserve(stages_.size());
     stats_.resize(stages_.size());
     for (std::size_t s = 0; s < stages_.size(); ++s) {
+      queues_.push_back(std::make_unique<StageQueue>());
       stats_[s].name = stages_[s].name;
     }
     workers_.reserve(stages_.size());
@@ -60,13 +71,9 @@ class StreamPipeline {
   }
 
   ~StreamPipeline() {
-    // Abandon anything still queued; join workers.
-    {
-      std::scoped_lock lock(mutex_);
-      done_ = true;
-      failed_ = true;
-    }
-    cv_.notify_all();
+    // Abandon anything still queued; wake every waiter and join.
+    failed_.store(true, std::memory_order_release);
+    wake_all();
     for (auto& w : workers_) {
       if (w.joinable()) w.join();
     }
@@ -74,62 +81,109 @@ class StreamPipeline {
 
   /// Feed one item; blocks while the first queue is full (backpressure).
   void push(Item item) {
-    std::unique_lock lock(mutex_);
-    cv_.wait(lock, [this] {
-      return failed_ || queues_[0].size() < capacity_;
+    StageQueue& queue = *queues_.front();
+    std::unique_lock lock(queue.mutex);
+    queue.not_full.wait(lock, [&] {
+      return failed_.load(std::memory_order_acquire) ||
+             queue.items.size() < capacity_;
     });
-    if (failed_) rethrow_failure_locked();
-    queues_[0].push_back(std::move(item));
-    cv_.notify_all();
+    if (failed_.load(std::memory_order_acquire)) rethrow_failure();
+    queue.items.push_back(std::move(item));
+    queue.not_empty.notify_one();
   }
 
   /// Signal end-of-stream and wait for in-flight items to drain. Rethrows
   /// the first stage exception, if any.
   void finish() {
-    {
-      std::scoped_lock lock(mutex_);
-      done_ = true;
-    }
-    cv_.notify_all();
+    close(*queues_.front());
     for (auto& w : workers_) {
       if (w.joinable()) w.join();
     }
-    std::scoped_lock lock(mutex_);
-    if (failed_) rethrow_failure_locked();
+    if (failed_.load(std::memory_order_acquire)) rethrow_failure();
   }
 
   /// Completed items, in order, after finish().
   std::vector<Item>& results() { return results_; }
 
   std::vector<StageStats> stats() const {
-    std::scoped_lock lock(mutex_);
-    return stats_;
+    std::vector<StageStats> out(stages_.size());
+    for (std::size_t s = 0; s < stages_.size(); ++s) {
+      std::scoped_lock lock(queues_[s]->mutex);
+      out[s] = stats_[s];
+    }
+    return out;
   }
 
  private:
-  void rethrow_failure_locked() {
+  /// One stage's input queue: the only synchronization point shared between
+  /// stage s-1 (producer) and stage s (consumer).
+  struct StageQueue {
+    mutable std::mutex mutex;
+    std::condition_variable not_empty;
+    std::condition_variable not_full;
+    std::deque<Item> items;
+    bool closed = false;  ///< upstream finished; drain and exit
+  };
+
+  void rethrow_failure() {
+    std::scoped_lock lock(failure_mutex_);
     if (failure_) std::rethrow_exception(failure_);
     throw_error(ErrorCode::kChannelClosed, "pipeline aborted");
   }
 
+  void close(StageQueue& queue) {
+    {
+      std::scoped_lock lock(queue.mutex);
+      queue.closed = true;
+    }
+    queue.not_empty.notify_all();
+  }
+
+  void wake_all() {
+    for (auto& queue : queues_) {
+      std::scoped_lock lock(queue->mutex);
+      queue->not_empty.notify_all();
+      queue->not_full.notify_all();
+    }
+  }
+
+  void fail(std::exception_ptr error) {
+    {
+      std::scoped_lock lock(failure_mutex_);
+      if (!failure_) failure_ = error;
+    }
+    failed_.store(true, std::memory_order_release);
+    wake_all();
+  }
+
+  /// Move one item downstream; false when the pipeline failed meanwhile.
+  bool enqueue(StageQueue& queue, Item&& item) {
+    std::unique_lock lock(queue.mutex);
+    queue.not_full.wait(lock, [&] {
+      return failed_.load(std::memory_order_acquire) ||
+             queue.items.size() < capacity_;
+    });
+    if (failed_.load(std::memory_order_acquire)) return false;
+    queue.items.push_back(std::move(item));
+    queue.not_empty.notify_one();
+    return true;
+  }
+
   void stage_loop(std::size_t s) {
+    StageQueue& in = *queues_[s];
     for (;;) {
       Item item;
       {
-        std::unique_lock lock(mutex_);
-        cv_.wait(lock, [this, s] {
-          return failed_ || !queues_[s].empty() || upstream_finished(s);
+        std::unique_lock lock(in.mutex);
+        in.not_empty.wait(lock, [&] {
+          return failed_.load(std::memory_order_acquire) ||
+                 !in.items.empty() || in.closed;
         });
-        if (failed_) return;
-        if (queues_[s].empty()) {
-          // Upstream has finished and nothing is queued: stage complete.
-          stage_done_[s] = true;
-          cv_.notify_all();
-          return;
-        }
-        item = std::move(queues_[s].front());
-        queues_[s].pop_front();
-        cv_.notify_all();  // release producer backpressure
+        if (failed_.load(std::memory_order_acquire)) return;
+        if (in.items.empty()) break;  // closed and drained: stage complete
+        item = std::move(in.items.front());
+        in.items.pop_front();
+        in.not_full.notify_one();  // release producer backpressure
       }
 
       Stopwatch stopwatch;
@@ -137,48 +191,38 @@ class StreamPipeline {
       try {
         charged = stages_[s].work(item);
       } catch (...) {
-        std::scoped_lock lock(mutex_);
-        failed_ = true;
-        if (!failure_) failure_ = std::current_exception();
-        cv_.notify_all();
+        fail(std::current_exception());
         return;
       }
       const double wall = stopwatch.seconds();
 
-      std::unique_lock lock(mutex_);
-      stats_[s].items += 1;
-      stats_[s].busy_seconds += wall;
-      stats_[s].charged_seconds += charged;
+      {
+        std::scoped_lock lock(in.mutex);
+        stats_[s].items += 1;
+        stats_[s].busy_seconds += wall;
+        stats_[s].charged_seconds += charged;
+      }
       if (s + 1 < stages_.size()) {
-        cv_.wait(lock, [this, s] {
-          return failed_ || queues_[s + 1].size() < capacity_;
-        });
-        if (failed_) return;
-        queues_[s + 1].push_back(std::move(item));
+        if (!enqueue(*queues_[s + 1], std::move(item))) return;
       } else {
+        // Single consumer: only this worker touches results_, and callers
+        // read it after finish() joins.
         results_.push_back(std::move(item));
       }
-      cv_.notify_all();
     }
-  }
-
-  bool upstream_finished(std::size_t s) const {
-    if (s == 0) return done_;
-    return stage_done_[s - 1];
+    if (s + 1 < stages_.size()) close(*queues_[s + 1]);
   }
 
   std::vector<Stage> stages_;
   std::size_t capacity_ = 1;
 
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::vector<std::deque<Item>> queues_;
-  std::vector<bool> stage_done_ = std::vector<bool>(stages_.size(), false);
+  std::vector<std::unique_ptr<StageQueue>> queues_;  ///< input queue per stage
+  std::vector<StageStats> stats_;  ///< slot s guarded by queues_[s]->mutex
   std::vector<Item> results_;
-  std::vector<StageStats> stats_;
-  bool done_ = false;
-  bool failed_ = false;
-  std::exception_ptr failure_;
+
+  std::atomic<bool> failed_{false};
+  std::mutex failure_mutex_;
+  std::exception_ptr failure_;  ///< guarded by failure_mutex_
 
   std::vector<std::thread> workers_;
 };

@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "common/clmul.hpp"
 #include "common/error.hpp"
 #include "common/ntt.hpp"
 #include "common/rng.hpp"
@@ -65,6 +66,14 @@ BitVec toeplitz_hash_direct(const BitVec& input, const BitVec& seed,
   return out;
 }
 
+BitVec toeplitz_hash_clmul(const BitVec& input, const BitVec& seed,
+                           std::size_t out_len) {
+  check_shapes(input, seed, out_len);
+  // y = (x conv t)[n-1 .. n-1+r): one word-level carry-less multiply, then
+  // a word-sliced window copy.
+  return gf2_poly_mul(input, seed).subvec(input.size() - 1, out_len);
+}
+
 BitVec toeplitz_hash_ntt(const BitVec& input, const BitVec& seed,
                          std::size_t out_len) {
   check_shapes(input, seed, out_len);
@@ -87,8 +96,8 @@ BitVec toeplitz_hash_ntt(const BitVec& input, const BitVec& seed,
 
 BitVec toeplitz_hash(const BitVec& input, const BitVec& seed,
                      std::size_t out_len) {
-  if (input.size() >= kNttCrossover) {
-    return toeplitz_hash_ntt(input, seed, out_len);
+  if (input.size() >= kClmulCrossover) {
+    return toeplitz_hash_clmul(input, seed, out_len);
   }
   return toeplitz_hash_direct(input, seed, out_len);
 }

@@ -45,10 +45,7 @@ BitVec sift_bob(const BitVec& bob_bits, const SiftResult& result) {
   if (bob_bits.size() != result.keep_mask.size()) {
     throw_error(ErrorCode::kProtocol, "keep mask does not match detections");
   }
-  BitVec sifted;
-  for (std::size_t d = 0; d < bob_bits.size(); ++d) {
-    if (result.keep_mask.get(d)) sifted.push_back(bob_bits.get(d));
-  }
+  BitVec sifted = bob_bits.select(result.keep_mask);
   if (sifted.size() != result.signal_mask.size()) {
     throw_error(ErrorCode::kProtocol, "signal mask does not match kept bits");
   }

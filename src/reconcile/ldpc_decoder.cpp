@@ -25,12 +25,35 @@ inline float safe_atanh(float x) noexcept {
   return std::atanh(std::clamp(x, -kLimit, kLimit));
 }
 
-BitVec hard_decision(const std::vector<float>& posterior) {
-  BitVec word(posterior.size());
-  for (std::size_t v = 0; v < posterior.size(); ++v) {
-    if (posterior[v] < 0) word.set(v, true);
+/// Word-parallel sign take: build each 64-bit word in a register instead of
+/// a read-modify-write per bit. Keeps the exact `< 0` semantics (so -0.0 and
+/// NaN posteriors decide 0, same as the scalar reference).
+void hard_decision(const std::vector<float>& posterior, BitVec& word) {
+  word.resize(posterior.size());
+  auto words = word.mutable_words();
+  for (std::size_t base = 0; base < posterior.size(); base += 64) {
+    const std::size_t lim = std::min<std::size_t>(64, posterior.size() - base);
+    std::uint64_t acc = 0;
+    for (std::size_t k = 0; k < lim; ++k) {
+      acc |= std::uint64_t{posterior[base + k] < 0.0f} << k;
+    }
+    words[base >> 6] = acc;
   }
-  return word;
+}
+
+/// Per-thread decoder workspace: message/posterior buffers sized by the
+/// largest code decoded on this thread, reused across frames so the
+/// per-frame cost is an assign() into existing capacity instead of three
+/// heap allocations.
+struct DecoderScratch {
+  std::vector<float> r;          // check -> var
+  std::vector<float> q;          // var -> check
+  std::vector<float> posterior;
+};
+
+DecoderScratch& tls_scratch() {
+  thread_local DecoderScratch scratch;
+  return scratch;
 }
 
 /// Flooding-schedule decoder. Per-edge messages in check-major order; var
@@ -42,9 +65,13 @@ DecodeResult decode_flooding(const LdpcCode& code, const BitVec& syndrome,
   const std::size_t n = code.n();
   const std::size_t m = code.m();
   const std::size_t edges = code.edges();
-  std::vector<float> r(edges, 0.0f);  // check -> var
-  std::vector<float> q(edges, 0.0f);  // var -> check
-  std::vector<float> posterior(n);
+  DecoderScratch& scratch = tls_scratch();
+  scratch.r.assign(edges, 0.0f);
+  scratch.q.assign(edges, 0.0f);
+  scratch.posterior.resize(n);
+  std::vector<float>& r = scratch.r;          // check -> var
+  std::vector<float>& q = scratch.q;          // var -> check
+  std::vector<float>& posterior = scratch.posterior;
 
   auto var_update = [&](std::size_t lo, std::size_t hi) {
     for (std::size_t v = lo; v < hi; ++v) {
@@ -123,7 +150,7 @@ DecodeResult decode_flooding(const LdpcCode& code, const BitVec& syndrome,
       check_update(0, m);
       posterior_update(0, n);
     }
-    result.word = hard_decision(posterior);
+    hard_decision(posterior, result.word);
     if (code.syndrome_matches(result.word, syndrome)) {
       result.converged = true;
       return result;
@@ -137,10 +164,12 @@ DecodeResult decode_flooding(const LdpcCode& code, const BitVec& syndrome,
 DecodeResult decode_layered(const LdpcCode& code, const BitVec& syndrome,
                             const std::vector<float>& llr,
                             const DecoderConfig& config) {
-  const std::size_t n = code.n();
   const std::size_t m = code.m();
-  std::vector<float> r(code.edges(), 0.0f);
-  std::vector<float> posterior(llr);
+  DecoderScratch& scratch = tls_scratch();
+  scratch.r.assign(code.edges(), 0.0f);
+  scratch.posterior.assign(llr.begin(), llr.end());
+  std::vector<float>& r = scratch.r;
+  std::vector<float>& posterior = scratch.posterior;
 
   DecodeResult result;
   for (unsigned iter = 1; iter <= config.max_iterations; ++iter) {
@@ -194,7 +223,7 @@ DecodeResult decode_layered(const LdpcCode& code, const BitVec& syndrome,
         }
       }
     }
-    result.word = hard_decision(posterior);
+    hard_decision(posterior, result.word);
     if (code.syndrome_matches(result.word, syndrome)) {
       result.converged = true;
       return result;

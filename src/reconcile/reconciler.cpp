@@ -82,11 +82,7 @@ void LdpcFrameReceiver::apply_reveal(
 }
 
 BitVec LdpcFrameReceiver::corrected_payload() const {
-  BitVec payload(adaptation_.payload.size());
-  for (std::size_t i = 0; i < adaptation_.payload.size(); ++i) {
-    if (decoded_.get(adaptation_.payload[i])) payload.set(i, true);
-  }
-  return payload;
+  return decoded_.gather(adaptation_.payload);
 }
 
 ReconcileOutcome ldpc_reconcile_local(const BitVec& alice_payload,

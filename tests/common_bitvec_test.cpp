@@ -154,6 +154,70 @@ TEST(BitVec, GatherSelectsPositions) {
   }
 }
 
+TEST(BitVec, SelectMatchesBitLoop) {
+  Xoshiro256 rng(20);
+  // Word-boundary sizes where the compress accumulator wraps or ends flush.
+  for (const std::size_t n : {1u, 63u, 64u, 65u, 127u, 128u, 129u, 1000u}) {
+    const BitVec v = rng.random_bits(n);
+    const BitVec mask = rng.random_bits(n);
+    const BitVec got = v.select(mask);
+    BitVec expected;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (mask.get(i)) expected.push_back(v.get(i));
+    }
+    EXPECT_EQ(got, expected) << n;
+  }
+}
+
+TEST(BitVec, SelectDegenerateMasks) {
+  Xoshiro256 rng(21);
+  const BitVec v = rng.random_bits(200);
+  EXPECT_EQ(v.select(BitVec(200, true)), v);    // identity
+  EXPECT_TRUE(v.select(BitVec(200)).empty());   // nothing kept
+  BitVec dense_run(200);
+  for (std::size_t i = 30; i < 130; ++i) dense_run.set(i, true);
+  EXPECT_EQ(v.select(dense_run), v.subvec(30, 100));  // contiguous = subvec
+  EXPECT_THROW(v.select(BitVec(100)), std::invalid_argument);
+}
+
+TEST(BitVec, ScatterMatchesBitLoop) {
+  Xoshiro256 rng(22);
+  for (const std::size_t n : {1u, 63u, 64u, 65u, 127u, 128u, 129u, 1000u}) {
+    const BitVec mask = rng.random_bits(n);
+    const BitVec v = rng.random_bits(mask.popcount());
+    const BitVec got = v.scatter(mask);
+    BitVec expected(n);
+    std::size_t k = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (mask.get(i)) expected.set(i, v.get(k++));
+    }
+    EXPECT_EQ(got, expected) << n;
+  }
+  EXPECT_THROW(BitVec(3).scatter(BitVec(100)), std::invalid_argument);
+}
+
+TEST(BitVec, SelectScatterRoundTrip) {
+  // scatter then select with the same mask is the identity on the packed
+  // bits; select then scatter re-zeroes the unselected positions.
+  Xoshiro256 rng(23);
+  for (const std::size_t n : {64u, 129u, 500u}) {
+    const BitVec mask = rng.random_bits(n);
+    const BitVec packed = rng.random_bits(mask.popcount());
+    EXPECT_EQ(packed.scatter(mask).select(mask), packed) << n;
+    BitVec masked = rng.random_bits(n);
+    masked &= mask;
+    EXPECT_EQ(masked.select(mask).scatter(mask), masked) << n;
+  }
+}
+
+TEST(BitVec, ReserveKeepsContents) {
+  BitVec v;
+  v.reserve(1000);
+  for (int i = 0; i < 300; ++i) v.push_back(i % 7 == 0);
+  EXPECT_EQ(v.size(), 300u);
+  for (int i = 0; i < 300; ++i) EXPECT_EQ(v.get(i), i % 7 == 0) << i;
+}
+
 TEST(BitVec, BytesRoundTrip) {
   Xoshiro256 rng(14);
   for (const std::size_t n : {0u, 1u, 7u, 8u, 9u, 64u, 65u, 1000u}) {

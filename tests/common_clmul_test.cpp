@@ -1,0 +1,118 @@
+// Word-level carry-less multiplication tests: clmul64_fast vs the portable
+// window implementation, and gf2_poly_mul (Karatsuba + schoolbook) against
+// a bit-at-a-time convolution oracle, with adversarial word-boundary sizes.
+#include "common/clmul.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace qkdpp {
+namespace {
+
+/// Bit-at-a-time GF(2) convolution, straight from the definition.
+BitVec poly_mul_naive(const BitVec& a, const BitVec& b) {
+  if (a.empty() || b.empty()) return BitVec();
+  BitVec out(a.size() + b.size() - 1);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (!a.get(i)) continue;
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      if (b.get(j)) out.flip(i + j);
+    }
+  }
+  return out;
+}
+
+TEST(Clmul, Clmul64FastMatchesPortable) {
+  Xoshiro256 rng(1);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const std::uint64_t a = rng.next_u64();
+    const std::uint64_t b = rng.next_u64();
+    EXPECT_EQ(clmul64_fast(a, b), clmul64(a, b)) << a << " * " << b;
+  }
+  // Degenerate operands.
+  EXPECT_EQ(clmul64_fast(0, 0xffffffffffffffffULL), clmul64(0, ~0ULL));
+  EXPECT_EQ(clmul64_fast(~0ULL, ~0ULL), clmul64(~0ULL, ~0ULL));
+  EXPECT_EQ(clmul64_fast(1, 1), (U128{0, 1}));
+}
+
+TEST(Clmul, PolyMulMatchesNaiveSmall) {
+  Xoshiro256 rng(2);
+  // Word-boundary adversarial sizes on both operands.
+  const std::size_t sizes[] = {1, 7, 63, 64, 65, 127, 128, 129, 200};
+  for (const std::size_t na : sizes) {
+    for (const std::size_t nb : sizes) {
+      const BitVec a = rng.random_bits(na);
+      const BitVec b = rng.random_bits(nb);
+      EXPECT_EQ(gf2_poly_mul(a, b), poly_mul_naive(a, b)) << na << "x" << nb;
+    }
+  }
+}
+
+TEST(Clmul, PolyMulCommutes) {
+  Xoshiro256 rng(3);
+  const BitVec a = rng.random_bits(5000);
+  const BitVec b = rng.random_bits(1234);
+  EXPECT_EQ(gf2_poly_mul(a, b), gf2_poly_mul(b, a));
+}
+
+TEST(Clmul, PolyMulKaratsubaPathMatchesNaive) {
+  // Sizes chosen to force several Karatsuba levels (threshold is 24 words =
+  // 1536 bits), including a ragged chunk in the unbalanced driver.
+  Xoshiro256 rng(4);
+  for (const auto [na, nb] :
+       {std::pair<std::size_t, std::size_t>{4096, 4096},
+        {4097, 6143},
+        {8192, 20000},
+        {10000, 3000}}) {
+    const BitVec a = rng.random_bits(na);
+    const BitVec b = rng.random_bits(nb);
+    EXPECT_EQ(gf2_poly_mul(a, b), poly_mul_naive(a, b)) << na << "x" << nb;
+  }
+}
+
+TEST(Clmul, PolyMulLinearity) {
+  // (x ^ y) * t == x*t ^ y*t: distributivity over GF(2), the property
+  // privacy amplification composition relies on.
+  Xoshiro256 rng(5);
+  const std::size_t n = 3000;
+  const BitVec t = rng.random_bits(2000);
+  const BitVec x = rng.random_bits(n);
+  const BitVec y = rng.random_bits(n);
+  BitVec xy = x;
+  xy ^= y;
+  BitVec expected = gf2_poly_mul(x, t);
+  expected ^= gf2_poly_mul(y, t);
+  EXPECT_EQ(gf2_poly_mul(xy, t), expected);
+}
+
+TEST(Clmul, PolyMulIdentityAndZero) {
+  Xoshiro256 rng(6);
+  const BitVec a = rng.random_bits(777);
+  BitVec one(1);
+  one.set(0, true);
+  EXPECT_EQ(gf2_poly_mul(a, one), a);
+  const BitVec zero(300);  // all-zero polynomial (degree < 300)
+  EXPECT_EQ(gf2_poly_mul(a, zero).popcount(), 0u);
+  EXPECT_TRUE(gf2_poly_mul(a, BitVec()).empty());
+  EXPECT_TRUE(gf2_poly_mul(BitVec(), a).empty());
+}
+
+TEST(Clmul, PolyMulAccXorAccumulates) {
+  // gf2_poly_mul_acc XORs into the target: accumulating the same product
+  // twice must cancel.
+  Xoshiro256 rng(7);
+  const BitVec a = rng.random_bits(2048);
+  const BitVec b = rng.random_bits(2048);
+  std::vector<std::uint64_t> acc(a.words().size() + b.words().size(), 0);
+  gf2_poly_mul_acc(a.words(), b.words(), acc);
+  gf2_poly_mul_acc(a.words(), b.words(), acc);
+  for (const auto w : acc) EXPECT_EQ(w, 0u);
+}
+
+}  // namespace
+}  // namespace qkdpp

@@ -1,0 +1,103 @@
+// Word-parallel engine primitives vs bit-at-a-time references:
+// split_sifted's ctz walk and remaining_key's mask-and-compress must agree
+// with the scalar definitions at word-boundary sizes.
+#include "engine/primitives.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace qkdpp::engine {
+namespace {
+
+SignalSplit split_sifted_reference(const BitVec& sifted,
+                                   const BitVec& signal_mask) {
+  SignalSplit split;
+  for (std::size_t i = 0; i < sifted.size(); ++i) {
+    if (signal_mask.get(i)) {
+      split.signal_positions.push_back(static_cast<std::uint32_t>(i));
+    } else {
+      split.revealed_positions.push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+  return split;
+}
+
+BitVec remaining_key_reference(const BitVec& sifted, const BitVec& signal_mask,
+                               const std::vector<std::uint32_t>& revealed) {
+  std::vector<std::uint8_t> is_revealed(sifted.size(), 0);
+  for (const auto p : revealed) {
+    if (p < is_revealed.size()) is_revealed[p] = 1;
+  }
+  BitVec key;
+  for (std::size_t i = 0; i < sifted.size(); ++i) {
+    if (signal_mask.get(i) && !is_revealed[i]) {
+      key.push_back(sifted.get(i));
+    }
+  }
+  return key;
+}
+
+TEST(Primitives, SplitSiftedMatchesReference) {
+  Xoshiro256 rng(1);
+  for (const std::size_t n : {1u, 63u, 64u, 65u, 127u, 128u, 129u, 5000u}) {
+    const BitVec sifted = rng.random_bits(n);
+    const BitVec mask = rng.random_bits(n);
+    const SignalSplit got = split_sifted(sifted, mask);
+    const SignalSplit expected = split_sifted_reference(sifted, mask);
+    EXPECT_EQ(got.signal_positions, expected.signal_positions) << n;
+    EXPECT_EQ(got.revealed_positions, expected.revealed_positions) << n;
+  }
+}
+
+TEST(Primitives, SplitSiftedExtremeMasks) {
+  Xoshiro256 rng(2);
+  const std::size_t n = 192;
+  const BitVec sifted = rng.random_bits(n);
+  const auto all = split_sifted(sifted, BitVec(n, true));
+  EXPECT_EQ(all.signal_positions.size(), n);
+  EXPECT_TRUE(all.revealed_positions.empty());
+  const auto none = split_sifted(sifted, BitVec(n));
+  EXPECT_TRUE(none.signal_positions.empty());
+  EXPECT_EQ(none.revealed_positions.size(), n);
+}
+
+TEST(Primitives, RemainingKeyMatchesReference) {
+  Xoshiro256 rng(3);
+  for (const std::size_t n : {63u, 64u, 65u, 128u, 129u, 4000u}) {
+    const BitVec sifted = rng.random_bits(n);
+    const BitVec mask = rng.random_bits(n);
+    // Reveal a random third of all positions (some not in the signal set,
+    // some duplicated - both must be tolerated).
+    std::vector<std::uint32_t> revealed;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (rng.bernoulli(0.33)) {
+        revealed.push_back(static_cast<std::uint32_t>(i));
+        if (rng.bernoulli(0.1)) {
+          revealed.push_back(static_cast<std::uint32_t>(i));  // duplicate
+        }
+      }
+    }
+    EXPECT_EQ(remaining_key(sifted, mask, revealed),
+              remaining_key_reference(sifted, mask, revealed))
+        << n;
+  }
+}
+
+TEST(Primitives, RemainingKeyRevealAllAndNone) {
+  Xoshiro256 rng(4);
+  const std::size_t n = 300;
+  const BitVec sifted = rng.random_bits(n);
+  const BitVec mask = rng.random_bits(n);
+  std::vector<std::uint32_t> all(n);
+  for (std::size_t i = 0; i < n; ++i) all[i] = static_cast<std::uint32_t>(i);
+  EXPECT_TRUE(remaining_key(sifted, mask, all).empty());
+  EXPECT_EQ(remaining_key(sifted, mask, {}).size(), mask.popcount());
+}
+
+}  // namespace
+}  // namespace qkdpp::engine

@@ -63,16 +63,73 @@ TEST(Toeplitz, NttMatchesDirect) {
   }
 }
 
+TEST(Toeplitz, ClmulMatchesDirectAtWordBoundaries) {
+  Xoshiro256 rng(20);
+  // Every (n, r) pairing of the word-boundary sizes: the clmul kernel's
+  // chunking, Karatsuba splits, and the output window slice all hit their
+  // edge cases here.
+  const std::size_t sizes[] = {63, 64, 65, 127, 128, 129};
+  for (const std::size_t n : sizes) {
+    for (const std::size_t r : sizes) {
+      const BitVec x = rng.random_bits(n);
+      const BitVec t = rng.random_bits(n + r - 1);
+      EXPECT_EQ(toeplitz_hash_clmul(x, t, r), toeplitz_hash_direct(x, t, r))
+          << n << "x" << r;
+    }
+  }
+}
+
+TEST(Toeplitz, ClmulMatchesDirectRandomized) {
+  Xoshiro256 rng(21);
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::size_t n = 1 + static_cast<std::size_t>(rng.uniform(6000));
+    const std::size_t r = 1 + static_cast<std::size_t>(rng.uniform(n));
+    const BitVec x = rng.random_bits(n);
+    const BitVec t = rng.random_bits(n + r - 1);
+    EXPECT_EQ(toeplitz_hash_clmul(x, t, r), toeplitz_hash_direct(x, t, r))
+        << n << "x" << r;
+  }
+}
+
+TEST(Toeplitz, ClmulMatchesNtt) {
+  Xoshiro256 rng(22);
+  for (const auto [n, r] : {std::pair<std::size_t, std::size_t>{1000, 800},
+                            {4096, 2048},
+                            {100000, 50000},
+                            {1 << 17, 1 << 16}}) {
+    const BitVec x = rng.random_bits(n);
+    const BitVec t = rng.random_bits(n + r - 1);
+    EXPECT_EQ(toeplitz_hash_clmul(x, t, r), toeplitz_hash_ntt(x, t, r))
+        << n << "x" << r;
+  }
+}
+
+TEST(Toeplitz, ClmulShapeValidation) {
+  Xoshiro256 rng(23);
+  const BitVec x = rng.random_bits(100);
+  EXPECT_THROW(toeplitz_hash_clmul(x, rng.random_bits(100), 50),
+               std::invalid_argument);
+  EXPECT_THROW(toeplitz_hash_clmul(BitVec(), rng.random_bits(149), 50),
+               std::invalid_argument);
+}
+
 TEST(Toeplitz, DispatcherConsistent) {
   Xoshiro256 rng(3);
-  const std::size_t n = kNttCrossover;  // lands on the NTT path
+  // Above the crossover: clmul path, must match the direct oracle.
+  const std::size_t n = kClmulCrossover;
   const BitVec x = rng.random_bits(n);
   const BitVec t = rng.random_bits(n + 100 - 1);
   EXPECT_EQ(toeplitz_hash(x, t, 100), toeplitz_hash_direct(x, t, 100));
-  const BitVec x_small = rng.random_bits(512);
-  const BitVec t_small = rng.random_bits(512 + 100 - 1);
-  EXPECT_EQ(toeplitz_hash(x_small, t_small, 100),
-            toeplitz_hash_ntt(x_small, t_small, 100));
+  const BitVec x_mid = rng.random_bits(512);
+  const BitVec t_mid = rng.random_bits(512 + 100 - 1);
+  EXPECT_EQ(toeplitz_hash(x_mid, t_mid, 100),
+            toeplitz_hash_ntt(x_mid, t_mid, 100));
+  // Below the crossover: direct path, must match the clmul kernel.
+  const std::size_t n_small = kClmulCrossover - 1;
+  const BitVec x_small = rng.random_bits(n_small);
+  const BitVec t_small = rng.random_bits(n_small + 10 - 1);
+  EXPECT_EQ(toeplitz_hash(x_small, t_small, 10),
+            toeplitz_hash_clmul(x_small, t_small, 10));
 }
 
 TEST(Toeplitz, LinearityProperty) {
