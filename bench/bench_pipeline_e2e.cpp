@@ -10,7 +10,6 @@
 //
 // The final stdout line is a machine-readable JSON summary (items/s, stage
 // breakdown, chosen mapping per distance) for the cross-PR perf trajectory.
-#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <string>
@@ -98,16 +97,8 @@ int main() {
     // to a target block size before post-processing. Aim for ~40k sifted
     // bits, clamped to [2^20, 2^26] pulses - beyond the clamp the
     // dark-count wall shows up as aborts, which is the honest answer.
-    {
-      const sim::AnalyticLink model(config.link);
-      const auto& source = config.link.source;
-      const double gain = source.p_signal * model.gain(source.mu_signal) +
-                          source.p_decoy * model.gain(source.mu_decoy) +
-                          source.p_vacuum * model.y0();
-      const double wanted = 40000.0 / (0.5 * gain);
-      config.pulses_per_block = static_cast<std::size_t>(
-          std::clamp(wanted, double{1 << 20}, double{1 << 26}));
-    }
+    config.pulses_per_block = sim::pulses_for_sifted_target(
+        config.link, 40000.0, std::size_t{1} << 20, std::size_t{1} << 26);
     pipeline::OfflinePipeline qkd(config);
     Xoshiro256 rng(static_cast<std::uint64_t>(km) * 31 + 3);
     // Warm-up builds codes.

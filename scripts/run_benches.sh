@@ -1,8 +1,9 @@
 #!/usr/bin/env sh
-# Perf trajectory plumbing: run bench_pipeline_e2e + bench_toeplitz and
-# write BENCH_pipeline.json at the repo root, so subsequent PRs can compare
-# end-to-end blocks/s, per-stage items/s, and the Toeplitz kernel times
-# against this baseline.
+# Perf trajectory plumbing: run bench_pipeline_e2e + bench_multilink +
+# bench_toeplitz and write BENCH_pipeline.json at the repo root, so
+# subsequent PRs can compare end-to-end blocks/s, multi-link aggregate
+# secret bits/s, per-stage items/s, and the Toeplitz kernel times against
+# this baseline.
 #
 # Env knobs:
 #   BUILD_DIR        build tree to use (default: build)
@@ -14,7 +15,7 @@ BUILD=${BUILD_DIR:-build}
 FILTER=${TOEPLITZ_FILTER:-'(BM_ToeplitzDirect|BM_ToeplitzClmul|BM_ToeplitzNtt)/(65536|100000)$'}
 
 cmake -B "$BUILD" -S . >/dev/null
-cmake --build "$BUILD" -j --target bench_pipeline_e2e >/dev/null
+cmake --build "$BUILD" -j --target bench_pipeline_e2e bench_multilink >/dev/null
 
 echo "== bench_pipeline_e2e =="
 # No pipe here: under `set -e` a pipeline would mask a crashing bench with
@@ -25,6 +26,15 @@ PIPELINE_JSON=$(tail -n 1 "$BUILD"/bench_pipeline_e2e.out)
 case "$PIPELINE_JSON" in
   '{'*'}') ;;
   *) echo "error: bench_pipeline_e2e summary line is not JSON" >&2; exit 1 ;;
+esac
+
+echo "== bench_multilink =="
+"$BUILD"/bench_multilink > "$BUILD"/bench_multilink.out
+cat "$BUILD"/bench_multilink.out
+MULTILINK_JSON=$(tail -n 1 "$BUILD"/bench_multilink.out)
+case "$MULTILINK_JSON" in
+  '{'*'}') ;;
+  *) echo "error: bench_multilink summary line is not JSON" >&2; exit 1 ;;
 esac
 
 # bench_toeplitz needs google-benchmark; degrade gracefully without it.
@@ -40,6 +50,7 @@ fi
 {
   printf '{"schema":"qkdpp-bench-v1","unit":"blocks_per_s",'
   printf '"pipeline_e2e":%s,' "$PIPELINE_JSON"
+  printf '"multilink":%s,' "$MULTILINK_JSON"
   printf '"toeplitz":%s}\n' "$TOEPLITZ_JSON"
 } > BENCH_pipeline.json
 echo "wrote BENCH_pipeline.json"

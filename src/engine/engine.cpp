@@ -61,29 +61,40 @@ PostprocessEngine::PostprocessEngine(PostprocessParams params,
       options_.threads
           ? options_.threads
           : std::max<std::size_t>(1, std::thread::hardware_concurrency());
-  if (options_.devices.empty()) {
-    options_.devices = standard_roster(pool_threads);
+  if (options_.shared_devices) {
+    // Shared roster: the set owns devices and their pool; this engine only
+    // places stages on them (and commits its load in choose_placement).
+    hetero::DeviceSet& set = *options_.shared_devices;
+    QKDPP_REQUIRE(set.size() > 0, "shared device set is empty");
+    for (std::size_t d = 0; d < set.size(); ++d) {
+      devices_.push_back(&set.device(d));
+    }
+  } else {
+    if (options_.devices.empty()) {
+      options_.devices = standard_roster(pool_threads);
+    }
+    // CpuScalar stays single-threaded by definition; everything else
+    // (including the sims, which execute host-side) may use the pool -
+    // which is only spun up when some roster device can actually use it.
+    const bool needs_pool = std::any_of(
+        options_.devices.begin(), options_.devices.end(),
+        [](const hetero::DeviceProps& props) {
+          return props.kind != hetero::DeviceKind::kCpuScalar;
+        });
+    if (needs_pool) {
+      kernel_pool_ = std::make_unique<ThreadPool>(pool_threads);
+    }
+    for (const auto& props : options_.devices) {
+      ThreadPool* pool = props.kind == hetero::DeviceKind::kCpuScalar
+                             ? nullptr
+                             : kernel_pool_.get();
+      owned_devices_.emplace_back(props, pool);
+      devices_.push_back(&owned_devices_.back());
+    }
   }
   if (options_.policy == PlacementPolicy::kFixed &&
-      options_.fixed_device >= options_.devices.size()) {
+      options_.fixed_device >= devices_.size()) {
     throw_error(ErrorCode::kConfig, "fixed device index outside roster");
-  }
-  // CpuScalar stays single-threaded by definition; everything else
-  // (including the sims, which execute host-side) may use the pool - which
-  // is only spun up when some roster device can actually use it.
-  const bool needs_pool = std::any_of(
-      options_.devices.begin(), options_.devices.end(),
-      [](const hetero::DeviceProps& props) {
-        return props.kind != hetero::DeviceKind::kCpuScalar;
-      });
-  if (needs_pool) {
-    kernel_pool_ = std::make_unique<ThreadPool>(pool_threads);
-  }
-  for (const auto& props : options_.devices) {
-    ThreadPool* pool = props.kind == hetero::DeviceKind::kCpuScalar
-                           ? nullptr
-                           : kernel_pool_.get();
-    devices_.emplace_back(props, pool);
   }
   executors_ = make_stage_executors(params_);
   choose_placement();
@@ -101,14 +112,14 @@ void PostprocessEngine::choose_placement() {
   for (const auto& executor : executors_) {
     problem_.stage_names.emplace_back(executor->name());
   }
-  for (const auto& device : devices_) {
-    problem_.device_names.push_back(device.name());
+  for (const auto* device : devices_) {
+    problem_.device_names.push_back(device->name());
   }
   for (const auto& executor : executors_) {
     std::vector<double> row;
     row.reserve(devices_.size());
-    for (const auto& device : devices_) {
-      if (!executor->feasible_on(device.kind()) &&
+    for (const auto* device : devices_) {
+      if (!executor->feasible_on(device->kind()) &&
           options_.policy != PlacementPolicy::kFixed) {
         row.push_back(hetero::kInfeasible);
         continue;
@@ -116,16 +127,23 @@ void PostprocessEngine::choose_placement() {
       // Infeasible cells are still priced under kFixed: pinning overrides
       // the feasibility mask (the compute runs host-side regardless), which
       // is what makes the cross-device golden test possible.
-      row.push_back(device.model_seconds(
-          executor->work_model(options_.workload, device.kind())));
+      row.push_back(device->model_seconds(
+          executor->work_model(options_.workload, device->kind())));
     }
     problem_.seconds_per_item.push_back(std::move(row));
+  }
+
+  // On a shared set, arbitrate against the load other engines' placements
+  // already committed to each device.
+  std::vector<double> base_load(devices_.size(), 0.0);
+  if (options_.shared_devices) {
+    base_load = options_.shared_devices->committed_loads();
   }
 
   hetero::MappingResult result;
   switch (options_.policy) {
     case PlacementPolicy::kOptimized:
-      result = hetero::optimize_mapping(problem_);
+      result = hetero::optimize_mapping(problem_, base_load);
       break;
     case PlacementPolicy::kGreedy:
       result = hetero::greedy_mapping(problem_);
@@ -139,14 +157,23 @@ void PostprocessEngine::choose_placement() {
   placement_.device_of_stage = result.device_of_stage;
   placement_.predicted_items_per_s = result.throughput_items_per_s;
   placement_.bottleneck_load_s = result.bottleneck_load_s;
+
+  if (options_.shared_devices) {
+    std::vector<double> committed(devices_.size(), 0.0);
+    for (std::size_t s = 0; s < placement_.device_of_stage.size(); ++s) {
+      const std::uint32_t d = placement_.device_of_stage[s];
+      committed[d] += problem_.seconds_per_item[s][d];
+    }
+    options_.shared_devices->commit_loads(committed);
+  }
 }
 
 std::vector<DeviceReport> PostprocessEngine::device_report() const {
   std::vector<DeviceReport> reports;
   reports.reserve(devices_.size());
-  for (const auto& device : devices_) {
-    reports.push_back({device.name(), device.kind(), device.busy_seconds(),
-                       device.kernels_launched()});
+  for (const auto* device : devices_) {
+    reports.push_back({device->name(), device->kind(), device->busy_seconds(),
+                       device->kernels_launched()});
   }
   return reports;
 }
@@ -167,7 +194,7 @@ BlockOutcome PostprocessEngine::process_block(const BlockInput& input,
   ctx.ledger = &state.ledger;
 
   for (std::size_t s = 0; s < executors_.size(); ++s) {
-    ctx.device = &devices_[placement_.device_of_stage[s]];
+    ctx.device = devices_[placement_.device_of_stage[s]];
     ctx.pool = ctx.device->pool();
     const double charged = executors_[s]->run(state, ctx);
     timing_of(state.outcome.timings, executors_[s]->kind()) = charged;

@@ -86,12 +86,17 @@ class PostprocessEngine {
 
   PostprocessParams params_;
   EngineOptions options_;
-  /// Created only when a roster device can use it (anything non-scalar).
+  /// Created only when a roster device can use it (anything non-scalar) and
+  /// the engine owns its devices; a shared DeviceSet brings its own pool.
   std::unique_ptr<ThreadPool> kernel_pool_;
   /// Created lazily on the first submit_block().
   std::once_flag batch_pool_once_;
   std::unique_ptr<ThreadPool> batch_pool_;
-  std::deque<hetero::Device> devices_;  // Device is pinned (owns a mutex)
+  /// Populated only without a shared set (Device is pinned: owns a mutex).
+  std::deque<hetero::Device> owned_devices_;
+  /// The roster the stages run on: owned_devices_, or the shared set's
+  /// devices (kept alive by options_.shared_devices).
+  std::vector<hetero::Device*> devices_;
   std::vector<std::unique_ptr<StageExecutor>> executors_;
   hetero::MappingProblem problem_;
   Placement placement_;

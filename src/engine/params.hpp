@@ -9,9 +9,11 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "hetero/device.hpp"
+#include "hetero/device_set.hpp"
 #include "privacy/pa_planner.hpp"
 #include "protocol/messages.hpp"
 #include "reconcile/cascade.hpp"
@@ -56,6 +58,16 @@ struct EngineOptions {
   /// Device roster; empty selects the standard four-kind set
   /// (cpu-scalar, cpu-parallel, gpu-sim, fpga-sim).
   std::vector<hetero::DeviceProps> devices;
+  /// When set, the engine runs on this *shared* device set instead of
+  /// constructing devices from `devices`, and commits its placement's
+  /// per-device load to the set's ledger. Under kOptimized the placement
+  /// is priced against the load other engines already committed - the
+  /// arbitration path that lets many links share one physical machine
+  /// (LinkOrchestrator). The kGreedy/kFixed baselines stay deliberately
+  /// contention-blind (they exist to show what arbitration buys) but
+  /// still commit the load they will really impose, so later kOptimized
+  /// engines see it.
+  std::shared_ptr<hetero::DeviceSet> shared_devices;
   PlacementPolicy policy = PlacementPolicy::kOptimized;
   /// Roster index every stage is pinned to under PlacementPolicy::kFixed.
   std::uint32_t fixed_device = 0;

@@ -263,6 +263,13 @@ class ReconcileExecutor final : public StageExecutor {
         state.alice_key, state.bob_key, qber, cascade);
     ctx.ledger->ec_bits += result.leaked_bits;
     state.outcome.reconcile_rounds += result.rounds;
+    if (!result.success) {
+      // Round budget exhausted with odd blocks outstanding: the keys
+      // provably still differ, so verification could never pass. Fail the
+      // block here instead of leaking a verification tag on a lost cause.
+      state.outcome.abort_reason = "cascade did not converge";
+      return;
+    }
     state.alice_reconciled = state.alice_key;
     state.bob_reconciled = result.corrected;
   }

@@ -1,0 +1,50 @@
+#include "hetero/device_set.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/error.hpp"
+
+namespace qkdpp::hetero {
+
+DeviceSet::DeviceSet(std::vector<DeviceProps> props, std::size_t threads) {
+  const std::size_t pool_threads =
+      threads ? threads
+              : std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  if (props.empty()) {
+    props = {cpu_scalar_props(), cpu_parallel_props(pool_threads),
+             gpu_sim_props(), fpga_sim_props()};
+  }
+  // CpuScalar stays single-threaded by definition; everything else
+  // (including the sims, which execute host-side) shares the pool.
+  const bool needs_pool =
+      std::any_of(props.begin(), props.end(), [](const DeviceProps& p) {
+        return p.kind != DeviceKind::kCpuScalar;
+      });
+  if (needs_pool) {
+    pool_ = std::make_unique<ThreadPool>(pool_threads);
+  }
+  for (auto& p : props) {
+    ThreadPool* pool =
+        p.kind == DeviceKind::kCpuScalar ? nullptr : pool_.get();
+    devices_.emplace_back(std::move(p), pool);
+  }
+  committed_.assign(devices_.size(), 0.0);
+}
+
+void DeviceSet::commit_loads(const std::vector<double>& seconds_per_item) {
+  std::scoped_lock lock(mutex_);
+  if (seconds_per_item.size() != committed_.size()) {
+    throw_error(ErrorCode::kConfig, "committed load length mismatch");
+  }
+  for (std::size_t d = 0; d < committed_.size(); ++d) {
+    committed_[d] += seconds_per_item[d];
+  }
+}
+
+std::vector<double> DeviceSet::committed_loads() const {
+  std::scoped_lock lock(mutex_);
+  return committed_;
+}
+
+}  // namespace qkdpp::hetero

@@ -28,15 +28,29 @@ void check_problem(const MappingProblem& problem) {
   }
 }
 
+void check_base_load(const MappingProblem& problem,
+                     const std::vector<double>& base_load) {
+  if (base_load.size() != problem.device_names.size()) {
+    throw_error(ErrorCode::kConfig, "base load length mismatch");
+  }
+  for (const double load : base_load) {
+    if (load < 0.0) {
+      throw_error(ErrorCode::kConfig, "base load must be non-negative");
+    }
+  }
+}
+
 }  // namespace
 
 MappingResult evaluate_mapping(const MappingProblem& problem,
-                               const std::vector<std::uint32_t>& assignment) {
+                               const std::vector<std::uint32_t>& assignment,
+                               const std::vector<double>& base_load) {
   check_problem(problem);
+  check_base_load(problem, base_load);
   if (assignment.size() != problem.stage_names.size()) {
     throw_error(ErrorCode::kConfig, "assignment length mismatch");
   }
-  std::vector<double> load(problem.device_names.size(), 0.0);
+  std::vector<double> load = base_load;
   for (std::size_t s = 0; s < assignment.size(); ++s) {
     const std::uint32_t d = assignment[s];
     if (d >= load.size()) {
@@ -55,8 +69,16 @@ MappingResult evaluate_mapping(const MappingProblem& problem,
   return result;
 }
 
-MappingResult optimize_mapping(const MappingProblem& problem) {
+MappingResult evaluate_mapping(const MappingProblem& problem,
+                               const std::vector<std::uint32_t>& assignment) {
+  return evaluate_mapping(problem, assignment,
+                          std::vector<double>(problem.device_names.size(), 0.0));
+}
+
+MappingResult optimize_mapping(const MappingProblem& problem,
+                               const std::vector<double>& base_load) {
   check_problem(problem);
+  check_base_load(problem, base_load);
   const std::size_t stages = problem.stage_names.size();
   const std::size_t devices = problem.device_names.size();
 
@@ -67,7 +89,7 @@ MappingResult optimize_mapping(const MappingProblem& problem) {
   // Odometer enumeration of devices^stages.
   for (;;) {
     double load_ok = true;
-    std::vector<double> load(devices, 0.0);
+    std::vector<double> load = base_load;
     for (std::size_t s = 0; s < stages && load_ok; ++s) {
       const double cost = problem.seconds_per_item[s][assignment[s]];
       if (cost >= kInfeasible) load_ok = false;
@@ -89,7 +111,12 @@ MappingResult optimize_mapping(const MappingProblem& problem) {
     }
     if (s == stages) break;
   }
-  return evaluate_mapping(problem, best);
+  return evaluate_mapping(problem, best, base_load);
+}
+
+MappingResult optimize_mapping(const MappingProblem& problem) {
+  return optimize_mapping(problem,
+                          std::vector<double>(problem.device_names.size(), 0.0));
 }
 
 MappingResult fixed_mapping(const MappingProblem& problem,

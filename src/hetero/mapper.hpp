@@ -7,6 +7,13 @@
 // search is exhaustive (|devices|^|stages| is tiny for real pipelines) so
 // the result is provably optimal under the model - the property the mapper
 // tests pin down and the F8 ablation compares against naive placements.
+//
+// Shared-device arbitration: when several links' pipelines contend for one
+// physical device set, each placement is optimized against the load the
+// earlier links already committed to each device (`base_load` overloads).
+// A device that is cheap in isolation but already saturated by another
+// link's stages stops being the bottleneck-optimal choice - the
+// WorkEstimate-weighted arbitration the orchestrator relies on.
 #pragma once
 
 #include <cstdint>
@@ -35,6 +42,13 @@ struct MappingResult {
 /// some stage has no feasible device.
 MappingResult optimize_mapping(const MappingProblem& problem);
 
+/// Exhaustive optimal mapping against devices already carrying
+/// `base_load[d]` seconds/item of other pipelines' work. The reported
+/// bottleneck/throughput include the base load (steady-state view of the
+/// shared system).
+MappingResult optimize_mapping(const MappingProblem& problem,
+                               const std::vector<double>& base_load);
+
 /// Baseline: everything on one device (for ablation benches).
 MappingResult fixed_mapping(const MappingProblem& problem,
                             std::uint32_t device);
@@ -46,5 +60,11 @@ MappingResult greedy_mapping(const MappingProblem& problem);
 /// Evaluate an arbitrary assignment under the sharing model.
 MappingResult evaluate_mapping(const MappingProblem& problem,
                                const std::vector<std::uint32_t>& assignment);
+
+/// Evaluate an assignment on devices already carrying `base_load[d]`
+/// seconds/item of external work.
+MappingResult evaluate_mapping(const MappingProblem& problem,
+                               const std::vector<std::uint32_t>& assignment,
+                               const std::vector<double>& base_load);
 
 }  // namespace qkdpp::hetero

@@ -2,32 +2,75 @@
 
 namespace qkdpp::pipeline {
 
+bool KeyStore::fits_locked(std::uint64_t bits) const noexcept {
+  if (config_.capacity_bits == 0) return true;
+  return deposited_bits_ - consumed_bits_ + bits <= config_.capacity_bits;
+}
+
+void KeyStore::consume_locked(std::string_view consumer, std::uint64_t bits) {
+  consumed_bits_ += bits;
+  const auto it = drawn_.find(consumer);
+  if (it != drawn_.end()) {
+    it->second += bits;
+  } else {
+    drawn_.emplace(std::string(consumer), bits);
+  }
+}
+
 std::uint64_t KeyStore::deposit(BitVec key) {
-  std::scoped_lock lock(mutex_);
+  std::unique_lock lock(mutex_);
+  // An empty key carries no material; minting an id would let consumers
+  // draw zero-bit "keys" that still count toward keys_available().
+  const bool oversized =
+      config_.capacity_bits != 0 && key.size() > config_.capacity_bits;
+  if (key.size() == 0 || oversized) {
+    ++rejected_keys_;
+    rejected_bits_ += key.size();
+    return 0;
+  }
+  if (!fits_locked(key.size())) {
+    if (config_.on_overflow == OverflowPolicy::kBlock) {
+      space_.wait(lock, [&] { return closed_ || fits_locked(key.size()); });
+    }
+    if (!fits_locked(key.size())) {  // kReject, or kBlock released by close()
+      ++rejected_keys_;
+      rejected_bits_ += key.size();
+      return 0;
+    }
+  }
   const std::uint64_t id = next_id_++;
   deposited_bits_ += key.size();
   keys_.emplace(id, std::move(key));
   return id;
 }
 
-std::optional<StoredKey> KeyStore::get_key() {
+std::optional<StoredKey> KeyStore::get_key(std::string_view consumer) {
   std::scoped_lock lock(mutex_);
   if (keys_.empty()) return std::nullopt;
   auto it = keys_.begin();
   StoredKey out{it->first, std::move(it->second)};
-  consumed_bits_ += out.bits.size();
+  consume_locked(consumer, out.bits.size());
   keys_.erase(it);
+  space_.notify_all();
   return out;
 }
 
-std::optional<StoredKey> KeyStore::get_key_with_id(std::uint64_t key_id) {
+std::optional<StoredKey> KeyStore::get_key_with_id(std::uint64_t key_id,
+                                                   std::string_view consumer) {
   std::scoped_lock lock(mutex_);
   const auto it = keys_.find(key_id);
   if (it == keys_.end()) return std::nullopt;
   StoredKey out{it->first, std::move(it->second)};
-  consumed_bits_ += out.bits.size();
+  consume_locked(consumer, out.bits.size());
   keys_.erase(it);
+  space_.notify_all();
   return out;
+}
+
+void KeyStore::close() {
+  std::scoped_lock lock(mutex_);
+  closed_ = true;
+  space_.notify_all();
 }
 
 std::size_t KeyStore::keys_available() const {
@@ -48,6 +91,27 @@ std::uint64_t KeyStore::total_deposited_bits() const {
 std::uint64_t KeyStore::total_consumed_bits() const {
   std::scoped_lock lock(mutex_);
   return consumed_bits_;
+}
+
+std::uint64_t KeyStore::rejected_keys() const {
+  std::scoped_lock lock(mutex_);
+  return rejected_keys_;
+}
+
+std::uint64_t KeyStore::rejected_bits() const {
+  std::scoped_lock lock(mutex_);
+  return rejected_bits_;
+}
+
+std::uint64_t KeyStore::consumed_by(std::string_view consumer) const {
+  std::scoped_lock lock(mutex_);
+  const auto it = drawn_.find(consumer);
+  return it != drawn_.end() ? it->second : 0;
+}
+
+std::map<std::string, std::uint64_t> KeyStore::draw_accounting() const {
+  std::scoped_lock lock(mutex_);
+  return {drawn_.begin(), drawn_.end()};
 }
 
 }  // namespace qkdpp::pipeline

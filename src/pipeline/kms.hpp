@@ -5,12 +5,25 @@
 // (get_key_with_id) - the two-endpoint pattern the ETSI local API uses so
 // that an SAE pair can agree on which key secures which flow. Thread-safe;
 // consumption is destructive exactly once.
+//
+// The store is bounded: `capacity_bits` caps the material held at once
+// (0 = unbounded). A deposit that would overflow is either rejected with a
+// statistic (kReject - the orchestrator's default, so a slow consumer shows
+// up as `rejected_bits` instead of unbounded memory) or blocks the
+// depositor until consumers drain space (kBlock - classic backpressure;
+// close() releases blocked depositors on shutdown). Empty keys are always
+// rejected: a zero-bit "key" has no material, and minting an id for it
+// would let consumers draw nothing while keys_available() claims otherwise.
+// Draws are attributed per consumer name for ETSI-style SAE accounting.
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <mutex>
 #include <optional>
+#include <string>
+#include <string_view>
 
 #include "common/bitvec.hpp"
 
@@ -21,29 +34,69 @@ struct StoredKey {
   BitVec bits;
 };
 
+/// What a deposit does when it would push the store past capacity.
+enum class OverflowPolicy : std::uint8_t {
+  kReject = 0,  ///< drop the key, count it in rejected_keys/rejected_bits
+  kBlock = 1,   ///< block the depositor until consumers free space
+};
+
+struct KeyStoreConfig {
+  std::uint64_t capacity_bits = 0;  ///< 0 = unbounded
+  OverflowPolicy on_overflow = OverflowPolicy::kReject;
+};
+
 class KeyStore {
  public:
-  /// Deposit a distilled key; returns its assigned id.
+  KeyStore() = default;
+  explicit KeyStore(KeyStoreConfig config) : config_(config) {}
+
+  const KeyStoreConfig& config() const noexcept { return config_; }
+
+  /// Deposit a distilled key; returns its assigned id, or 0 when the key
+  /// was rejected (empty, larger than the whole capacity, over capacity
+  /// under kReject, or blocked past close() under kBlock).
   std::uint64_t deposit(BitVec key);
 
-  /// Oldest unconsumed key (FIFO), if any. Destructive.
-  std::optional<StoredKey> get_key();
+  /// Oldest unconsumed key (FIFO), if any. Destructive; the draw is
+  /// attributed to `consumer`.
+  std::optional<StoredKey> get_key(std::string_view consumer = {});
 
   /// Specific key by id (peer-designated). Destructive; nullopt if absent
   /// or already consumed.
-  std::optional<StoredKey> get_key_with_id(std::uint64_t key_id);
+  std::optional<StoredKey> get_key_with_id(std::uint64_t key_id,
+                                           std::string_view consumer = {});
+
+  /// Release depositors blocked on a full store (kBlock); their keys are
+  /// rejected. Further deposits still succeed while space allows.
+  void close();
 
   std::size_t keys_available() const;
   std::uint64_t bits_available() const;
   std::uint64_t total_deposited_bits() const;
   std::uint64_t total_consumed_bits() const;
+  std::uint64_t rejected_keys() const;
+  std::uint64_t rejected_bits() const;
+
+  /// Bits drawn so far by `consumer` (as passed to the get_* calls).
+  std::uint64_t consumed_by(std::string_view consumer) const;
+  /// Snapshot of the full per-consumer draw ledger.
+  std::map<std::string, std::uint64_t> draw_accounting() const;
 
  private:
+  bool fits_locked(std::uint64_t bits) const noexcept;
+  void consume_locked(std::string_view consumer, std::uint64_t bits);
+
+  KeyStoreConfig config_;
   mutable std::mutex mutex_;
+  std::condition_variable space_;
   std::map<std::uint64_t, BitVec> keys_;
+  std::map<std::string, std::uint64_t, std::less<>> drawn_;
   std::uint64_t next_id_ = 1;
   std::uint64_t deposited_bits_ = 0;
   std::uint64_t consumed_bits_ = 0;
+  std::uint64_t rejected_keys_ = 0;
+  std::uint64_t rejected_bits_ = 0;
+  bool closed_ = false;
 };
 
 }  // namespace qkdpp::pipeline

@@ -263,10 +263,15 @@ SessionResult run_alice_session(ClassicalChannel& channel,
           send_msg(channel, response);
           continue;
         }
-        if (std::get_if<ReconcileDone>(&message) != nullptr) break;
+        if (auto* done = std::get_if<ReconcileDone>(&message)) {
+          // Bob reports round-budget exhaustion (keys provably still
+          // differ): leave `reconciled` empty so the no-reconciled-frames
+          // abort below fires instead of leaking a doomed verification tag.
+          if (done->success) reconciled = key;
+          break;
+        }
         throw_error(ErrorCode::kProtocol, "unexpected message in cascade");
       }
-      reconciled = key;
     }
     result.reconciled_bits = reconciled.size();
     if (reconciled.empty()) {
@@ -416,7 +421,10 @@ SessionResult run_bob_session(ClassicalChannel& channel,
       const auto cascade_result =
           reconcile::cascade_reconcile(corrected, oracle, cascade);
       result.leak_ec_bits += cascade_result.leaked_bits;
-      send_msg(channel, ReconcileDone{block_id, true});
+      // Report the real convergence state: on round-budget exhaustion the
+      // keys provably still differ and verification (which both peers still
+      // run, keeping the message flow fixed) is guaranteed to fail.
+      send_msg(channel, ReconcileDone{block_id, cascade_result.converged});
       reconciled = std::move(corrected);
     }
     result.reconciled_bits = reconciled.size();

@@ -22,13 +22,21 @@ PaPlan plan_privacy_amplification(std::size_t n_key, std::size_t n_sample,
   plan.phase_error_bound = std::min(0.5, phase_error + penalty);
 
   const double entropy_rate = 1.0 - binary_entropy(plan.phase_error_bound);
-  const double correctness_cost = std::log2(2.0 / params.eps_corr);
-  const double pa_cost = 2.0 * std::log2(1.0 / (2.0 * params.eps_pa));
+  // Both epsilon costs are key-length *penalties*: for lax epsilons
+  // (eps_corr > 2, eps_pa > 0.5) the raw formulas go negative, which would
+  // *credit* the adversary's failure allowance back as secret key. A cost
+  // can never be less than zero bits.
+  const double correctness_cost =
+      std::max(0.0, std::log2(2.0 / params.eps_corr));
+  const double pa_cost =
+      std::max(0.0, 2.0 * std::log2(1.0 / (2.0 * params.eps_pa)));
   const double length = static_cast<double>(n_key) * entropy_rate -
                         static_cast<double>(leak_ec) - correctness_cost -
                         pa_cost;
   if (length >= 1.0) {
-    plan.output_bits = static_cast<std::size_t>(length);
+    // Hashing cannot stretch: never emit more bits than went in.
+    plan.output_bits =
+        std::min<std::size_t>(static_cast<std::size_t>(length), n_key);
     plan.viable = true;
   }
   return plan;

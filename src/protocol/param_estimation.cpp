@@ -83,10 +83,16 @@ DecoyBounds decoy_bounds_finite(const DecoyObservations& obs,
   if (!bounds.valid) return bounds;
 
   // Recompute e1 with the adversarial direction for the error numerator
-  // (larger E_nu Q_nu, smaller Y0).
+  // (larger E_nu Q_nu, smaller Y0). The margin must be derived for the
+  // *product* observable E_nu*Q_nu - the error-count rate over n_decoy
+  // pulses - not reused from Q_nu: the decoy gain's deviation is ~sqrt(Q_nu)
+  // while the error rate's is ~sqrt(E_nu*Q_nu), a much smaller quantity, so
+  // reusing d_nu both mis-sizes the confidence interval and breaks the
+  // finite->asymptotic convergence direction per observable.
   const double nu = obs.nu;
+  const double d_enu = rate_delta(obs.e_nu * obs.q_nu, n_decoy, eps);
   const double e_q_nu_upper =
-      std::min(1.0, obs.e_nu * obs.q_nu + d_nu) * std::exp(nu);
+      std::min(1.0, obs.e_nu * obs.q_nu + d_enu) * std::exp(nu);
   const double y0_lower = std::max(0.0, obs.y0 - d_v);
   const double numerator = e_q_nu_upper - 0.5 * y0_lower;
   bounds.e1_upper =

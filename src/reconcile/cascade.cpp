@@ -51,6 +51,9 @@ class CascadeEngine {
     for (std::uint32_t pass = 0; pass < config_.passes; ++pass) {
       begin_pass(pass);
       resolve_all(pass);
+      // Round budget exhausted: later passes could only burn more budget on
+      // a key that already failed, so stop leaking parities now.
+      if (!result_.converged) break;
     }
     result_.corrected_bits = corrected_;
     return result_;
@@ -119,7 +122,6 @@ class CascadeEngine {
   /// every odd block of one pass and bisects them level-synchronously.
   void resolve_all(std::uint32_t up_to_pass) {
     for (;;) {
-      if (result_.rounds >= config_.max_rounds) return;  // desync safety
       std::uint32_t pass = up_to_pass + 1;
       std::size_t most = 0;
       for (std::uint32_t p = 0; p <= up_to_pass; ++p) {
@@ -131,6 +133,12 @@ class CascadeEngine {
         }
       }
       if (most == 0) return;
+      if (result_.rounds >= config_.max_rounds) {
+        // Desync safety valve tripped with odd blocks still outstanding:
+        // the keys still differ and the caller must be able to tell.
+        result_.converged = false;
+        return;
+      }
       bisect_batch(pass, up_to_pass);
     }
   }

@@ -34,6 +34,11 @@ struct CascadeResult {
   std::size_t corrected_bits = 0;  ///< number of bit flips applied
   std::uint64_t leaked_bits = 0;   ///< parity bits received from Alice
   std::uint64_t rounds = 0;        ///< oracle batches (protocol round-trips)
+  /// False when the round budget ran out with odd-parity blocks still
+  /// unresolved: the keys provably still differ, and the caller must route
+  /// the block into its verification-failure path instead of treating the
+  /// output as reconciled.
+  bool converged = true;
 
   /// Reconciliation efficiency f = leak / (n h2(q)); 1.0 is the Shannon
   /// limit, production Cascade sits around 1.05-1.2.

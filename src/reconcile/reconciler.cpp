@@ -136,7 +136,10 @@ ReconcileOutcome cascade_reconcile_local(const BitVec& alice_key,
 
   ReconcileOutcome outcome;
   outcome.corrected = std::move(corrected);
-  outcome.success = true;  // verification decides; Cascade always "finishes"
+  // Non-convergence (round budget exhausted with odd blocks outstanding)
+  // means the keys provably still differ; converged runs may still carry a
+  // residual undetected error pair, which verification catches.
+  outcome.success = result.converged;
   outcome.leaked_bits = result.leaked_bits;
   outcome.rounds = result.rounds;
   outcome.efficiency = result.efficiency(alice_key.size(), qber);

@@ -1,0 +1,139 @@
+#include "service/link_orchestrator.hpp"
+
+#include <algorithm>
+#include <future>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+#include "common/threadpool.hpp"
+#include "engine/sim_adapter.hpp"
+
+namespace qkdpp::service {
+
+namespace {
+
+/// Price this link's nominal per-block workload for the mapper: the
+/// analytic channel model predicts the sifted/key volume and QBER a block
+/// of `pulses_per_block` produces at this distance, so short metro links
+/// and long lossy WAN links present genuinely different WorkEstimates and
+/// the shared-device arbitration weighs them accordingly.
+engine::StageWorkload workload_for(const LinkSpec& spec) {
+  const sim::AnalyticLink model(spec.link);
+  const auto& source = spec.link.source;
+  const double gain = sim::expected_mean_gain(spec.link);
+  const auto pulses = static_cast<double>(spec.pulses_per_block);
+
+  engine::StageWorkload workload;
+  workload.pulses = spec.pulses_per_block;
+  // Half the detections survive basis sifting.
+  workload.sifted_bits = static_cast<std::size_t>(
+      std::max(1.0, pulses * gain * 0.5));
+  // Signal-class sifted bits minus the estimation sample enter the key.
+  workload.key_bits = static_cast<std::size_t>(std::max(
+      1.0, static_cast<double>(workload.sifted_bits) * source.p_signal *
+               (1.0 - spec.params.pe_fraction)));
+  workload.qber = model.qber(source.mu_signal);
+  return workload;
+}
+
+}  // namespace
+
+LinkOrchestrator::LinkOrchestrator(OrchestratorConfig config)
+    : config_(std::move(config)) {
+  if (config_.links.empty()) {
+    throw_error(ErrorCode::kConfig, "orchestrator needs at least one link");
+  }
+  devices_ = std::make_shared<hetero::DeviceSet>(config_.devices,
+                                                 config_.device_threads);
+  for (auto& spec : config_.links) {
+    spec.link.validate();
+    QKDPP_REQUIRE(spec.pulses_per_block > 0, "empty block");
+    links_.emplace_back(spec, config_.store);
+
+    engine::EngineOptions options;
+    options.shared_devices = devices_;
+    options.policy = config_.policy;
+    options.threads = config_.device_threads;
+    options.workload = workload_for(spec);
+    links_.back().engine = std::make_unique<engine::PostprocessEngine>(
+        spec.params, std::move(options));
+  }
+}
+
+OrchestratorReport LinkOrchestrator::run() {
+  const std::size_t workers =
+      config_.workers ? config_.workers : links_.size();
+  ThreadPool pool(workers);
+
+  std::vector<LinkReport> reports(links_.size());
+  Stopwatch fleet_clock;
+  std::vector<std::future<void>> done;
+  done.reserve(links_.size());
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    done.push_back(pool.submit([this, i, &reports] {
+      LinkState& state = links_[i];
+      LinkReport report;
+      report.name = state.spec.name;
+      report.length_km = state.spec.link.channel.length_km;
+      const auto& placement = state.engine->placement();
+      for (std::size_t s = 0; s < placement.stage_names.size(); ++s) {
+        report.stage_devices.push_back(placement.device_of(s));
+      }
+      const std::uint64_t rejected_keys_before = state.store.rejected_keys();
+      const std::uint64_t rejected_bits_before = state.store.rejected_bits();
+
+      Stopwatch link_clock;
+      for (std::uint64_t b = 0; b < state.spec.blocks; ++b) {
+        const std::uint64_t block_id = state.next_block_id++;
+        const sim::DetectionRecord record =
+            state.simulator.run(state.spec.pulses_per_block, state.rng);
+        const engine::BlockInput input =
+            engine::make_block_input(record, block_id);
+        const engine::BlockOutcome outcome =
+            state.engine->process_block(input, block_id, state.rng);
+        if (!outcome.success) {
+          ++report.blocks_aborted;
+          continue;
+        }
+        ++report.blocks_ok;
+        if (state.store.deposit(outcome.final_key) != 0) {
+          report.secret_bits += outcome.final_key_bits;
+        }
+      }
+      report.wall_seconds = link_clock.seconds();
+      report.rejected_keys =
+          state.store.rejected_keys() - rejected_keys_before;
+      report.rejected_bits =
+          state.store.rejected_bits() - rejected_bits_before;
+      if (report.wall_seconds > 0) {
+        report.secret_bits_per_s =
+            static_cast<double>(report.secret_bits) / report.wall_seconds;
+        report.blocks_per_s =
+            static_cast<double>(report.blocks_ok + report.blocks_aborted) /
+            report.wall_seconds;
+      }
+      reports[i] = std::move(report);
+    }));
+  }
+  for (auto& future : done) future.get();
+
+  OrchestratorReport report;
+  report.wall_seconds = fleet_clock.seconds();
+  report.links = std::move(reports);
+  for (const auto& link : report.links) {
+    report.blocks_ok += link.blocks_ok;
+    report.blocks_aborted += link.blocks_aborted;
+    report.secret_bits += link.secret_bits;
+  }
+  if (report.wall_seconds > 0) {
+    report.secret_bits_per_s =
+        static_cast<double>(report.secret_bits) / report.wall_seconds;
+    report.blocks_per_s =
+        static_cast<double>(report.blocks_ok + report.blocks_aborted) /
+        report.wall_seconds;
+  }
+  return report;
+}
+
+}  // namespace qkdpp::service

@@ -1,0 +1,127 @@
+// LinkOrchestrator: many concurrent QKD links distilling into a bounded
+// key-management layer on one physical machine.
+//
+// Deployed QKD networks are not one link: a trusted node terminates many
+// spans of different lengths (metro access, regional backbone, WAN), and
+// the post-processing host serves all of them at once. The orchestrator
+// owns N independent links - each a LinkConfig (physics) plus a
+// PostprocessEngine (distillation) - placed over one *shared*
+// hetero::DeviceSet. Engines are constructed in link order, so each
+// placement is arbitrated against the device load earlier links already
+// committed (the mapper's base_load path): a device that is optimal for
+// one link in isolation stops being chosen once other links have loaded
+// it. run() drives every link concurrently on a thread pool; distilled
+// keys land in a per-link-pair bounded KeyStore (ETSI GS QKD 014
+// flavoured), where a slow consumer shows up as rejected_bits or as
+// backpressure instead of unbounded memory.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "engine/engine.hpp"
+#include "engine/params.hpp"
+#include "hetero/device_set.hpp"
+#include "pipeline/kms.hpp"
+#include "sim/bb84.hpp"
+#include "sim/link_config.hpp"
+
+namespace qkdpp::service {
+
+/// One QKD link: a physical channel plus its post-processing parameters.
+struct LinkSpec {
+  std::string name;
+  sim::LinkConfig link;
+  engine::PostprocessParams params;
+  std::size_t pulses_per_block = std::size_t{1} << 20;
+  std::uint64_t blocks = 4;      ///< blocks to distill per run()
+  std::uint64_t rng_seed = 1;    ///< per-link deterministic stream
+};
+
+struct OrchestratorConfig {
+  std::vector<LinkSpec> links;
+  /// Shared roster; empty selects the standard four-kind set.
+  std::vector<hetero::DeviceProps> devices;
+  /// Host threads backing the shared set's parallel kernels (0 = hw).
+  std::size_t device_threads = 0;
+  /// Worker threads driving links (0 = one per link).
+  std::size_t workers = 0;
+  engine::PlacementPolicy policy = engine::PlacementPolicy::kOptimized;
+  /// Bound applied to every link pair's KeyStore.
+  pipeline::KeyStoreConfig store;
+};
+
+/// Per-link outcome of one run().
+struct LinkReport {
+  std::string name;
+  double length_km = 0.0;
+  std::uint64_t blocks_ok = 0;
+  std::uint64_t blocks_aborted = 0;
+  std::uint64_t secret_bits = 0;       ///< accepted into the link's KeyStore
+  std::uint64_t rejected_keys = 0;     ///< store-level rejections (bound hit)
+  std::uint64_t rejected_bits = 0;
+  double wall_seconds = 0.0;
+  double secret_bits_per_s = 0.0;
+  double blocks_per_s = 0.0;
+  std::vector<std::string> stage_devices;  ///< chosen placement, per stage
+};
+
+struct OrchestratorReport {
+  std::vector<LinkReport> links;
+  double wall_seconds = 0.0;           ///< whole-fleet wall clock
+  std::uint64_t blocks_ok = 0;
+  std::uint64_t blocks_aborted = 0;
+  std::uint64_t secret_bits = 0;
+  double secret_bits_per_s = 0.0;      ///< aggregate over fleet wall time
+  double blocks_per_s = 0.0;
+};
+
+class LinkOrchestrator {
+ public:
+  /// Builds one engine per link over the shared device set, in link order
+  /// (placement arbitration is deterministic). Throws Error{kConfig} on an
+  /// empty link list.
+  explicit LinkOrchestrator(OrchestratorConfig config);
+
+  std::size_t link_count() const noexcept { return links_.size(); }
+  const LinkSpec& link_spec(std::size_t i) const { return links_[i].spec; }
+  const engine::PostprocessEngine& link_engine(std::size_t i) const {
+    return *links_[i].engine;
+  }
+  /// The link pair's bounded key store (thread-safe; consumers may draw
+  /// concurrently with a running distillation).
+  pipeline::KeyStore& key_store(std::size_t i) { return links_[i].store; }
+  const hetero::DeviceSet& device_set() const noexcept { return *devices_; }
+
+  /// Drive all links concurrently: each link distills spec.blocks blocks
+  /// and deposits every successful key into its store. Repeatable; stores
+  /// and rng streams carry over between runs.
+  OrchestratorReport run();
+
+ private:
+  struct LinkState {
+    LinkSpec spec;
+    sim::Bb84Simulator simulator;
+    std::unique_ptr<engine::PostprocessEngine> engine;
+    pipeline::KeyStore store;
+    Xoshiro256 rng;
+    std::uint64_t next_block_id = 1;
+
+    LinkState(LinkSpec s, pipeline::KeyStoreConfig store_config)
+        : spec(std::move(s)),
+          simulator(spec.link),
+          store(store_config),
+          rng(spec.rng_seed) {}
+  };
+
+  OrchestratorConfig config_;
+  std::shared_ptr<hetero::DeviceSet> devices_;
+  std::deque<LinkState> links_;  // LinkState is pinned (store owns a mutex)
+};
+
+}  // namespace qkdpp::service

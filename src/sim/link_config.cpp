@@ -1,5 +1,6 @@
 #include "sim/link_config.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/error.hpp"
@@ -64,6 +65,27 @@ double AnalyticLink::qber(double mu) const noexcept {
 
 double AnalyticLink::yield(unsigned n_photons) const noexcept {
   return y0_ + 1.0 - std::pow(1.0 - eta_, n_photons);
+}
+
+double expected_mean_gain(const LinkConfig& config) noexcept {
+  const AnalyticLink model(config);
+  const SourceConfig& source = config.source;
+  return source.p_signal * model.gain(source.mu_signal) +
+         source.p_decoy * model.gain(source.mu_decoy) +
+         source.p_vacuum * model.y0();
+}
+
+std::size_t pulses_for_sifted_target(const LinkConfig& config,
+                                     double target_sifted_bits,
+                                     std::size_t min_pulses,
+                                     std::size_t max_pulses) noexcept {
+  const double gain = expected_mean_gain(config);
+  const double wanted =
+      gain > 0 ? target_sifted_bits / (0.5 * gain)
+               : static_cast<double>(max_pulses);
+  return static_cast<std::size_t>(
+      std::clamp(wanted, static_cast<double>(min_pulses),
+                 static_cast<double>(max_pulses)));
 }
 
 }  // namespace qkdpp::sim

@@ -84,4 +84,17 @@ struct AnalyticLink {
   double intercept_;
 };
 
+/// Expected per-pulse detection probability averaged over the source's
+/// intensity mix: p_signal Q_mu + p_decoy Q_nu + p_vacuum Y0.
+double expected_mean_gain(const LinkConfig& config) noexcept;
+
+/// Pulses per block so that ~`target_sifted_bits` survive basis sifting
+/// (half the detections), clamped to [min_pulses, max_pulses] - the
+/// accumulate-to-a-block-size policy real systems run, shared by the
+/// orchestrator's workload pricing and the examples/benches.
+std::size_t pulses_for_sifted_target(const LinkConfig& config,
+                                     double target_sifted_bits,
+                                     std::size_t min_pulses,
+                                     std::size_t max_pulses) noexcept;
+
 }  // namespace qkdpp::sim

@@ -176,6 +176,29 @@ TEST(PostprocessEngine, AbortedBlockReportsStageReason) {
   EXPECT_EQ(outcome.final_key_bits, 0u);
 }
 
+TEST(PostprocessEngine, CascadeRoundExhaustionAbortsBlock) {
+  // Regression: with the Cascade round budget exhausted the keys provably
+  // still differ; the reconcile stage must fail the block (and say why)
+  // instead of passing a corrupt key to verification.
+  PostprocessParams params = metro_params();
+  params.method = protocol::ReconcileMethod::kCascade;
+  params.cascade.max_rounds = 4;  // a metro block needs thousands
+  PostprocessEngine engine(params, EngineOptions::cpu_only());
+  const BlockInput input = metro_input(5, 47);
+  Xoshiro256 rng(13);
+  const auto outcome = engine.process_block(input, 5, rng);
+  EXPECT_FALSE(outcome.success);
+  EXPECT_EQ(outcome.abort_reason, "cascade did not converge");
+
+  // The identical block with the default budget distills a key.
+  params.cascade.max_rounds = 100000;
+  PostprocessEngine healthy(params, EngineOptions::cpu_only());
+  Xoshiro256 rng_ok(13);
+  const auto ok = healthy.process_block(input, 5, rng_ok);
+  ASSERT_TRUE(ok.success) << ok.abort_reason;
+  EXPECT_GT(ok.final_key_bits, 0u);
+}
+
 TEST(PostprocessParams, SharedByOfflineAndSessionConfigs) {
   static_assert(
       std::is_base_of_v<PostprocessParams, pipeline::OfflineConfig>,

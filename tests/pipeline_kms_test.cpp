@@ -1,0 +1,230 @@
+// KeyStore tests: ETSI-style two-endpoint consumption, the empty-deposit
+// regression, capacity bounds under both overflow policies, and the
+// per-consumer draw ledger.
+#include "pipeline/kms.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace qkdpp::pipeline {
+namespace {
+
+TEST(KeyStore, DepositAndFifoDraw) {
+  Xoshiro256 rng(1);
+  KeyStore store;
+  const BitVec first = rng.random_bits(100);
+  const BitVec second = rng.random_bits(200);
+  const auto id_first = store.deposit(first);
+  const auto id_second = store.deposit(second);
+  EXPECT_NE(id_first, 0u);
+  EXPECT_NE(id_second, 0u);
+  EXPECT_NE(id_first, id_second);
+  EXPECT_EQ(store.keys_available(), 2u);
+  EXPECT_EQ(store.bits_available(), 300u);
+
+  const auto drawn = store.get_key();
+  ASSERT_TRUE(drawn.has_value());
+  EXPECT_EQ(drawn->key_id, id_first);  // FIFO
+  EXPECT_EQ(drawn->bits, first);
+  EXPECT_EQ(store.bits_available(), 200u);
+}
+
+TEST(KeyStore, EmptyDepositRejectedRegression) {
+  // Regression: an empty BitVec used to mint a key id and count toward
+  // keys_available(), letting consumers draw zero-bit "keys".
+  KeyStore store;
+  EXPECT_EQ(store.deposit(BitVec()), 0u);
+  EXPECT_EQ(store.keys_available(), 0u);
+  EXPECT_EQ(store.bits_available(), 0u);
+  EXPECT_EQ(store.total_deposited_bits(), 0u);
+  EXPECT_EQ(store.rejected_keys(), 1u);
+  EXPECT_FALSE(store.get_key().has_value());
+}
+
+TEST(KeyStore, BitsAvailableConsistentAcrossMixedConsumption) {
+  Xoshiro256 rng(2);
+  KeyStore store;
+  std::vector<std::uint64_t> ids;
+  std::uint64_t total = 0;
+  for (const std::size_t n : {64u, 128u, 256u, 512u, 1024u}) {
+    ids.push_back(store.deposit(rng.random_bits(n)));
+    total += n;
+  }
+  EXPECT_EQ(store.bits_available(), total);
+
+  // Mixed draws: designated ids interleaved with FIFO next-key draws.
+  const auto by_id = store.get_key_with_id(ids[2]);  // 256
+  ASSERT_TRUE(by_id.has_value());
+  total -= 256;
+  EXPECT_EQ(store.bits_available(), total);
+
+  const auto fifo = store.get_key();  // 64 (oldest)
+  ASSERT_TRUE(fifo.has_value());
+  EXPECT_EQ(fifo->bits.size(), 64u);
+  total -= 64;
+  EXPECT_EQ(store.bits_available(), total);
+
+  // Already-consumed id: no double consumption, accounting unchanged.
+  EXPECT_FALSE(store.get_key_with_id(ids[2]).has_value());
+  EXPECT_FALSE(store.get_key_with_id(ids[0]).has_value());
+  EXPECT_EQ(store.bits_available(), total);
+
+  const auto rest_a = store.get_key();
+  const auto rest_b = store.get_key();
+  const auto rest_c = store.get_key();
+  ASSERT_TRUE(rest_a && rest_b && rest_c);
+  EXPECT_EQ(store.bits_available(), 0u);
+  EXPECT_FALSE(store.get_key().has_value());
+  EXPECT_EQ(store.total_consumed_bits(), store.total_deposited_bits());
+}
+
+TEST(KeyStore, CapacityRejectsWithStatistic) {
+  Xoshiro256 rng(3);
+  KeyStoreConfig config;
+  config.capacity_bits = 256;
+  config.on_overflow = OverflowPolicy::kReject;
+  KeyStore store(config);
+
+  EXPECT_NE(store.deposit(rng.random_bits(200)), 0u);
+  // 100 more bits would exceed 256: rejected, counted, store unchanged.
+  EXPECT_EQ(store.deposit(rng.random_bits(100)), 0u);
+  EXPECT_EQ(store.keys_available(), 1u);
+  EXPECT_EQ(store.bits_available(), 200u);
+  EXPECT_EQ(store.rejected_keys(), 1u);
+  EXPECT_EQ(store.rejected_bits(), 100u);
+  // A 56-bit key still fits.
+  EXPECT_NE(store.deposit(rng.random_bits(56)), 0u);
+  EXPECT_EQ(store.bits_available(), 256u);
+
+  // Draining frees capacity again.
+  ASSERT_TRUE(store.get_key().has_value());
+  EXPECT_NE(store.deposit(rng.random_bits(100)), 0u);
+}
+
+TEST(KeyStore, OversizedKeyRejectedEvenWhenEmpty) {
+  Xoshiro256 rng(4);
+  KeyStoreConfig config;
+  config.capacity_bits = 128;
+  config.on_overflow = OverflowPolicy::kBlock;  // must not block forever
+  KeyStore store(config);
+  EXPECT_EQ(store.deposit(rng.random_bits(129)), 0u);
+  EXPECT_EQ(store.rejected_keys(), 1u);
+}
+
+TEST(KeyStore, BlockingDepositWaitsForConsumer) {
+  Xoshiro256 rng(5);
+  KeyStoreConfig config;
+  config.capacity_bits = 100;
+  config.on_overflow = OverflowPolicy::kBlock;
+  KeyStore store(config);
+  ASSERT_NE(store.deposit(rng.random_bits(80)), 0u);
+
+  // Second deposit must block until the consumer thread drains the first.
+  std::uint64_t second_id = 0;
+  std::thread depositor(
+      [&] { second_id = store.deposit(rng.random_bits(60)); });
+  std::thread consumer([&] {
+    while (!store.get_key("drain").has_value()) {
+      std::this_thread::yield();
+    }
+  });
+  depositor.join();
+  consumer.join();
+  EXPECT_NE(second_id, 0u);
+  EXPECT_EQ(store.bits_available(), 60u);
+  EXPECT_EQ(store.consumed_by("drain"), 80u);
+}
+
+TEST(KeyStore, CloseReleasesBlockedDepositors) {
+  Xoshiro256 rng(6);
+  KeyStoreConfig config;
+  config.capacity_bits = 100;
+  config.on_overflow = OverflowPolicy::kBlock;
+  KeyStore store(config);
+  ASSERT_NE(store.deposit(rng.random_bits(100)), 0u);
+
+  std::uint64_t blocked_id = 1;  // sentinel: must become 0 (rejected)
+  std::thread depositor(
+      [&] { blocked_id = store.deposit(rng.random_bits(50)); });
+  store.close();
+  depositor.join();
+  EXPECT_EQ(blocked_id, 0u);
+  EXPECT_EQ(store.rejected_keys(), 1u);
+  EXPECT_EQ(store.rejected_bits(), 50u);
+  // The key that was already stored is still drawable.
+  EXPECT_TRUE(store.get_key().has_value());
+}
+
+TEST(KeyStore, PerConsumerDrawAccounting) {
+  Xoshiro256 rng(7);
+  KeyStore store;
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < 4; ++i) {
+    ids.push_back(store.deposit(rng.random_bits(100)));
+  }
+  ASSERT_TRUE(store.get_key("vpn").has_value());
+  ASSERT_TRUE(store.get_key("vpn").has_value());
+  ASSERT_TRUE(store.get_key_with_id(ids[3], "voip").has_value());
+  ASSERT_TRUE(store.get_key().has_value());  // anonymous draw
+
+  EXPECT_EQ(store.consumed_by("vpn"), 200u);
+  EXPECT_EQ(store.consumed_by("voip"), 100u);
+  EXPECT_EQ(store.consumed_by("absent"), 0u);
+  const auto ledger = store.draw_accounting();
+  ASSERT_EQ(ledger.size(), 3u);  // vpn, voip, anonymous ""
+  EXPECT_EQ(ledger.at("vpn"), 200u);
+  EXPECT_EQ(ledger.at("voip"), 100u);
+  EXPECT_EQ(ledger.at(""), 100u);
+  EXPECT_EQ(store.total_consumed_bits(), 400u);
+}
+
+TEST(KeyStore, ConcurrentProducersAndConsumersStayConsistent) {
+  KeyStoreConfig config;
+  config.capacity_bits = 4096;
+  config.on_overflow = OverflowPolicy::kReject;
+  KeyStore store(config);
+
+  constexpr int kProducers = 4;
+  constexpr int kKeysEach = 50;
+  std::vector<std::thread> threads;
+  threads.reserve(kProducers + 2);
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&store, p] {
+      Xoshiro256 rng(100 + p);
+      for (int k = 0; k < kKeysEach; ++k) {
+        (void)store.deposit(rng.random_bits(64));
+      }
+    });
+  }
+  std::atomic<std::uint64_t> drawn_bits{0};
+  for (int c = 0; c < 2; ++c) {
+    threads.emplace_back([&store, &drawn_bits, c] {
+      const std::string name = c == 0 ? "left" : "right";
+      for (int k = 0; k < kProducers * kKeysEach / 2; ++k) {
+        if (const auto key = store.get_key(name)) {
+          drawn_bits += key->bits.size();
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  // Conservation: everything deposited was either drawn, rejected, or is
+  // still available.
+  EXPECT_EQ(store.total_deposited_bits(),
+            store.total_consumed_bits() + store.bits_available());
+  EXPECT_EQ(store.total_deposited_bits() + store.rejected_bits(),
+            static_cast<std::uint64_t>(kProducers) * kKeysEach * 64);
+  EXPECT_EQ(store.consumed_by("left") + store.consumed_by("right"),
+            drawn_bits.load());
+  EXPECT_LE(store.bits_available(), config.capacity_bits);
+}
+
+}  // namespace
+}  // namespace qkdpp::pipeline

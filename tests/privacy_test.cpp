@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "auth/wegman_carter.hpp"
 #include "common/rng.hpp"
 
 namespace qkdpp::privacy {
@@ -242,6 +243,36 @@ TEST(PaPlanner, SecurityCostsAreCharged) {
   EXPECT_GT(plan.output_bits, 85000u);
 }
 
+TEST(PaPlanner, LaxEpsilonsNeverInflateTheKey) {
+  // Regression: pa_cost = 2 log2(1/(2 eps_pa)) goes negative for
+  // eps_pa > 0.5 (and correctness_cost for eps_corr > 2), which used to
+  // *credit* ~2.3 bits back and let output_bits exceed input_bits whenever
+  // the sampling penalty was small enough (tiny key, huge sample, lax
+  // eps_pe): this exact plan produced 101 output bits from 100 input bits.
+  SecurityParams lax;
+  lax.eps_pe = 0.9999;
+  lax.eps_pa = 0.9;
+  lax.eps_corr = 3.0;
+  const auto plan = plan_privacy_amplification(100, 1000000000, 0.0, 0, lax);
+  ASSERT_TRUE(plan.viable);
+  EXPECT_LE(plan.output_bits, plan.input_bits);
+}
+
+TEST(PaPlanner, OutputNeverExceedsInputAcrossEpsilonSweep) {
+  for (const double eps : {1e-10, 0.4, 0.5, 0.6, 0.99}) {
+    SecurityParams params;
+    params.eps_pe = 0.999;
+    params.eps_pa = eps;
+    params.eps_corr = eps * 4;  // crosses the eps_corr = 2 threshold too
+    for (const std::size_t n_key : {16u, 100u, 5000u}) {
+      const auto plan =
+          plan_privacy_amplification(n_key, 100000000, 0.0, 0, params);
+      EXPECT_LE(plan.output_bits, plan.input_bits)
+          << "eps_pa=" << eps << " n=" << n_key;
+    }
+  }
+}
+
 TEST(PaPlanner, InvalidParamsThrow) {
   EXPECT_THROW(plan_privacy_amplification(100, 10, -0.1, 0),
                std::invalid_argument);
@@ -304,6 +335,59 @@ TEST(Verification, TagDeterministic) {
   Xoshiro256 rng(12);
   const BitVec key = rng.random_bits(1000);
   EXPECT_EQ(verification_tag(key, 77), verification_tag(key, 77));
+}
+
+/// The hash point verification_tag derives from its public seed (pinned
+/// here so the cross-check below exercises the same r the tag used).
+U128 verification_point(std::uint64_t seed) {
+  Xoshiro256 rng(seed ^ 0x5eedf0011ULL);
+  return U128{rng.next_u64(), rng.next_u64()};
+}
+
+TEST(Verification, PolyEvalMatchesAuthPolyHash) {
+  // The header claims verification's poly_eval is the same construction as
+  // auth::poly_hash (Horner over GF(2^128) with a leading length block);
+  // pin it: on identical byte strings the two must agree bit for bit.
+  Xoshiro256 rng(13);
+  for (const std::size_t bits : {8u, 64u, 256u, 1000u, 4096u, 100000u}) {
+    const BitVec key = rng.random_bits(bits);
+    const std::uint64_t seed = rng.next_u64();
+    const U128 r = verification_point(seed);
+    const auto bytes = key.to_bytes();
+    EXPECT_EQ(verification_tag(key, seed), auth::poly_hash(r, bytes))
+        << bits << " bits";
+  }
+}
+
+TEST(Verification, PolyEvalMatchesAuthPolyHashAtBlockBoundaries) {
+  // 16-byte-block edges of the Horner loop: exactly one block, one block
+  // +/- one byte, several blocks, and the empty-message length block.
+  Xoshiro256 rng(14);
+  const std::size_t byte_sizes[] = {0, 1, 15, 16, 17, 31, 32, 33, 48, 127, 128};
+  for (const std::size_t n_bytes : byte_sizes) {
+    const BitVec key = rng.random_bits(n_bytes * 8);
+    ASSERT_EQ(key.to_bytes().size(), n_bytes);
+    const std::uint64_t seed = 0xb10cull + n_bytes;
+    const U128 r = verification_point(seed);
+    EXPECT_EQ(verification_tag(key, seed), auth::poly_hash(r, key.to_bytes()))
+        << n_bytes << " bytes";
+  }
+}
+
+TEST(Verification, PartialBlockPaddingIsLengthDistinguished) {
+  // A partial final block is zero-padded; the leading length block must
+  // still separate a message from its zero-extended sibling in *both*
+  // constructions, and they must agree on the (distinct) tags.
+  Xoshiro256 rng(15);
+  const BitVec key = rng.random_bits(9 * 8);  // 9 bytes: partial block
+  BitVec extended = key;
+  for (int i = 0; i < 8; ++i) extended.push_back(false);  // 10 bytes, 0-padded
+  const std::uint64_t seed = 99;
+  const U128 r = verification_point(seed);
+  EXPECT_NE(verification_tag(key, seed), verification_tag(extended, seed));
+  EXPECT_EQ(verification_tag(key, seed), auth::poly_hash(r, key.to_bytes()));
+  EXPECT_EQ(verification_tag(extended, seed),
+            auth::poly_hash(r, extended.to_bytes()));
 }
 
 }  // namespace

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "common/error.hpp"
 #include "sim/bb84.hpp"
 
@@ -234,6 +236,89 @@ TEST(Decoy, FiniteSizeBoundsAreMoreConservative) {
   ASSERT_TRUE(finite.valid);
   EXPECT_LE(finite.y1_lower, asym.y1_lower);
   EXPECT_GE(finite.e1_upper, asym.e1_upper);
+}
+
+TEST(Decoy, FiniteBoundsConvergeToAsymptoticAndStayPessimistic) {
+  // Regression for the E_nu*Q_nu margin: the finite-size e1 bound used to
+  // reuse d_nu - the deviation derived for the *gain* Q_nu - as the margin
+  // for the product observable E_nu*Q_nu. Each observable must carry its
+  // own deviation; then the finite bounds (a) stay strictly more
+  // pessimistic than the asymptotic ones at finite n in *every* bound, and
+  // (b) converge to them as n -> infinity.
+  const sim::LinkConfig link = decoy_link(25.0);
+  const sim::AnalyticLink model(link);
+  DecoyObservations obs;
+  obs.mu = link.source.mu_signal;
+  obs.nu = link.source.mu_decoy;
+  obs.q_mu = model.gain(obs.mu);
+  obs.q_nu = model.gain(obs.nu);
+  obs.e_mu = model.qber(obs.mu);
+  obs.e_nu = model.qber(obs.nu);
+  obs.y0 = model.y0();
+
+  const auto asym = decoy_bounds(obs);
+  ASSERT_TRUE(asym.valid);
+
+  // Strictly more pessimistic at finite n, in both Y1 and e1.
+  const auto finite = decoy_bounds_finite(obs, 10000000, 1000000, 1000000,
+                                          1e-10);
+  ASSERT_TRUE(finite.valid);
+  EXPECT_LT(finite.y1_lower, asym.y1_lower);
+  EXPECT_LT(finite.q1_lower, asym.q1_lower);
+  EXPECT_GT(finite.e1_upper, asym.e1_upper);
+
+  // Monotone approach: more pulses -> tighter (never looser) bounds.
+  double previous_y1 = finite.y1_lower;
+  double previous_e1 = finite.e1_upper;
+  for (const double scale : {1e8, 1e10, 1e12}) {
+    const auto n = static_cast<std::size_t>(scale);
+    const auto better = decoy_bounds_finite(obs, 10 * n, n, n, 1e-10);
+    ASSERT_TRUE(better.valid) << scale;
+    EXPECT_GE(better.y1_lower, previous_y1) << scale;
+    EXPECT_LE(better.e1_upper, previous_e1) << scale;
+    previous_y1 = better.y1_lower;
+    previous_e1 = better.e1_upper;
+  }
+
+  // Convergence: at n = 1e14 decoy pulses the deviations are negligible.
+  const auto huge =
+      decoy_bounds_finite(obs, std::size_t{1} << 50, std::size_t{100000000000000},
+                          std::size_t{100000000000000}, 1e-10);
+  ASSERT_TRUE(huge.valid);
+  EXPECT_NEAR(huge.y1_lower, asym.y1_lower, asym.y1_lower * 1e-3);
+  EXPECT_NEAR(huge.e1_upper, asym.e1_upper, asym.e1_upper * 1e-2);
+}
+
+TEST(Decoy, ProductObservableCarriesItsOwnMargin) {
+  // Direct regression pin: with the decoy QBER at zero the product
+  // observable E_nu*Q_nu is zero, so its floored deviation is
+  // sqrt(3 ln(1/eps) / n^2) ~ 1e-4 at n = 1e6 - while d_nu (the gain's
+  // margin, the value the bug reused) is ~50x larger at Q_nu ~ 2.6e-3.
+  // Pre-fix, e1_upper therefore carried the gain-sized margin and landed
+  // ~6x above the correct value.
+  sim::LinkConfig link = decoy_link(25.0);
+  link.channel.misalignment = 0.0;  // error-free channel: E_nu ~ dark only
+  link.detector.dark_count_prob = 0.0;
+  const sim::AnalyticLink model(link);
+  DecoyObservations obs;
+  obs.mu = link.source.mu_signal;
+  obs.nu = link.source.mu_decoy;
+  obs.q_mu = model.gain(obs.mu);
+  obs.q_nu = model.gain(obs.nu);
+  obs.e_mu = 0.0;
+  obs.e_nu = 0.0;
+  obs.y0 = 0.0;
+
+  const std::size_t n = 1000000;
+  const auto finite = decoy_bounds_finite(obs, 10 * n, n, n, 1e-10);
+  ASSERT_TRUE(finite.valid);
+  // Margin for E_nu*Q_nu = 0 is rate_delta(0, n, eps) = sqrt(3 ln(1/eps))/n;
+  // e1 <= margin * e^nu / (Y1 * nu). With the reused gain margin this bound
+  // sits ~6x higher, so 2x the correct value cleanly separates the two.
+  const double margin = std::sqrt(3.0 * std::log(1e10)) / static_cast<double>(n);
+  const double correct_e1 =
+      margin * std::exp(obs.nu) / (finite.y1_lower * obs.nu);
+  EXPECT_LT(finite.e1_upper, 2.0 * correct_e1);
 }
 
 TEST(Decoy, InterceptResendDestroysSinglePhotonBound) {

@@ -7,6 +7,7 @@
 #include "common/entropy.hpp"
 #include "common/rng.hpp"
 #include "reconcile/parity_oracle.hpp"
+#include "reconcile/reconciler.hpp"
 
 namespace qkdpp::reconcile {
 namespace {
@@ -197,7 +198,59 @@ TEST(Cascade, WrongSeedDesynchronizesHarmlessly) {
   config.seed = 100;
   config.max_rounds = 2000;  // desync never converges; cap terminates it
   LocalParityOracle oracle(alice, /*seed=*/200, config.passes);  // wrong seed
-  EXPECT_NO_THROW(cascade_reconcile(bob, oracle, config));
+  CascadeResult result;
+  EXPECT_NO_THROW(result = cascade_reconcile(bob, oracle, config));
+  EXPECT_FALSE(result.converged);
+}
+
+TEST(Cascade, ConvergedFlagReportsRoundExhaustion) {
+  // Regression: hitting max_rounds used to return with odd blocks still
+  // unresolved and no way for the caller to tell the run from a clean one.
+  Xoshiro256 rng(25);
+  const std::size_t n = 4096;
+  const BitVec alice = rng.random_bits(n);
+  BitVec bob = corrupt(alice, 0.05, rng);
+  CascadeConfig config;
+  config.qber_hint = 0.05;
+  config.seed = 26;
+  config.passes = 6;
+  config.max_rounds = 8;  // nowhere near enough for ~200 errors
+  LocalParityOracle oracle(alice, config.seed, config.passes);
+  const auto result = cascade_reconcile(bob, oracle, config);
+  EXPECT_FALSE(result.converged);
+  EXPECT_NE(bob, alice);
+  // Cap checked per batch; one in-flight bisection may overshoot slightly.
+  EXPECT_LE(result.rounds, config.max_rounds + 32);
+
+  // The same run with the full budget converges and says so.
+  BitVec bob_again = corrupt(alice, 0.05, rng);
+  CascadeConfig generous = config;
+  generous.max_rounds = 100000;
+  LocalParityOracle fresh(alice, generous.seed, generous.passes);
+  const auto ok = cascade_reconcile(bob_again, fresh, generous);
+  EXPECT_TRUE(ok.converged);
+  EXPECT_EQ(bob_again, alice);
+}
+
+TEST(Cascade, NonConvergenceFailsLocalReconcileOutcome) {
+  // The reconciler wrapper must surface non-convergence as failure so the
+  // engine's reconcile stage can route the block into its failure path
+  // instead of leaking a verification tag on a lost cause.
+  Xoshiro256 rng(27);
+  const BitVec alice = rng.random_bits(4096);
+  BitVec bob = corrupt(alice, 0.05, rng);
+  CascadeConfig config;
+  config.qber_hint = 0.05;
+  config.seed = 28;
+  config.max_rounds = 8;
+  const auto failed = reconcile::cascade_reconcile_local(alice, bob, 0.05,
+                                                         config);
+  EXPECT_FALSE(failed.success);
+
+  config.max_rounds = 100000;
+  const auto ok = reconcile::cascade_reconcile_local(alice, bob, 0.05, config);
+  EXPECT_TRUE(ok.success);
+  EXPECT_EQ(ok.corrected, alice);
 }
 
 TEST(Cascade, ThrowsOnEmptyKey) {
