@@ -1,0 +1,147 @@
+// Time-varying links with adaptive re-planning: a small fleet rides a
+// 24h-compressed diurnal cycle and a fault-injection timeline (QBER burst
+// + accelerator hot-remove) over one shared device set.
+//
+//   $ ./examples/dynamic_link                 # diurnal + fault injection
+//   $ ./examples/dynamic_link all [blocks]    # full shipped-scenario matrix
+//   $ ./examples/dynamic_link qber-burst 12   # one scenario, 12 blocks
+//
+// Each link samples its LinkSchedule per block, so attenuation drifts,
+// QBER bursts, Eve ramps up and detectors age mid-run; the orchestrator's
+// ReplanPolicy watches a sliding window of measured QBER and throughput,
+// retunes the reconciler (LDPC <-> Cascade crossover, pass count) and
+// re-runs the placement search against the devices' committed load -
+// without draining blocks in flight. Device events hot-remove/re-add a
+// shared device; placements that still target it abort until the replan
+// routes around the hole.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "service/link_orchestrator.hpp"
+#include "sim/scenario.hpp"
+
+namespace {
+
+using namespace qkdpp;
+
+/// A fault-injection timeline: a QBER burst riding the device hot-remove
+/// window, the compound failure mode an operator actually fears.
+sim::ScenarioConfig fault_injection_scenario(std::uint64_t blocks) {
+  sim::ScenarioConfig scenario = sim::device_hot_remove_scenario(blocks);
+  scenario.name = "fault-injection";
+  sim::Perturbation burst;
+  burst.kind = sim::PerturbationKind::kQberBurst;
+  burst.begin_block = blocks / 3;
+  burst.end_block = 2 * blocks / 3;
+  burst.magnitude = 0.045;
+  scenario.schedule.perturbations.push_back(burst);
+  scenario.validate();
+  return scenario;
+}
+
+int run_scenario(const sim::ScenarioConfig& scenario) {
+  service::OrchestratorConfig config;
+  config.store.capacity_bits = 1 << 22;
+  config.replan = service::ReplanPolicy::adaptive();
+  config.device_events = scenario.device_events;
+
+  // A metro and a regional span ride the same weather and share devices.
+  struct Span {
+    const char* name;
+    double km;
+  };
+  const Span spans[] = {{"metro", 15.0}, {"regional", 35.0}};
+  std::uint64_t seed = 5;
+  for (const auto& span : spans) {
+    service::LinkSpec spec;
+    spec.name = span.name;
+    spec.link.channel.length_km = span.km;
+    spec.pulses_per_block = sim::pulses_for_sifted_target(
+        spec.link, 30000.0, std::size_t{1} << 19, std::size_t{1} << 22);
+    spec.blocks = scenario.blocks;
+    spec.rng_seed = seed++;
+    spec.schedule = scenario.schedule;
+    config.links.push_back(std::move(spec));
+  }
+
+  std::printf("=== scenario %-22s (%llu blocks/link", scenario.name.c_str(),
+              static_cast<unsigned long long>(scenario.blocks));
+  for (const auto& p : scenario.schedule.perturbations) {
+    std::printf(", %s@[%llu,%llu)", sim::to_string(p.kind),
+                static_cast<unsigned long long>(p.begin_block),
+                static_cast<unsigned long long>(p.end_block));
+  }
+  for (const auto& event : scenario.device_events) {
+    std::printf(", device%zu offline@[%llu,%llu)", event.device_index,
+                static_cast<unsigned long long>(event.offline_at_block),
+                static_cast<unsigned long long>(event.online_at_block));
+  }
+  std::printf(") ===\n");
+
+  service::LinkOrchestrator orchestrator(std::move(config));
+  const auto report = orchestrator.run();
+
+  std::printf("%-9s | %4s %5s %7s | %6s | %10s %10s | %6s | mapping\n",
+              "link", "ok", "abort", "offline", "replan", "secret b",
+              "bits/s", "qber");
+  for (const auto& link : report.links) {
+    std::printf("%-9s | %4llu %5llu %7llu | %6llu | %10llu %10.0f | %5.2f%% |",
+                link.name.c_str(),
+                static_cast<unsigned long long>(link.blocks_ok),
+                static_cast<unsigned long long>(link.blocks_aborted),
+                static_cast<unsigned long long>(link.offline_aborts),
+                static_cast<unsigned long long>(link.replans),
+                static_cast<unsigned long long>(link.secret_bits),
+                link.secret_bits_per_s, 100.0 * link.windowed_qber);
+    for (const auto& device : link.stage_devices) {
+      std::printf(" %s", device.c_str());
+    }
+    std::printf("\n");
+  }
+  std::printf("fleet: %llu secret bits in %.2f s = %.0f bits/s\n\n",
+              static_cast<unsigned long long>(report.secret_bits),
+              report.wall_seconds, report.secret_bits_per_s);
+  return report.blocks_ok > 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string which = argc > 1 ? argv[1] : "";
+  const std::uint64_t blocks =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 0;
+
+  std::vector<sim::ScenarioConfig> scenarios;
+  if (which.empty()) {
+    // The shipped pair: one 24h-compressed diurnal cycle, one compound
+    // fault injection.
+    scenarios.push_back(sim::diurnal_scenario(blocks ? blocks : 24));
+    scenarios.push_back(fault_injection_scenario(blocks ? blocks : 18));
+  } else if (which == "all") {
+    scenarios = sim::shipped_scenarios(blocks);
+    scenarios.push_back(fault_injection_scenario(blocks ? blocks : 18));
+  } else if (which == "fault-injection") {
+    scenarios.push_back(fault_injection_scenario(blocks ? blocks : 18));
+  } else {
+    for (auto& scenario : sim::shipped_scenarios(blocks)) {
+      if (scenario.name == which) scenarios.push_back(std::move(scenario));
+    }
+    if (scenarios.empty()) {
+      std::fprintf(stderr,
+                   "unknown scenario '%s' (try: all, fault-injection, "
+                   "diurnal, qber-burst, eve-ramp, detector-degradation, "
+                   "device-hot-remove)\n",
+                   which.c_str());
+      return 2;
+    }
+  }
+
+  int status = 0;
+  for (const auto& scenario : scenarios) {
+    status |= run_scenario(scenario);
+  }
+  return status;
+}

@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Compare a BENCH_pipeline.json run against a committed baseline.
+
+The CI bench-gate job (and the tail of scripts/run_benches.sh) calls this
+with bench/baseline.json vs the fresh BENCH_pipeline.json and fails the
+build on regressions beyond the tolerance.
+
+Two metric classes:
+
+* gating - machine-independent numbers: the e2e bench's *modeled*
+  blocks/s (device model arithmetic, not wall-clock), the deterministic
+  secret-bit totals of the multilink and scenario benches, and the
+  scenario bench's own adaptive>=static gate. A regression beyond
+  --tolerance (default 25%) fails the run on any machine.
+* advisory - wall-clock rates (cpu blocks/s, multilink aggregate bits/s).
+  These swing with the host, so they only warn unless --strict-wall is
+  given (useful locally, where the baseline was produced on this machine).
+
+The committed baseline is produced by the --quick posture, so a full-length
+local run can only beat it. Regenerate after an intentional perf change:
+
+    scripts/run_benches.sh --quick && cp BENCH_pipeline.json bench/baseline.json
+
+Exit codes: 0 ok, 1 regression, 2 usage/malformed input.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"error: cannot read {path}: {err}", file=sys.stderr)
+        sys.exit(2)
+
+
+def mean(values):
+    values = list(values)
+    return sum(values) / len(values) if values else 0.0
+
+
+def extract(doc):
+    """Flatten one BENCH_pipeline.json into {metric: (value, gating)}."""
+    metrics = {}
+
+    e2e = doc.get("pipeline_e2e") or {}
+    rows = [r for r in e2e.get("rows", []) if r.get("ok")]
+    if rows:
+        # Modeled throughput is pure device-model arithmetic: comparable
+        # across machines, which is what makes it gateable in CI.
+        metrics["e2e_hetero_blocks_per_s"] = (
+            mean(r["hetero_blocks_per_s"] for r in rows), True)
+        metrics["e2e_cpu_model_blocks_per_s"] = (
+            mean(r["cpu_model_blocks_per_s"] for r in rows), True)
+        metrics["e2e_cpu_wall_blocks_per_s"] = (
+            mean(r["cpu_blocks_per_s"] for r in rows), False)
+
+    multilink = doc.get("multilink") or {}
+    aggregate = multilink.get("aggregate") or {}
+    if aggregate:
+        metrics["multilink_secret_bits"] = (
+            float(aggregate.get("secret_bits", 0)), True)
+        metrics["multilink_wall_bits_per_s"] = (
+            float(aggregate.get("secret_bits_per_s", 0.0)), False)
+
+    scenarios = doc.get("scenarios") or {}
+    for row in scenarios.get("rows", []):
+        name = row.get("scenario", "?")
+        adaptive = row.get("adaptive") or {}
+        metrics[f"scenario_{name}_adaptive_secret_bits"] = (
+            float(adaptive.get("secret_bits", 0)), True)
+    return metrics
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed fractional regression on gating "
+                             "metrics (default 0.25)")
+    parser.add_argument("--strict-wall", action="store_true",
+                        help="gate wall-clock metrics too (same-machine "
+                             "baselines only)")
+    args = parser.parse_args()
+
+    baseline = extract(load(args.baseline))
+    current_doc = load(args.current)
+    current = extract(current_doc)
+
+    failures = []
+    print(f"{'metric':44s} {'baseline':>14s} {'current':>14s} {'ratio':>7s}")
+    for name, (base_value, gating) in sorted(baseline.items()):
+        if name not in current:
+            failures.append(f"{name}: missing from current run")
+            print(f"{name:44s} {base_value:14.1f} {'MISSING':>14s}")
+            continue
+        value = current[name][0]
+        ratio = value / base_value if base_value else float("inf")
+        enforced = gating or args.strict_wall
+        tag = ""
+        if base_value and value < base_value * (1.0 - args.tolerance):
+            if enforced:
+                tag = "  << REGRESSION"
+                failures.append(
+                    f"{name}: {value:.1f} < {base_value:.1f} "
+                    f"(-{(1 - ratio) * 100:.1f}%, tolerance "
+                    f"{args.tolerance * 100:.0f}%)")
+            else:
+                tag = "  (wall-clock, advisory)"
+        print(f"{name:44s} {base_value:14.1f} {value:14.1f} {ratio:6.2f}x"
+              f"{tag}")
+
+    scenarios = current_doc.get("scenarios") or {}
+    if scenarios and not scenarios.get("gate_ok", True):
+        failures.append("bench_scenarios gate_ok=false "
+                        "(adaptive lost to static placement)")
+
+    if failures:
+        print("\nbench gate FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("\nbench gate OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

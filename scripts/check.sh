@@ -1,17 +1,52 @@
 #!/usr/bin/env sh
-# Tier-1 verify: configure, build, run the full test suite.
+# Tier-1 verify: configure, build, run the test suite, then the smoke runs
+# (the same script CI executes, so local and CI never drift).
 #
-# Set QKDPP_CHECK_SANITIZE=1 to additionally build and run the suite under
-# ASan+UBSan (separate build tree) - the word-twiddling kernels (clmul,
-# BitVec select/scatter) are exactly the kind of code where shift and
-# masking bugs hide, and the sanitizers catch them deterministically.
+# Env knobs:
+#   QKDPP_CHECK_SANITIZE=1     additionally build and run everything under
+#                              ASan+UBSan (separate build tree) - the
+#                              word-twiddling kernels (clmul, BitVec
+#                              select/scatter) are exactly the kind of code
+#                              where shift and masking bugs hide, and the
+#                              sanitizers catch them deterministically.
+#   QKDPP_CHECK_SANITIZE=only  sanitizer tree only (the CI sanitize job).
+#   QKDPP_CHECK_LABELS         ctest -L regex, e.g. 'unit|integration' to
+#                              skip the slower service tier (CI tier-1 uses
+#                              this so a hung service test cannot stall the
+#                              runner; the sanitize job runs everything).
 set -eu
 cd "$(dirname "$0")/.."
-cmake -B build -S . && cmake --build build -j && (cd build && ctest --output-on-failure -j)
 
-if [ "${QKDPP_CHECK_SANITIZE:-0}" = "1" ]; then
+smoke() {
+  # Smoke runs shared by CI and local checks: the multi-link orchestrator
+  # under real concurrency, then the dynamic-link scenario matrix with
+  # short timelines (adaptive re-planning + device hot-remove included).
+  echo "== smoke: multi_link ($1) =="
+  "$1"/multi_link 2
+  echo "== smoke: dynamic_link ($1) =="
+  "$1"/dynamic_link all 4
+}
+
+run_tree() {
+  tree=$1
+  shift
+  cmake -B "$tree" -S . "$@"
+  cmake --build "$tree" -j
+  if [ -n "${QKDPP_CHECK_LABELS:-}" ]; then
+    (cd "$tree" && ctest --output-on-failure -j -L "$QKDPP_CHECK_LABELS")
+  else
+    (cd "$tree" && ctest --output-on-failure -j)
+  fi
+  smoke "$tree"
+}
+
+SANITIZE=${QKDPP_CHECK_SANITIZE:-0}
+
+if [ "$SANITIZE" != "only" ]; then
+  run_tree build
+fi
+
+if [ "$SANITIZE" = "1" ] || [ "$SANITIZE" = "only" ]; then
   echo "== ASan+UBSan pass =="
-  cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DQKDPP_SANITIZE=ON
-  cmake --build build-asan -j
-  (cd build-asan && ctest --output-on-failure -j)
+  run_tree build-asan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DQKDPP_SANITIZE=ON
 fi

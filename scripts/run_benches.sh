@@ -1,21 +1,36 @@
 #!/usr/bin/env sh
 # Perf trajectory plumbing: run bench_pipeline_e2e + bench_multilink +
-# bench_toeplitz and write BENCH_pipeline.json at the repo root, so
-# subsequent PRs can compare end-to-end blocks/s, multi-link aggregate
-# secret bits/s, per-stage items/s, and the Toeplitz kernel times against
-# this baseline.
+# bench_scenarios + bench_toeplitz and write BENCH_pipeline.json at the
+# repo root, so subsequent PRs can compare end-to-end blocks/s, multi-link
+# aggregate secret bits/s, static-vs-adaptive scenario throughput,
+# per-stage items/s, and the Toeplitz kernel times against this baseline.
+# When bench/baseline.json exists the run finishes with
+# scripts/bench_compare.py, failing on regressions (the local mirror of the
+# CI bench-gate job).
+#
+# Usage: run_benches.sh [--quick]
+#   --quick          shorter scenario timelines (the CI bench-gate posture)
 #
 # Env knobs:
-#   BUILD_DIR        build tree to use (default: build)
-#   TOEPLITZ_FILTER  google-benchmark filter for the kernel sweep
-#                    (default: the 65536/100000-bit acceptance points)
+#   BUILD_DIR            build tree to use (default: build)
+#   TOEPLITZ_FILTER      google-benchmark filter for the kernel sweep
+#                        (default: the 65536/100000-bit acceptance points)
+#   QKDPP_BENCH_NO_GATE  set to 1 to skip the baseline comparison
 set -eu
 cd "$(dirname "$0")/.."
 BUILD=${BUILD_DIR:-build}
 FILTER=${TOEPLITZ_FILTER:-'(BM_ToeplitzDirect|BM_ToeplitzClmul|BM_ToeplitzNtt)/(65536|100000)$'}
+SCENARIO_ARGS=""
+for arg in "$@"; do
+  case "$arg" in
+    --quick) SCENARIO_ARGS="--quick" ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
 
 cmake -B "$BUILD" -S . >/dev/null
-cmake --build "$BUILD" -j --target bench_pipeline_e2e bench_multilink >/dev/null
+cmake --build "$BUILD" -j --target bench_pipeline_e2e bench_multilink \
+  bench_scenarios >/dev/null
 
 echo "== bench_pipeline_e2e =="
 # No pipe here: under `set -e` a pipeline would mask a crashing bench with
@@ -37,6 +52,17 @@ case "$MULTILINK_JSON" in
   *) echo "error: bench_multilink summary line is not JSON" >&2; exit 1 ;;
 esac
 
+echo "== bench_scenarios $SCENARIO_ARGS =="
+# The scenario bench self-gates (adaptive >= static everywhere, >10% on
+# qber-burst and device-hot-remove): a non-zero exit fails the run here.
+"$BUILD"/bench_scenarios $SCENARIO_ARGS > "$BUILD"/bench_scenarios.out
+cat "$BUILD"/bench_scenarios.out
+SCENARIOS_JSON=$(tail -n 1 "$BUILD"/bench_scenarios.out)
+case "$SCENARIOS_JSON" in
+  '{'*'}') ;;
+  *) echo "error: bench_scenarios summary line is not JSON" >&2; exit 1 ;;
+esac
+
 # bench_toeplitz needs google-benchmark; degrade gracefully without it.
 TOEPLITZ_JSON=null
 if cmake --build "$BUILD" -j --target bench_toeplitz >/dev/null 2>&1 \
@@ -51,6 +77,16 @@ fi
   printf '{"schema":"qkdpp-bench-v1","unit":"blocks_per_s",'
   printf '"pipeline_e2e":%s,' "$PIPELINE_JSON"
   printf '"multilink":%s,' "$MULTILINK_JSON"
+  printf '"scenarios":%s,' "$SCENARIOS_JSON"
   printf '"toeplitz":%s}\n' "$TOEPLITZ_JSON"
 } > BENCH_pipeline.json
 echo "wrote BENCH_pipeline.json"
+
+if [ "${QKDPP_BENCH_NO_GATE:-0}" != "1" ] && [ -f bench/baseline.json ]; then
+  if command -v python3 >/dev/null 2>&1; then
+    echo "== bench_compare (vs bench/baseline.json) =="
+    python3 scripts/bench_compare.py bench/baseline.json BENCH_pipeline.json
+  else
+    echo "warning: python3 not found, skipping baseline comparison" >&2
+  fi
+fi

@@ -46,6 +46,11 @@ struct LeakageLedger {
   std::uint64_t total() const noexcept { return ec_bits + verify_bits; }
 };
 
+/// BlockOutcome::abort_reason when a stage's placed device was hot-removed
+/// before the stage could launch (the orchestrator counts these, and an
+/// adaptive policy replans them away).
+inline constexpr const char* kAbortDeviceOffline = "assigned device offline";
+
 struct BlockOutcome {
   std::uint64_t block_id = 0;
   bool success = false;

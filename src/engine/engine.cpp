@@ -97,7 +97,9 @@ PostprocessEngine::PostprocessEngine(PostprocessParams params,
     throw_error(ErrorCode::kConfig, "fixed device index outside roster");
   }
   executors_ = make_stage_executors(params_);
-  choose_placement();
+  std::scoped_lock lock(plan_mutex_);
+  build_problem_locked();
+  solve_and_commit_locked();
 }
 
 PostprocessEngine::~PostprocessEngine() {
@@ -105,39 +107,67 @@ PostprocessEngine::~PostprocessEngine() {
   // destroyed: queued submit_block tasks capture `this` and run the full
   // stage chain, so they must not outlive the members they dereference.
   batch_pool_.reset();
+  // The ledger records the load of *live* placements (replan() already
+  // swaps rather than accumulates): a torn-down engine must not leave
+  // phantom load steering the surviving links away from idle hardware.
+  if (options_.shared_devices && !committed_by_this_.empty()) {
+    try {
+      options_.shared_devices->uncommit_loads(committed_by_this_);
+    } catch (...) {
+      // Length mismatch is impossible (sized from the same roster); never
+      // let a bookkeeping error escape a destructor.
+    }
+  }
 }
 
-void PostprocessEngine::choose_placement() {
+void PostprocessEngine::build_problem_locked() {
   problem_ = hetero::MappingProblem{};
+  raw_model_.clear();
   for (const auto& executor : executors_) {
     problem_.stage_names.emplace_back(executor->name());
   }
   for (const auto* device : devices_) {
     problem_.device_names.push_back(device->name());
   }
-  for (const auto& executor : executors_) {
-    std::vector<double> row;
+  for (std::size_t s = 0; s < executors_.size(); ++s) {
+    const auto& executor = executors_[s];
+    // Observed-cost feedback: scale every device's modeled cost for this
+    // stage by the EWMA observed/predicted ratio (1.0 until blocks ran).
+    const double correction = cost_model_.correction(s);
+    std::vector<double> row, raw_row;
     row.reserve(devices_.size());
+    raw_row.reserve(devices_.size());
     for (const auto* device : devices_) {
-      if (!executor->feasible_on(device->kind()) &&
-          options_.policy != PlacementPolicy::kFixed) {
+      const double modeled = device->model_seconds(
+          executor->work_model(options_.workload, device->kind()));
+      raw_row.push_back(modeled);
+      const bool feasible =
+          executor->feasible_on(device->kind()) && device->online();
+      if (!feasible && options_.policy != PlacementPolicy::kFixed) {
         row.push_back(hetero::kInfeasible);
         continue;
       }
       // Infeasible cells are still priced under kFixed: pinning overrides
       // the feasibility mask (the compute runs host-side regardless), which
       // is what makes the cross-device golden test possible.
-      row.push_back(device->model_seconds(
-          executor->work_model(options_.workload, device->kind())));
+      row.push_back(modeled * correction);
     }
     problem_.seconds_per_item.push_back(std::move(row));
+    raw_model_.push_back(std::move(raw_row));
   }
+}
 
+void PostprocessEngine::solve_and_commit_locked() {
   // On a shared set, arbitrate against the load other engines' placements
-  // already committed to each device.
+  // already committed to each device - excluding whatever this engine's
+  // previous placement committed (the replan path retracts it below).
   std::vector<double> base_load(devices_.size(), 0.0);
   if (options_.shared_devices) {
     base_load = options_.shared_devices->committed_loads();
+    for (std::size_t d = 0; d < base_load.size() &&
+                            d < committed_by_this_.size(); ++d) {
+      base_load[d] = std::max(0.0, base_load[d] - committed_by_this_[d]);
+    }
   }
 
   hetero::MappingResult result;
@@ -164,8 +194,60 @@ void PostprocessEngine::choose_placement() {
       const std::uint32_t d = placement_.device_of_stage[s];
       committed[d] += problem_.seconds_per_item[s][d];
     }
+    if (!committed_by_this_.empty()) {
+      options_.shared_devices->uncommit_loads(committed_by_this_);
+    }
     options_.shared_devices->commit_loads(committed);
+    committed_by_this_ = std::move(committed);
   }
+}
+
+PostprocessParams PostprocessEngine::params() const {
+  std::scoped_lock lock(plan_mutex_);
+  return params_;
+}
+
+Placement PostprocessEngine::placement() const {
+  std::scoped_lock lock(plan_mutex_);
+  return placement_;
+}
+
+hetero::MappingProblem PostprocessEngine::mapping_problem() const {
+  std::scoped_lock lock(plan_mutex_);
+  return problem_;
+}
+
+Placement PostprocessEngine::replan(const StageWorkload& workload) {
+  std::scoped_lock lock(plan_mutex_);
+  options_.workload = workload;
+  build_problem_locked();
+  solve_and_commit_locked();
+  ++replan_count_;
+  return placement_;
+}
+
+Placement PostprocessEngine::replan() { return replan(options_.workload); }
+
+bool PostprocessEngine::adapt_to_qber(double windowed_qber) {
+  std::scoped_lock lock(plan_mutex_);
+  const protocol::ReconcileMethod before = params_.method;
+  // Mid-band crossover measured on this code: by ~3.5% QBER Cascade's
+  // realized efficiency (~1.2) beats the LDPC frames' f_target (1.45) by
+  // enough to dominate the net key, and above ~8% the LDPC rate adaptation
+  // saturates (syndrome budget pinned) while Cascade still converges at
+  // the abort threshold. A quiet channel goes back to LDPC: one-way,
+  // accelerator-offloadable, FER ~0 there.
+  params_.method = windowed_qber >= 0.035 ? protocol::ReconcileMethod::kCascade
+                                          : protocol::ReconcileMethod::kLdpc;
+  // Extra passes in the hot band are cheap insurance: late passes use huge
+  // blocks, so their parity leakage is a fraction of a percent of the key.
+  params_.cascade.passes = windowed_qber < 0.06 ? 6 : 8;
+  return params_.method != before;
+}
+
+std::uint64_t PostprocessEngine::replans() const {
+  std::scoped_lock lock(plan_mutex_);
+  return replan_count_;
 }
 
 std::vector<DeviceReport> PostprocessEngine::device_report() const {
@@ -188,16 +270,41 @@ BlockOutcome PostprocessEngine::process_block(const BlockInput& input,
   state.outcome.pulses = static_cast<std::size_t>(input.report.n_pulses);
   state.outcome.detections = input.report.detected_idx.size();
 
+  // Snapshot the plan: replan()/adapt_to_qber() may swap placement and
+  // retune parameters concurrently, and this block must run end to end on
+  // one consistent view (the no-drain contract: in-flight blocks finish on
+  // the plan they started with).
+  std::vector<std::uint32_t> assignment;
+  std::vector<double> predicted;
+  PostprocessParams params_snapshot;
+  {
+    std::scoped_lock lock(plan_mutex_);
+    assignment = placement_.device_of_stage;
+    params_snapshot = params_;
+    predicted.reserve(assignment.size());
+    for (std::size_t s = 0; s < assignment.size(); ++s) {
+      predicted.push_back(raw_model_[s][assignment[s]]);
+    }
+  }
+
   ExecutionContext ctx;
-  ctx.params = &params_;
+  ctx.params = &params_snapshot;
   ctx.rng = &rng;
   ctx.ledger = &state.ledger;
 
   for (std::size_t s = 0; s < executors_.size(); ++s) {
-    ctx.device = devices_[placement_.device_of_stage[s]];
+    ctx.device = devices_[assignment[s]];
+    if (!ctx.device->online()) {
+      // Hot-removed device still in this block's placement: the kernel has
+      // nowhere to run. Expected under a static policy during an outage;
+      // an adaptive caller replans and stops coming here.
+      state.outcome.abort_reason = kAbortDeviceOffline;
+      break;
+    }
     ctx.pool = ctx.device->pool();
     const double charged = executors_[s]->run(state, ctx);
     timing_of(state.outcome.timings, executors_[s]->kind()) = charged;
+    cost_model_.observe(s, predicted[s], charged);
     if (state.aborted()) break;
   }
   state.outcome.leak_ec_bits = state.ledger.ec_bits;

@@ -27,6 +27,7 @@
 #include "engine/stage.hpp"
 #include "hetero/device.hpp"
 #include "hetero/mapper.hpp"
+#include "hetero/trace.hpp"
 
 namespace qkdpp::engine {
 
@@ -60,13 +61,53 @@ class PostprocessEngine {
   PostprocessEngine(const PostprocessEngine&) = delete;
   PostprocessEngine& operator=(const PostprocessEngine&) = delete;
 
-  const PostprocessParams& params() const noexcept { return params_; }
-  const Placement& placement() const noexcept { return placement_; }
-  /// The stage x device cost matrix the placement was chosen from.
-  const hetero::MappingProblem& mapping_problem() const noexcept {
-    return problem_;
-  }
+  /// Snapshot of the current parameters (replan/adaptation may retune the
+  /// reconciler mid-run, so this copies under the plan lock).
+  PostprocessParams params() const;
+  /// Snapshot of the current placement (replan swaps it mid-run).
+  Placement placement() const;
+  /// The stage x device cost matrix the current placement was chosen from.
+  hetero::MappingProblem mapping_problem() const;
   std::vector<DeviceReport> device_report() const;
+
+  /// Re-run the placement search for the current device roster: offline
+  /// devices are priced infeasible, shared-set base load is re-read (our
+  /// own previous commitment excluded), per-device modeled costs are
+  /// multiplied by the EWMA observed/predicted correction learned from
+  /// completed blocks, and the stage workload is refreshed to `workload`.
+  /// On a shared set the old commitment is retracted and the new one
+  /// committed. The swap happens under the plan lock: in-flight blocks
+  /// finish on the placement they started with, later blocks use the new
+  /// one. Returns the new placement.
+  Placement replan(const StageWorkload& workload);
+  /// Replan with the workload unchanged.
+  Placement replan();
+
+  /// Deterministically retune the reconciler to a windowed QBER estimate.
+  /// Measured on this codebase (see bench_scenarios): the LDPC family is
+  /// the right choice on a quiet channel (one-way, accelerator-offloadable,
+  /// FER ~0 below ~3% QBER at f_target 1.45), but mid-band its fixed
+  /// efficiency target wastes ~0.25 h2(q) of key per bit versus Cascade
+  /// (~1.2), and above ~8% its rate adaptation saturates and frames start
+  /// dying wholesale - while Cascade converges all the way to the abort
+  /// threshold. So the method switches to Cascade once the windowed QBER
+  /// crosses the mid-band, with the pass count stepped up in the hot band,
+  /// and back to LDPC when the channel calms down. Affects blocks started
+  /// after the call; placement is untouched, but a method change flips
+  /// reconcile's device feasibility (Cascade is host-only), so the caller
+  /// should replan when this returns true.
+  bool adapt_to_qber(double windowed_qber);
+
+  /// Number of replan() calls so far.
+  std::uint64_t replans() const;
+  /// The EWMA observed-cost feedback accumulated from completed stages.
+  /// The mutable overload lets a caller seed observations (tests, or a
+  /// controller importing costs measured out-of-band); process_block feeds
+  /// it automatically.
+  const hetero::StageCostModel& cost_model() const noexcept {
+    return cost_model_;
+  }
+  hetero::StageCostModel& cost_model() noexcept { return cost_model_; }
 
   /// Run one block end to end, synchronously. Aborted blocks return
   /// success=false with the stage's reason in abort_reason (expected
@@ -82,7 +123,8 @@ class PostprocessEngine {
                                          std::uint64_t rng_seed);
 
  private:
-  void choose_placement();
+  void build_problem_locked();
+  void solve_and_commit_locked();
 
   PostprocessParams params_;
   EngineOptions options_;
@@ -98,8 +140,20 @@ class PostprocessEngine {
   /// devices (kept alive by options_.shared_devices).
   std::vector<hetero::Device*> devices_;
   std::vector<std::unique_ptr<StageExecutor>> executors_;
-  hetero::MappingProblem problem_;
+  /// Guards placement_/problem_/raw_model_/params_/committed_by_this_:
+  /// process_block snapshots under it, replan()/adapt_to_qber() swap under
+  /// it, so re-planning never drains or stalls in-flight blocks.
+  mutable std::mutex plan_mutex_;
+  hetero::MappingProblem problem_;  ///< EWMA-corrected costs (mapper input)
+  /// Uncorrected model costs, same shape as problem_: observed stage times
+  /// are ratioed against these so the EWMA correction converges instead of
+  /// compounding through its own previous value.
+  std::vector<std::vector<double>> raw_model_;
   Placement placement_;
+  /// Per-device load this engine currently has committed to a shared set.
+  std::vector<double> committed_by_this_;
+  hetero::StageCostModel cost_model_{kStageCount};
+  std::uint64_t replan_count_ = 0;
 };
 
 }  // namespace qkdpp::engine

@@ -19,6 +19,7 @@
 // same quantities that govern the real devices.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -70,6 +71,17 @@ class Device {
   /// sims - which execute host-side for correctness). Null for CpuScalar.
   ThreadPool* pool() const noexcept { return pool_; }
 
+  /// Hot-remove / re-add: an offline device stays in the roster (indices
+  /// and accounting survive) but must not receive new work - the mapper
+  /// prices it infeasible and the engine aborts blocks whose placement
+  /// still targets it. In-flight kernels are not interrupted.
+  bool online() const noexcept {
+    return online_.load(std::memory_order_acquire);
+  }
+  void set_online(bool online) noexcept {
+    online_.store(online, std::memory_order_release);
+  }
+
   /// Run `body` (which performs the real computation and reports its cost).
   /// Returns the seconds charged to this device: measured wall time for CPU
   /// kinds, modeled time for the simulated accelerators.
@@ -85,6 +97,7 @@ class Device {
  private:
   DeviceProps props_;
   ThreadPool* pool_;
+  std::atomic<bool> online_{true};
   mutable std::mutex mutex_;
   double busy_s_ = 0.0;
   std::uint64_t launches_ = 0;

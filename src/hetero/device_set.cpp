@@ -42,9 +42,27 @@ void DeviceSet::commit_loads(const std::vector<double>& seconds_per_item) {
   }
 }
 
+void DeviceSet::uncommit_loads(const std::vector<double>& seconds_per_item) {
+  std::scoped_lock lock(mutex_);
+  if (seconds_per_item.size() != committed_.size()) {
+    throw_error(ErrorCode::kConfig, "committed load length mismatch");
+  }
+  for (std::size_t d = 0; d < committed_.size(); ++d) {
+    committed_[d] = std::max(0.0, committed_[d] - seconds_per_item[d]);
+  }
+}
+
 std::vector<double> DeviceSet::committed_loads() const {
   std::scoped_lock lock(mutex_);
   return committed_;
+}
+
+void DeviceSet::set_online(std::size_t i, bool online) {
+  if (i >= devices_.size()) {
+    throw_error(ErrorCode::kConfig, "device index outside roster");
+  }
+  devices_[i].set_online(online);
+  roster_version_.fetch_add(1, std::memory_order_acq_rel);
 }
 
 }  // namespace qkdpp::hetero

@@ -13,7 +13,9 @@
 // run all links concurrently.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <memory>
 #include <mutex>
@@ -43,12 +45,28 @@ class DeviceSet {
   /// load. Throws Error{kConfig} on length mismatch.
   void commit_loads(const std::vector<double>& seconds_per_item);
 
+  /// Retract a previously committed placement (the replan path: an engine
+  /// un-commits its old placement before committing the new one). Clamps
+  /// at zero so float drift never leaves a phantom negative load. Throws
+  /// Error{kConfig} on length mismatch.
+  void uncommit_loads(const std::vector<double>& seconds_per_item);
+
   /// Per-device seconds/item committed by every placement so far.
   std::vector<double> committed_loads() const;
+
+  /// Hot-remove / re-add device `i`. Bumps roster_version() so engines and
+  /// the orchestrator can cheaply detect that placements are stale.
+  void set_online(std::size_t i, bool online);
+
+  /// Monotonic counter incremented by every set_online() transition.
+  std::uint64_t roster_version() const noexcept {
+    return roster_version_.load(std::memory_order_acquire);
+  }
 
  private:
   std::unique_ptr<ThreadPool> pool_;
   std::deque<Device> devices_;  // Device is pinned (owns a mutex)
+  std::atomic<std::uint64_t> roster_version_{0};
   mutable std::mutex mutex_;
   std::vector<double> committed_;
 };

@@ -1,7 +1,9 @@
 #include "service/link_orchestrator.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <future>
+#include <numeric>
 #include <utility>
 
 #include "common/error.hpp"
@@ -17,11 +19,15 @@ namespace {
 /// analytic channel model predicts the sifted/key volume and QBER a block
 /// of `pulses_per_block` produces at this distance, so short metro links
 /// and long lossy WAN links present genuinely different WorkEstimates and
-/// the shared-device arbitration weighs them accordingly.
-engine::StageWorkload workload_for(const LinkSpec& spec) {
-  const sim::AnalyticLink model(spec.link);
-  const auto& source = spec.link.source;
-  const double gain = sim::expected_mean_gain(spec.link);
+/// the shared-device arbitration weighs them accordingly. `current` is the
+/// channel as the schedule has perturbed it; `qber_override` (when >= 0)
+/// substitutes a measured windowed QBER for the analytic prediction.
+engine::StageWorkload workload_for(const LinkSpec& spec,
+                                   const sim::LinkConfig& current,
+                                   double qber_override = -1.0) {
+  const sim::AnalyticLink model(current);
+  const auto& source = current.source;
+  const double gain = sim::expected_mean_gain(current);
   const auto pulses = static_cast<double>(spec.pulses_per_block);
 
   engine::StageWorkload workload;
@@ -33,11 +39,36 @@ engine::StageWorkload workload_for(const LinkSpec& spec) {
   workload.key_bits = static_cast<std::size_t>(std::max(
       1.0, static_cast<double>(workload.sifted_bits) * source.p_signal *
                (1.0 - spec.params.pe_fraction)));
-  workload.qber = model.qber(source.mu_signal);
+  workload.qber =
+      qber_override >= 0 ? qber_override : model.qber(source.mu_signal);
   return workload;
 }
 
+double mean(const std::deque<double>& window) {
+  if (window.empty()) return 0.0;
+  return std::accumulate(window.begin(), window.end(), 0.0) /
+         static_cast<double>(window.size());
+}
+
+void push_window(std::deque<double>& window, double value,
+                 std::size_t capacity) {
+  window.push_back(value);
+  while (window.size() > std::max<std::size_t>(1, capacity)) {
+    window.pop_front();
+  }
+}
+
 }  // namespace
+
+ReplanPolicy ReplanPolicy::adaptive() {
+  ReplanPolicy policy;
+  policy.period_blocks = 8;
+  policy.qber_delta = 0.015;
+  policy.throughput_drop = 0.40;
+  policy.window = 4;
+  policy.adapt_reconciler = true;
+  return policy;
+}
 
 LinkOrchestrator::LinkOrchestrator(OrchestratorConfig config)
     : config_(std::move(config)) {
@@ -46,6 +77,12 @@ LinkOrchestrator::LinkOrchestrator(OrchestratorConfig config)
   }
   devices_ = std::make_shared<hetero::DeviceSet>(config_.devices,
                                                  config_.device_threads);
+  for (const auto& event : config_.device_events) {
+    if (event.device_index >= devices_->size()) {
+      throw_error(ErrorCode::kConfig, "device event outside roster");
+    }
+    events_.emplace_back(event);
+  }
   for (auto& spec : config_.links) {
     spec.link.validate();
     QKDPP_REQUIRE(spec.pulses_per_block > 0, "empty block");
@@ -55,9 +92,151 @@ LinkOrchestrator::LinkOrchestrator(OrchestratorConfig config)
     options.shared_devices = devices_;
     options.policy = config_.policy;
     options.threads = config_.device_threads;
-    options.workload = workload_for(spec);
+    options.workload = workload_for(spec, spec.link);
     links_.back().engine = std::make_unique<engine::PostprocessEngine>(
         spec.params, std::move(options));
+    links_.back().roster_seen = devices_->roster_version();
+  }
+}
+
+void LinkOrchestrator::apply_device_events(std::uint64_t block_index) {
+  for (auto& state : events_) {
+    const auto& event = state.event;
+    if (block_index >= event.offline_at_block &&
+        !state.removed.exchange(true)) {
+      devices_->set_online(event.device_index, false);
+    }
+    if (event.online_at_block > event.offline_at_block &&
+        block_index >= event.online_at_block &&
+        !state.restored.exchange(true)) {
+      devices_->set_online(event.device_index, true);
+    }
+  }
+}
+
+void LinkOrchestrator::run_link(std::size_t i, LinkReport& report) {
+  LinkState& state = links_[i];
+  const ReplanPolicy& policy = config_.replan;
+  report.name = state.spec.name;
+  report.length_km = state.spec.link.channel.length_km;
+  const std::uint64_t rejected_keys_before = state.store.rejected_keys();
+  const std::uint64_t rejected_bits_before = state.store.rejected_bits();
+
+  // Sliding-window channel/throughput view driving adaptation. The QBER
+  // window holds measured per-block estimates (deterministic per seed);
+  // the throughput window holds wall-clock block times (placement only).
+  std::deque<double> qber_window;
+  std::deque<double> seconds_window;
+  const sim::AnalyticLink nominal(state.spec.link);
+  double qber_at_plan = nominal.qber(state.spec.link.source.mu_signal);
+  double best_window_rate = 0.0;
+  std::uint64_t last_plan_block = 0;
+
+  Stopwatch link_clock;
+  for (std::uint64_t b = 0; b < state.spec.blocks; ++b) {
+    apply_device_events(b);
+
+    // A roster change invalidates the placement outright: replan before
+    // committing the next block to a device that is no longer there.
+    if (policy.enabled()) {
+      const std::uint64_t roster_now = devices_->roster_version();
+      if (roster_now != state.roster_seen) {
+        state.engine->replan(workload_for(
+            state.spec, state.spec.schedule.config_at(state.spec.link, b),
+            qber_window.empty() ? -1.0 : mean(qber_window)));
+        ++report.replans;
+        state.roster_seen = roster_now;
+        last_plan_block = b;
+        if (!qber_window.empty()) qber_at_plan = mean(qber_window);
+      }
+    }
+
+    const std::uint64_t block_id = state.next_block_id++;
+    Stopwatch block_clock;
+    sim::DetectionRecord record;
+    if (state.spec.schedule.empty()) {
+      record = state.simulator.run(state.spec.pulses_per_block, state.rng);
+    } else {
+      // Sample the scheduled channel for this block index: the simulator
+      // is cheap to rebuild and the physics stays seed-deterministic.
+      const sim::Bb84Simulator simulator(
+          state.spec.schedule.config_at(state.spec.link, b));
+      record = simulator.run(state.spec.pulses_per_block, state.rng);
+    }
+    const engine::BlockInput input =
+        engine::make_block_input(record, block_id);
+    const engine::BlockOutcome outcome =
+        state.engine->process_block(input, block_id, state.rng);
+    if (outcome.success) {
+      ++report.blocks_ok;
+      if (state.store.deposit(outcome.final_key) != 0) {
+        report.secret_bits += outcome.final_key_bits;
+      }
+    } else {
+      ++report.blocks_aborted;
+      if (outcome.abort_reason == engine::kAbortDeviceOffline) {
+        ++report.offline_aborts;
+      }
+    }
+
+    // Feed the windows and evaluate the remaining triggers at the block
+    // boundary; in-flight blocks of other links are never drained.
+    if (outcome.pe_sample_bits > 0) {
+      push_window(qber_window, outcome.qber_estimate, policy.window);
+    }
+    push_window(seconds_window, block_clock.seconds(), policy.window);
+    const double windowed_qber = mean(qber_window);
+    report.windowed_qber = windowed_qber;
+
+    bool replan = false;
+    if (policy.adapt_reconciler && policy.enabled() && !qber_window.empty()) {
+      // A method change flips reconcile's device feasibility (Cascade is
+      // host-only), so the stale placement must be refreshed right away.
+      replan = state.engine->adapt_to_qber(windowed_qber);
+    }
+    if (!policy.enabled() || b + 1 >= state.spec.blocks) continue;
+
+    if (policy.period_blocks > 0 &&
+        b + 1 - last_plan_block >= policy.period_blocks) {
+      replan = true;
+    }
+    if (policy.qber_delta > 0 && !qber_window.empty() &&
+        std::abs(windowed_qber - qber_at_plan) >= policy.qber_delta) {
+      replan = true;
+    }
+    if (policy.throughput_drop > 0 &&
+        seconds_window.size() >= std::max<std::size_t>(2, policy.window)) {
+      const double rate = 1.0 / std::max(1e-12, mean(seconds_window));
+      best_window_rate = std::max(best_window_rate, rate);
+      if (rate < (1.0 - policy.throughput_drop) * best_window_rate) {
+        replan = true;
+      }
+    }
+    if (replan) {
+      state.engine->replan(workload_for(
+          state.spec, state.spec.schedule.config_at(state.spec.link, b + 1),
+          qber_window.empty() ? -1.0 : windowed_qber));
+      ++report.replans;
+      last_plan_block = b + 1;
+      if (!qber_window.empty()) qber_at_plan = windowed_qber;
+      best_window_rate = 0.0;
+      state.roster_seen = devices_->roster_version();
+    }
+  }
+  report.wall_seconds = link_clock.seconds();
+
+  const auto placement = state.engine->placement();
+  for (std::size_t s = 0; s < placement.stage_names.size(); ++s) {
+    report.stage_devices.push_back(placement.device_of(s));
+  }
+  report.rejected_keys = state.store.rejected_keys() - rejected_keys_before;
+  report.rejected_bits = state.store.rejected_bits() - rejected_bits_before;
+  if (report.wall_seconds > 0) {
+    report.secret_bits_per_s =
+        static_cast<double>(report.secret_bits) / report.wall_seconds;
+    report.blocks_per_s =
+        static_cast<double>(report.blocks_ok + report.blocks_aborted) /
+        report.wall_seconds;
   }
 }
 
@@ -71,50 +250,8 @@ OrchestratorReport LinkOrchestrator::run() {
   std::vector<std::future<void>> done;
   done.reserve(links_.size());
   for (std::size_t i = 0; i < links_.size(); ++i) {
-    done.push_back(pool.submit([this, i, &reports] {
-      LinkState& state = links_[i];
-      LinkReport report;
-      report.name = state.spec.name;
-      report.length_km = state.spec.link.channel.length_km;
-      const auto& placement = state.engine->placement();
-      for (std::size_t s = 0; s < placement.stage_names.size(); ++s) {
-        report.stage_devices.push_back(placement.device_of(s));
-      }
-      const std::uint64_t rejected_keys_before = state.store.rejected_keys();
-      const std::uint64_t rejected_bits_before = state.store.rejected_bits();
-
-      Stopwatch link_clock;
-      for (std::uint64_t b = 0; b < state.spec.blocks; ++b) {
-        const std::uint64_t block_id = state.next_block_id++;
-        const sim::DetectionRecord record =
-            state.simulator.run(state.spec.pulses_per_block, state.rng);
-        const engine::BlockInput input =
-            engine::make_block_input(record, block_id);
-        const engine::BlockOutcome outcome =
-            state.engine->process_block(input, block_id, state.rng);
-        if (!outcome.success) {
-          ++report.blocks_aborted;
-          continue;
-        }
-        ++report.blocks_ok;
-        if (state.store.deposit(outcome.final_key) != 0) {
-          report.secret_bits += outcome.final_key_bits;
-        }
-      }
-      report.wall_seconds = link_clock.seconds();
-      report.rejected_keys =
-          state.store.rejected_keys() - rejected_keys_before;
-      report.rejected_bits =
-          state.store.rejected_bits() - rejected_bits_before;
-      if (report.wall_seconds > 0) {
-        report.secret_bits_per_s =
-            static_cast<double>(report.secret_bits) / report.wall_seconds;
-        report.blocks_per_s =
-            static_cast<double>(report.blocks_ok + report.blocks_aborted) /
-            report.wall_seconds;
-      }
-      reports[i] = std::move(report);
-    }));
+    done.push_back(
+        pool.submit([this, i, &reports] { run_link(i, reports[i]); }));
   }
   for (auto& future : done) future.get();
 

@@ -16,6 +16,7 @@
 // backpressure instead of unbounded memory.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
@@ -30,6 +31,7 @@
 #include "pipeline/kms.hpp"
 #include "sim/bb84.hpp"
 #include "sim/link_config.hpp"
+#include "sim/scenario.hpp"
 
 namespace qkdpp::service {
 
@@ -41,6 +43,51 @@ struct LinkSpec {
   std::size_t pulses_per_block = std::size_t{1} << 20;
   std::uint64_t blocks = 4;      ///< blocks to distill per run()
   std::uint64_t rng_seed = 1;    ///< per-link deterministic stream
+  /// Time-varying channel: perturbations applied to `link` per block index
+  /// within a run (empty = stationary channel, the pre-scenario behaviour).
+  sim::LinkSchedule schedule;
+};
+
+/// When and why a link re-runs its engine's placement search mid-run. All
+/// triggers are evaluated at block boundaries; in-flight blocks are never
+/// drained (they finish on the placement they started with). Reconciler
+/// adaptation (cascade passes, LDPC rate target) depends only on the
+/// windowed QBER estimate, so adapted runs stay bit-deterministic per seed
+/// even though placement triggers may consult wall-clock throughput.
+struct ReplanPolicy {
+  /// Replan every N blocks (0 = no periodic replanning).
+  std::uint64_t period_blocks = 0;
+  /// Replan when the windowed QBER moved at least this far from the value
+  /// the current plan was made for (0 = disabled).
+  double qber_delta = 0.0;
+  /// Replan when windowed blocks/s falls below (1 - drop) x the best
+  /// window seen since the last plan (0 = disabled).
+  double throughput_drop = 0.0;
+  /// Sliding-window length, in blocks, for the QBER and throughput
+  /// estimates feeding the triggers and the reconciler adaptation.
+  std::size_t window = 6;
+  /// Retune the reconciler to the windowed QBER (method crossover between
+  /// offloadable LDPC frames and low-leakage Cascade, pass count in the
+  /// hot band - see PostprocessEngine::adapt_to_qber). When the adaptation
+  /// changes the method, the link replans immediately: reconcile's device
+  /// feasibility flips with it. Only consulted while the policy is
+  /// enabled() - the sliding windows that feed the adaptation exist only
+  /// on the dynamic path, so arm at least one trigger (period_blocks is
+  /// the cheapest) to get adaptation; the default-constructed policy is
+  /// fully static regardless of this flag.
+  bool adapt_reconciler = true;
+
+  /// Any trigger armed? Roster changes (device hot-remove/re-add) always
+  /// force a replan while enabled.
+  bool enabled() const noexcept {
+    return period_blocks > 0 || qber_delta > 0 || throughput_drop > 0;
+  }
+
+  /// The default adaptive posture the examples/benches run: periodic
+  /// refresh plus QBER and throughput triggers.
+  static ReplanPolicy adaptive();
+  /// Construction-time placement only (the PR-1 behaviour).
+  static ReplanPolicy static_placement() { return ReplanPolicy{}; }
 };
 
 struct OrchestratorConfig {
@@ -54,6 +101,13 @@ struct OrchestratorConfig {
   engine::PlacementPolicy policy = engine::PlacementPolicy::kOptimized;
   /// Bound applied to every link pair's KeyStore.
   pipeline::KeyStoreConfig store;
+  /// Adaptive re-planning posture (default: static, the PR-1 behaviour).
+  ReplanPolicy replan;
+  /// Shared-roster fault timeline, keyed by per-link block index: a device
+  /// goes offline once any link reaches offline_at_block and returns once
+  /// any link reaches online_at_block. Asynchronous with respect to
+  /// in-flight blocks, exactly like pulling a real accelerator.
+  std::vector<sim::DeviceEvent> device_events;
 };
 
 /// Per-link outcome of one run().
@@ -68,7 +122,10 @@ struct LinkReport {
   double wall_seconds = 0.0;
   double secret_bits_per_s = 0.0;
   double blocks_per_s = 0.0;
-  std::vector<std::string> stage_devices;  ///< chosen placement, per stage
+  std::vector<std::string> stage_devices;  ///< final placement, per stage
+  std::uint64_t replans = 0;               ///< mid-run placement refreshes
+  std::uint64_t offline_aborts = 0;  ///< blocks lost to a hot-removed device
+  double windowed_qber = 0.0;        ///< last sliding-window QBER estimate
 };
 
 struct OrchestratorReport {
@@ -111,6 +168,11 @@ class LinkOrchestrator {
     pipeline::KeyStore store;
     Xoshiro256 rng;
     std::uint64_t next_block_id = 1;
+    /// Roster version the link's current placement was planned against.
+    /// Set at engine construction, so a device event that lands between
+    /// construction and the link thread starting still triggers the
+    /// catch-up replan at the first block.
+    std::uint64_t roster_seen = 0;
 
     LinkState(LinkSpec s, pipeline::KeyStoreConfig store_config)
         : spec(std::move(s)),
@@ -119,9 +181,23 @@ class LinkOrchestrator {
           rng(spec.rng_seed) {}
   };
 
+  /// One shared-roster fault with apply-once latches (several link threads
+  /// race past the same block index; the first one through flips the set).
+  struct DeviceEventState {
+    sim::DeviceEvent event;
+    std::atomic<bool> removed{false};
+    std::atomic<bool> restored{false};
+
+    explicit DeviceEventState(sim::DeviceEvent e) : event(e) {}
+  };
+
+  void apply_device_events(std::uint64_t block_index);
+  void run_link(std::size_t i, LinkReport& report);
+
   OrchestratorConfig config_;
   std::shared_ptr<hetero::DeviceSet> devices_;
   std::deque<LinkState> links_;  // LinkState is pinned (store owns a mutex)
+  std::deque<DeviceEventState> events_;  // pinned (atomics)
 };
 
 }  // namespace qkdpp::service

@@ -1,0 +1,105 @@
+// Time-varying link scenarios: piecewise timelines of LinkConfig
+// perturbations plus shared-roster device fault events.
+//
+// A deployed link is not stationary: fiber attenuation drifts with the
+// diurnal thermal cycle, alignment transients spike the QBER, an active
+// eavesdropper ramps up, detectors age, and accelerators on the shared
+// post-processing host get hot-removed for maintenance. A LinkSchedule
+// describes these as perturbations over half-open block-index ranges; the
+// orchestrator samples `config_at(base, block)` before simulating each
+// block, so the same schedule + seed always produces the same physics
+// (the determinism the scenario tests pin down). DeviceEvents are the
+// roster-side counterpart: they take a device of the shared DeviceSet
+// offline (and optionally back online) at given block indices, which is
+// what exercises the engines' re-planning path.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/link_config.hpp"
+
+namespace qkdpp::sim {
+
+enum class PerturbationKind : std::uint8_t {
+  /// Sinusoidal attenuation offset (dB/km): the 24h-compressed thermal
+  /// cycle. `magnitude` is the peak offset, `period_blocks` the full cycle.
+  kAttenuationDrift = 0,
+  /// Flat misalignment increase over [begin, end): an alignment transient
+  /// or polarization burst. `magnitude` adds to channel.misalignment.
+  kQberBurst = 1,
+  /// Eve ramps intercept-resend linearly from 0 to `magnitude` across
+  /// [begin, end) and holds it afterwards.
+  kEveRamp = 2,
+  /// Detector efficiency decays linearly to `magnitude` x nominal across
+  /// [begin, end) and stays degraded afterwards (APD aging / icing).
+  kDetectorDegradation = 3,
+};
+
+const char* to_string(PerturbationKind kind) noexcept;
+
+/// One perturbation of the base LinkConfig over [begin_block, end_block).
+struct Perturbation {
+  PerturbationKind kind = PerturbationKind::kQberBurst;
+  std::uint64_t begin_block = 0;
+  std::uint64_t end_block = 0;  ///< half-open; <= begin means "never active"
+  /// Kind-specific strength: peak dB/km offset, misalignment delta, peak
+  /// intercept fraction, or the terminal efficiency multiplier in (0, 1].
+  double magnitude = 0.0;
+  /// kAttenuationDrift only: blocks per full sinusoid cycle (<= 0 uses the
+  /// active range length as one cycle).
+  double period_blocks = 0.0;
+};
+
+/// Hot-remove (and optional re-add) of a shared-roster device, keyed by the
+/// per-link block index the orchestrator drives scenarios with.
+struct DeviceEvent {
+  std::size_t device_index = 0;
+  std::uint64_t offline_at_block = 0;
+  /// Block index at which the device returns; <= offline_at_block means it
+  /// stays offline for the rest of the run.
+  std::uint64_t online_at_block = 0;
+};
+
+/// Piecewise timeline of perturbations applied to one link's base config.
+struct LinkSchedule {
+  std::vector<Perturbation> perturbations;
+
+  bool empty() const noexcept { return perturbations.empty(); }
+
+  /// The link as block `block` sees it: every active perturbation applied
+  /// to `base`, with results clamped into LinkConfig::validate() range.
+  LinkConfig config_at(const LinkConfig& base, std::uint64_t block) const;
+};
+
+/// A named dynamic-link workload: the schedule, the fault events against
+/// the shared roster, and how many blocks the timeline spans.
+struct ScenarioConfig {
+  std::string name;
+  std::uint64_t blocks = 16;
+  LinkSchedule schedule;
+  std::vector<DeviceEvent> device_events;
+
+  /// Throws Error{kConfig} on empty name, zero blocks, inverted
+  /// perturbation ranges or out-of-range magnitudes.
+  void validate() const;
+};
+
+/// Shipped scenarios (the matrix dynamic_link/bench_scenarios iterate):
+/// a 24h-compressed diurnal attenuation + misalignment cycle,
+ScenarioConfig diurnal_scenario(std::uint64_t blocks = 24);
+/// a mid-run QBER burst riding a quiet channel,
+ScenarioConfig qber_burst_scenario(std::uint64_t blocks = 18);
+/// an eavesdropper ramping up to an abort-worthy intercept fraction,
+ScenarioConfig eve_ramp_scenario(std::uint64_t blocks = 18);
+/// detectors degrading to a fraction of nominal efficiency,
+ScenarioConfig detector_degradation_scenario(std::uint64_t blocks = 18);
+/// and a device hot-remove/re-add fault on the shared roster.
+ScenarioConfig device_hot_remove_scenario(std::uint64_t blocks = 18);
+
+/// All shipped scenarios, scaled to `blocks` timeline steps each.
+std::vector<ScenarioConfig> shipped_scenarios(std::uint64_t blocks = 0);
+
+}  // namespace qkdpp::sim

@@ -1,0 +1,237 @@
+// Re-planning tests: replan() re-arbitrates against current roster state
+// and committed loads (offline devices never chosen, loads swapped not
+// duplicated), the EWMA cost model steers placement when observed costs
+// drift from the model, and adapt_to_qber retunes the reconciler
+// deterministically.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/error.hpp"
+#include "engine/engine.hpp"
+#include "engine/params.hpp"
+#include "hetero/device_set.hpp"
+#include "hetero/trace.hpp"
+#include "protocol/messages.hpp"
+
+namespace qkdpp::engine {
+namespace {
+
+bool uses_device(const Placement& placement, const std::string& name) {
+  for (std::size_t s = 0; s < placement.device_of_stage.size(); ++s) {
+    if (placement.device_of(s) == name) return true;
+  }
+  return false;
+}
+
+TEST(Replan, OfflineDeviceIsNeverChosenAndReturnsAfterReadd) {
+  auto set = std::make_shared<hetero::DeviceSet>(
+      std::vector<hetero::DeviceProps>{}, 2);
+  EngineOptions options;
+  options.shared_devices = set;
+  PostprocessEngine engine(PostprocessParams{}, options);
+
+  // The standard workload puts reconcile/amplify on the gpu-sim.
+  ASSERT_TRUE(uses_device(engine.placement(), "gpu-sim"));
+
+  set->set_online(2, false);  // gpu-sim
+  const Placement after_remove = engine.replan();
+  EXPECT_FALSE(uses_device(after_remove, "gpu-sim"));
+  EXPECT_EQ(engine.replans(), 1u);
+
+  set->set_online(2, true);
+  const Placement after_readd = engine.replan();
+  EXPECT_TRUE(uses_device(after_readd, "gpu-sim"));
+  EXPECT_EQ(engine.replans(), 2u);
+}
+
+TEST(Replan, SwapsCommittedLoadInsteadOfAccumulating) {
+  auto set = std::make_shared<hetero::DeviceSet>();
+  EngineOptions options;
+  options.shared_devices = set;
+  PostprocessEngine engine(PostprocessParams{}, options);
+
+  const auto before = set->committed_loads();
+  double before_total = 0.0;
+  for (const double load : before) before_total += load;
+  ASSERT_GT(before_total, 0.0);
+
+  // Same workload, same roster: the replan must be a no-op on the ledger
+  // (retract old commitment, commit the identical new one).
+  engine.replan();
+  const auto after = set->committed_loads();
+  ASSERT_EQ(after.size(), before.size());
+  for (std::size_t d = 0; d < after.size(); ++d) {
+    EXPECT_NEAR(after[d], before[d], 1e-12) << "device " << d;
+  }
+}
+
+TEST(Replan, DestructionRetractsCommittedLoad) {
+  // The ledger holds the load of live placements: once an engine is torn
+  // down, surviving links must see its devices as free again.
+  auto set = std::make_shared<hetero::DeviceSet>();
+  {
+    EngineOptions options;
+    options.shared_devices = set;
+    PostprocessEngine engine(PostprocessParams{}, options);
+    double total = 0.0;
+    for (const double load : set->committed_loads()) total += load;
+    ASSERT_GT(total, 0.0);
+  }
+  for (const double load : set->committed_loads()) {
+    EXPECT_NEAR(load, 0.0, 1e-12);
+  }
+}
+
+TEST(Replan, RosterChangeShiftsLoadToSurvivingDevices) {
+  auto set = std::make_shared<hetero::DeviceSet>();
+  EngineOptions options;
+  options.shared_devices = set;
+  PostprocessEngine engine(PostprocessParams{}, options);
+
+  set->set_online(2, false);
+  engine.replan();
+  const auto loads = set->committed_loads();
+  EXPECT_NEAR(loads[2], 0.0, 1e-12) << "offline device keeps no load";
+  double total = 0.0;
+  for (const double load : loads) total += load;
+  EXPECT_GT(total, 0.0);
+  set->set_online(2, true);
+}
+
+TEST(Replan, WorkloadChangeMovesPlacement) {
+  // A tiny workload keeps everything CPU-side (accelerator launch and
+  // transfer overheads dominate); scaling the block up makes the gpu-sim
+  // worthwhile - replanning with the new workload must pick it up.
+  EngineOptions options = EngineOptions::standard(2);
+  options.workload.pulses = 1 << 10;
+  options.workload.sifted_bits = 64;
+  options.workload.key_bits = 48;
+  PostprocessEngine engine(PostprocessParams{}, options);
+  const Placement small = engine.placement();
+
+  StageWorkload big;
+  big.pulses = 1 << 22;
+  big.sifted_bits = 160000;
+  big.key_bits = 120000;
+  big.qber = 0.02;
+  const Placement after = engine.replan(big);
+  EXPECT_TRUE(uses_device(after, "gpu-sim"));
+  // The modeled bottleneck grew with the block (sanity that the new
+  // workload was actually priced).
+  EXPECT_GT(after.bottleneck_load_s, small.bottleneck_load_s);
+}
+
+TEST(Replan, AllFeasibleDevicesOfflineThrows) {
+  auto set = std::make_shared<hetero::DeviceSet>(
+      std::vector<hetero::DeviceProps>{hetero::cpu_scalar_props(),
+                                       hetero::gpu_sim_props()},
+      2);
+  EngineOptions options;
+  options.shared_devices = set;
+  PostprocessEngine engine(PostprocessParams{}, options);
+  // Sifting is host-only; with the only CPU gone there is no feasible
+  // placement left and the replan must refuse rather than fabricate one.
+  set->set_online(0, false);
+  EXPECT_THROW(engine.replan(), Error);
+  set->set_online(0, true);
+  EXPECT_NO_THROW(engine.replan());
+}
+
+TEST(StageCostModel, CorrectionConvergesToObservedRatio) {
+  hetero::StageCostModel model(3, 0.5);
+  EXPECT_DOUBLE_EQ(model.correction(0), 1.0);  // no samples yet
+  model.observe(0, 1.0, 3.0);
+  EXPECT_DOUBLE_EQ(model.correction(0), 3.0);  // first sample seeds
+  for (int i = 0; i < 20; ++i) model.observe(0, 1.0, 3.0);
+  EXPECT_NEAR(model.correction(0), 3.0, 1e-9);
+  EXPECT_NEAR(model.observed_seconds(0), 3.0, 1e-9);
+  EXPECT_EQ(model.samples(0), 21u);
+  // Other stages untouched; out-of-range and degenerate samples ignored.
+  EXPECT_DOUBLE_EQ(model.correction(1), 1.0);
+  model.observe(7, 1.0, 2.0);
+  model.observe(1, 0.0, 2.0);
+  EXPECT_EQ(model.samples(1), 0u);
+}
+
+TEST(Replan, NoObservationsMakesReplanAFixedPoint) {
+  EngineOptions options = EngineOptions::standard(2);
+  PostprocessEngine engine(PostprocessParams{}, options);
+  const auto before = engine.placement();
+  const auto problem_before = engine.mapping_problem();
+
+  engine.replan();
+  const auto problem_after = engine.mapping_problem();
+  ASSERT_EQ(problem_after.seconds_per_item.size(),
+            problem_before.seconds_per_item.size());
+  // With no observations the correction is 1.0: matrices identical, same
+  // placement.
+  for (std::size_t s = 0; s < problem_before.seconds_per_item.size(); ++s) {
+    for (std::size_t d = 0; d < problem_before.seconds_per_item[s].size();
+         ++d) {
+      EXPECT_NEAR(problem_after.seconds_per_item[s][d],
+                  problem_before.seconds_per_item[s][d], 1e-12);
+    }
+  }
+  EXPECT_EQ(before.device_of_stage, engine.placement().device_of_stage);
+}
+
+TEST(Replan, ObservedCostInversionFlipsPlacement) {
+  // Two CPU devices, all five stages host-feasible: when the cost model
+  // learns that verify is three orders of magnitude more expensive than
+  // modeled, the optimizer must give it a device of its own and pack the
+  // rest on the other - costs inverted, placement follows.
+  EngineOptions options;
+  options.devices = {hetero::cpu_scalar_props(),
+                     hetero::cpu_parallel_props(4)};
+  options.threads = 2;
+  PostprocessEngine engine(PostprocessParams{}, options);
+  const auto problem_before = engine.mapping_problem();
+
+  constexpr std::size_t kVerify = 3;  // sift, estimate, reconcile, verify, ..
+  engine.cost_model().observe(kVerify, 1.0, 1e6);
+  const Placement after = engine.replan();
+
+  // Corrected matrix scaled by the learned ratio.
+  const auto problem_after = engine.mapping_problem();
+  for (std::size_t d = 0; d < problem_after.seconds_per_item[kVerify].size();
+       ++d) {
+    EXPECT_NEAR(problem_after.seconds_per_item[kVerify][d],
+                problem_before.seconds_per_item[kVerify][d] * 1e6,
+                problem_before.seconds_per_item[kVerify][d] * 1e3);
+  }
+  // Verify is now the dominant load: nothing else shares its device.
+  const std::uint32_t verify_device = after.device_of_stage[kVerify];
+  for (std::size_t s = 0; s < after.device_of_stage.size(); ++s) {
+    if (s == kVerify) continue;
+    EXPECT_NE(after.device_of_stage[s], verify_device) << "stage " << s;
+  }
+}
+
+TEST(AdaptToQber, MethodCrossoverAndPassBandsAreDeterministic) {
+  PostprocessParams params;
+  params.method = protocol::ReconcileMethod::kLdpc;
+  EngineOptions options = EngineOptions::standard(2);
+  PostprocessEngine engine(params, options);
+
+  // Quiet channel: stays LDPC.
+  EXPECT_FALSE(engine.adapt_to_qber(0.017));
+  EXPECT_EQ(engine.params().method, protocol::ReconcileMethod::kLdpc);
+
+  // Mid-band: switches to Cascade (reports the flip), 6 passes.
+  EXPECT_TRUE(engine.adapt_to_qber(0.045));
+  EXPECT_EQ(engine.params().method, protocol::ReconcileMethod::kCascade);
+  EXPECT_EQ(engine.params().cascade.passes, 6u);
+  EXPECT_FALSE(engine.adapt_to_qber(0.045));  // idempotent
+
+  // Hot band: Cascade with extra passes.
+  EXPECT_FALSE(engine.adapt_to_qber(0.09));
+  EXPECT_EQ(engine.params().cascade.passes, 8u);
+
+  // Calm again: back to LDPC.
+  EXPECT_TRUE(engine.adapt_to_qber(0.02));
+  EXPECT_EQ(engine.params().method, protocol::ReconcileMethod::kLdpc);
+}
+
+}  // namespace
+}  // namespace qkdpp::engine

@@ -1,0 +1,192 @@
+// Scenario scheduling tests: perturbations hit exactly their block ranges,
+// values stay in LinkConfig::validate() range, and the shipped scenarios
+// are well formed.
+#include "sim/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace qkdpp::sim {
+namespace {
+
+LinkConfig base_link() {
+  LinkConfig link;
+  link.channel.length_km = 25.0;
+  return link;
+}
+
+TEST(LinkSchedule, QberBurstAppliesExactlyInRange) {
+  LinkSchedule schedule;
+  Perturbation burst;
+  burst.kind = PerturbationKind::kQberBurst;
+  burst.begin_block = 5;
+  burst.end_block = 9;
+  burst.magnitude = 0.04;
+  schedule.perturbations.push_back(burst);
+
+  const LinkConfig base = base_link();
+  for (std::uint64_t b = 0; b < 12; ++b) {
+    const LinkConfig at = schedule.config_at(base, b);
+    if (b >= 5 && b < 9) {
+      EXPECT_DOUBLE_EQ(at.channel.misalignment,
+                       base.channel.misalignment + 0.04)
+          << "block " << b;
+    } else {
+      EXPECT_DOUBLE_EQ(at.channel.misalignment, base.channel.misalignment)
+          << "block " << b;
+    }
+    EXPECT_NO_THROW(at.validate()) << "block " << b;
+  }
+}
+
+TEST(LinkSchedule, EmptyScheduleIsIdentity) {
+  const LinkSchedule schedule;
+  EXPECT_TRUE(schedule.empty());
+  const LinkConfig base = base_link();
+  const LinkConfig at = schedule.config_at(base, 3);
+  EXPECT_DOUBLE_EQ(at.channel.attenuation_db_per_km,
+                   base.channel.attenuation_db_per_km);
+  EXPECT_DOUBLE_EQ(at.detector.efficiency, base.detector.efficiency);
+}
+
+TEST(LinkSchedule, AttenuationDriftIsSinusoidalAndClamped) {
+  LinkSchedule schedule;
+  Perturbation drift;
+  drift.kind = PerturbationKind::kAttenuationDrift;
+  drift.begin_block = 0;
+  drift.end_block = 8;
+  drift.magnitude = 0.1;
+  drift.period_blocks = 8.0;
+  schedule.perturbations.push_back(drift);
+
+  const LinkConfig base = base_link();
+  // Phase 0 and the half-cycle are on the base value; the quarter cycle is
+  // the positive peak, three quarters the trough.
+  EXPECT_NEAR(schedule.config_at(base, 0).channel.attenuation_db_per_km,
+              base.channel.attenuation_db_per_km, 1e-12);
+  EXPECT_NEAR(schedule.config_at(base, 2).channel.attenuation_db_per_km,
+              base.channel.attenuation_db_per_km + 0.1, 1e-12);
+  EXPECT_NEAR(schedule.config_at(base, 6).channel.attenuation_db_per_km,
+              base.channel.attenuation_db_per_km - 0.1, 1e-12);
+  // A drift deeper than the base attenuation clamps at zero, never
+  // negative.
+  drift.magnitude = 1.0;
+  LinkSchedule deep;
+  deep.perturbations.push_back(drift);
+  EXPECT_GE(deep.config_at(base, 6).channel.attenuation_db_per_km, 0.0);
+  EXPECT_NO_THROW(deep.config_at(base, 6).validate());
+}
+
+TEST(LinkSchedule, EveRampHoldsTerminalValue) {
+  LinkSchedule schedule;
+  Perturbation ramp;
+  ramp.kind = PerturbationKind::kEveRamp;
+  ramp.begin_block = 2;
+  ramp.end_block = 6;
+  ramp.magnitude = 0.4;
+  schedule.perturbations.push_back(ramp);
+
+  const LinkConfig base = base_link();
+  EXPECT_DOUBLE_EQ(schedule.config_at(base, 0).eve.intercept_fraction, 0.0);
+  EXPECT_NEAR(schedule.config_at(base, 4).eve.intercept_fraction, 0.2, 1e-12);
+  // The eavesdropper does not leave when the ramp window closes.
+  EXPECT_NEAR(schedule.config_at(base, 10).eve.intercept_fraction, 0.4,
+              1e-12);
+}
+
+TEST(LinkSchedule, EmptyRangeRampsNeverActivate) {
+  // end_block <= begin_block means "never active" for every kind,
+  // including the progress-based ramps that persist past their window.
+  const LinkConfig base = base_link();
+  for (const auto kind :
+       {PerturbationKind::kEveRamp, PerturbationKind::kDetectorDegradation,
+        PerturbationKind::kQberBurst, PerturbationKind::kAttenuationDrift}) {
+    LinkSchedule schedule;
+    Perturbation p;
+    p.kind = kind;
+    p.begin_block = 5;
+    p.end_block = 5;
+    p.magnitude = 0.3;
+    schedule.perturbations.push_back(p);
+    for (const std::uint64_t b : {0ull, 5ull, 9ull}) {
+      const LinkConfig at = schedule.config_at(base, b);
+      EXPECT_DOUBLE_EQ(at.eve.intercept_fraction,
+                       base.eve.intercept_fraction)
+          << to_string(kind) << " block " << b;
+      EXPECT_DOUBLE_EQ(at.detector.efficiency, base.detector.efficiency)
+          << to_string(kind) << " block " << b;
+      EXPECT_DOUBLE_EQ(at.channel.misalignment, base.channel.misalignment)
+          << to_string(kind) << " block " << b;
+      EXPECT_DOUBLE_EQ(at.channel.attenuation_db_per_km,
+                       base.channel.attenuation_db_per_km)
+          << to_string(kind) << " block " << b;
+    }
+  }
+}
+
+TEST(LinkSchedule, DetectorDegradationPersists) {
+  LinkSchedule schedule;
+  Perturbation decay;
+  decay.kind = PerturbationKind::kDetectorDegradation;
+  decay.begin_block = 0;
+  decay.end_block = 10;
+  decay.magnitude = 0.5;
+  schedule.perturbations.push_back(decay);
+
+  const LinkConfig base = base_link();
+  EXPECT_DOUBLE_EQ(schedule.config_at(base, 0).detector.efficiency,
+                   base.detector.efficiency);
+  EXPECT_NEAR(schedule.config_at(base, 5).detector.efficiency,
+              base.detector.efficiency * 0.75, 1e-12);
+  EXPECT_NEAR(schedule.config_at(base, 20).detector.efficiency,
+              base.detector.efficiency * 0.5, 1e-12);
+}
+
+TEST(Scenario, ShippedScenariosValidateAndScale) {
+  for (const auto& scenario : shipped_scenarios()) {
+    EXPECT_FALSE(scenario.name.empty());
+    EXPECT_GT(scenario.blocks, 0u);
+    EXPECT_NO_THROW(scenario.validate());
+  }
+  // Scaling the timeline keeps event indices inside the run.
+  for (const auto& scenario : shipped_scenarios(7)) {
+    EXPECT_EQ(scenario.blocks, 7u);
+    for (const auto& p : scenario.schedule.perturbations) {
+      EXPECT_LE(p.begin_block, scenario.blocks);
+    }
+    for (const auto& event : scenario.device_events) {
+      EXPECT_LT(event.offline_at_block, scenario.blocks);
+    }
+    EXPECT_NO_THROW(scenario.validate());
+  }
+}
+
+TEST(Scenario, ValidationRejectsBadConfigs) {
+  ScenarioConfig scenario;
+  EXPECT_THROW(scenario.validate(), Error);  // empty name
+  scenario.name = "x";
+  scenario.blocks = 0;
+  EXPECT_THROW(scenario.validate(), Error);
+  scenario.blocks = 8;
+  Perturbation p;
+  p.kind = PerturbationKind::kQberBurst;
+  p.begin_block = 6;
+  p.end_block = 2;  // inverted
+  scenario.schedule.perturbations.push_back(p);
+  EXPECT_THROW(scenario.validate(), Error);
+  scenario.schedule.perturbations.clear();
+  p.begin_block = 0;
+  p.end_block = 4;
+  p.magnitude = 0.9;  // misalignment delta outside [0, 0.5]
+  scenario.schedule.perturbations.push_back(p);
+  EXPECT_THROW(scenario.validate(), Error);
+  scenario.schedule.perturbations.clear();
+  DeviceEvent event;
+  event.offline_at_block = 9;  // past the 8-block timeline
+  scenario.device_events.push_back(event);
+  EXPECT_THROW(scenario.validate(), Error);
+}
+
+}  // namespace
+}  // namespace qkdpp::sim
