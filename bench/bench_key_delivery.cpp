@@ -1,0 +1,312 @@
+// Key-delivery API throughput: many concurrent SAE consumers driving the
+// full serialize -> dispatch -> segment -> deliver path against a *live*
+// multi-link orchestrator (distillation and delivery overlap, exactly the
+// deployment posture).
+//
+// Topology: 3 links x 2 SAE pairs = 6 pairs = 12 concurrent SAE consumer
+// threads (6 masters requesting enc_keys, 6 slaves fetching dec_keys by
+// UUID), every request and response a JSON byte string through the
+// Dispatcher.
+//
+// Self-gating correctness (non-zero exit on violation):
+//   * zero duplicate key deliveries - no UUID is ever handed out twice,
+//     and every slave fetch returns bit-identical material to the master's
+//   * zero lost key bits - per link: delivered + available (store +
+//     residual buffers) + rejected == deposited + rejected, i.e. the
+//     conservation law delivered + available == deposited
+//
+// The final stdout line is a machine-readable JSON summary for the
+// cross-PR perf trajectory (folded into BENCH_pipeline.json).
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <deque>
+#include <future>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/dispatcher.hpp"
+#include "api/key_delivery.hpp"
+#include "common/stats.hpp"
+#include "service/link_orchestrator.hpp"
+
+namespace {
+
+using namespace qkdpp;
+
+struct PairPlan {
+  std::string master;
+  std::string slave;
+  std::string link;
+};
+
+/// Master -> slave handoff: delivered key ids plus the master's view of
+/// the material, so the slave can verify bit-identical delivery.
+struct Handoff {
+  std::mutex mutex;
+  std::condition_variable ready;
+  std::deque<api::DeliveredKey> queue;
+  bool master_done = false;
+};
+
+struct PairOutcome {
+  std::uint64_t requests = 0;
+  std::uint64_t delivered_keys = 0;
+  std::uint64_t delivered_bits = 0;
+  std::uint64_t collected_keys = 0;
+  std::uint64_t mismatched_keys = 0;
+  std::vector<std::string> ids;
+};
+
+constexpr std::uint64_t kKeySizeBits = 256;
+constexpr std::uint64_t kKeysPerRequest = 8;
+
+void run_master(api::Dispatcher& dispatcher, const PairPlan& plan,
+                const std::atomic<bool>& distillation_done, Handoff& handoff,
+                PairOutcome& outcome) {
+  api::KeyRequest key_request;
+  key_request.number = kKeysPerRequest;
+  key_request.size = kKeySizeBits;
+  const api::Request request{"POST", "/api/v1/keys/" + plan.slave +
+                                         "/enc_keys",
+                             plan.master, key_request.to_json()};
+  const std::string wire_request = request.to_json().dump();
+
+  while (true) {
+    // The fully serialized transport path: JSON text in, JSON text out.
+    const std::string wire_response = dispatcher.dispatch(wire_request);
+    ++outcome.requests;
+    const auto response =
+        api::Response::from_json(api::Json::parse(wire_response));
+    if (response.ok()) {
+      auto container = api::KeyContainer::from_json(response.body);
+      std::scoped_lock lock(handoff.mutex);
+      for (auto& key : container.keys) {
+        ++outcome.delivered_keys;
+        outcome.delivered_bits += kKeySizeBits;
+        outcome.ids.push_back(key.key_id);
+        handoff.queue.push_back(std::move(key));
+      }
+      handoff.ready.notify_one();
+      continue;
+    }
+    if (response.status != api::kStatusUnavailable) {
+      std::fprintf(stderr, "master %s: unexpected status %d\n",
+                   plan.master.c_str(), response.status);
+      break;
+    }
+    // 503 while links still distill: back off and retry; after the last
+    // deposit a final 503 means the store and residual are truly dry.
+    if (distillation_done.load(std::memory_order_acquire)) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  std::scoped_lock lock(handoff.mutex);
+  handoff.master_done = true;
+  handoff.ready.notify_one();
+}
+
+void run_slave(api::Dispatcher& dispatcher, const PairPlan& plan,
+               Handoff& handoff, PairOutcome& outcome) {
+  while (true) {
+    std::vector<api::DeliveredKey> batch;
+    {
+      std::unique_lock lock(handoff.mutex);
+      handoff.ready.wait(lock, [&] {
+        return !handoff.queue.empty() || handoff.master_done;
+      });
+      while (!handoff.queue.empty() &&
+             batch.size() < kKeysPerRequest) {
+        batch.push_back(std::move(handoff.queue.front()));
+        handoff.queue.pop_front();
+      }
+      if (batch.empty() && handoff.master_done) return;
+    }
+    if (batch.empty()) continue;
+
+    api::KeyIdsRequest ids_request;
+    for (const auto& key : batch) ids_request.key_ids.push_back(key.key_id);
+    const api::Request request{"POST", "/api/v1/keys/" + plan.master +
+                                           "/dec_keys",
+                               plan.slave, ids_request.to_json()};
+    const std::string wire_response =
+        dispatcher.dispatch(request.to_json().dump());
+    ++outcome.requests;
+    const auto response =
+        api::Response::from_json(api::Json::parse(wire_response));
+    if (!response.ok()) {
+      outcome.mismatched_keys += batch.size();
+      continue;
+    }
+    const auto container = api::KeyContainer::from_json(response.body);
+    for (std::size_t i = 0; i < container.keys.size(); ++i) {
+      ++outcome.collected_keys;
+      if (container.keys[i] != batch[i]) ++outcome.mismatched_keys;
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  service::OrchestratorConfig config;
+  config.store.capacity_bits = 1 << 22;
+  const struct {
+    const char* name;
+    double km;
+  } spans[] = {{"metro", 5.0}, {"regional", 25.0}, {"backbone", 50.0}};
+  std::uint64_t seed = 29;
+  for (const auto& span : spans) {
+    service::LinkSpec spec;
+    spec.name = span.name;
+    spec.link.channel.length_km = span.km;
+    spec.pulses_per_block = sim::pulses_for_sifted_target(
+        spec.link, 30000.0, std::size_t{1} << 19, std::size_t{1} << 23);
+    spec.blocks = 3;
+    spec.rng_seed = seed++;
+    config.links.push_back(std::move(spec));
+  }
+  service::LinkOrchestrator orchestrator(std::move(config));
+
+  api::KeyDeliveryService service(orchestrator);
+  std::vector<PairPlan> plans;
+  for (const auto* link : {"metro", "regional", "backbone"}) {
+    for (int p = 0; p < 2; ++p) {
+      PairPlan plan;
+      plan.master = std::string("sae-") + link + "-m" + std::to_string(p);
+      plan.slave = std::string("sae-") + link + "-s" + std::to_string(p);
+      plan.link = link;
+      plans.push_back(plan);
+      service.register_pair({plan.master, plan.slave, plan.link,
+                             kKeySizeBits, kKeysPerRequest, 4096, 64});
+    }
+  }
+  api::Dispatcher dispatcher(service);
+
+  std::printf("key_delivery: %zu SAE pairs (%zu consumer threads) over %zu "
+              "links, %llu-bit keys, %llu keys/request, JSON dispatch\n",
+              plans.size(), plans.size() * 2, orchestrator.link_count(),
+              static_cast<unsigned long long>(kKeySizeBits),
+              static_cast<unsigned long long>(kKeysPerRequest));
+
+  std::atomic<bool> distillation_done{false};
+  std::deque<Handoff> handoffs(plans.size());
+  std::vector<PairOutcome> master_outcomes(plans.size());
+  std::vector<PairOutcome> slave_outcomes(plans.size());
+
+  Stopwatch clock;
+  auto distillation = std::async(std::launch::async, [&] {
+    const auto report = orchestrator.run();
+    distillation_done.store(true, std::memory_order_release);
+    return report;
+  });
+
+  std::vector<std::thread> consumers;
+  consumers.reserve(plans.size() * 2);
+  for (std::size_t i = 0; i < plans.size(); ++i) {
+    consumers.emplace_back([&, i] {
+      run_master(dispatcher, plans[i], distillation_done, handoffs[i],
+                 master_outcomes[i]);
+    });
+    consumers.emplace_back([&, i] {
+      run_slave(dispatcher, plans[i], handoffs[i], slave_outcomes[i]);
+    });
+  }
+  const auto report = distillation.get();
+  for (auto& thread : consumers) thread.join();
+  const double wall_seconds = clock.seconds();
+
+  // --- correctness gates --------------------------------------------------
+  std::uint64_t requests = 0, delivered_keys = 0, delivered_bits = 0;
+  std::uint64_t collected_keys = 0, mismatched = 0, duplicates = 0;
+  std::set<std::string> all_ids;
+  for (std::size_t i = 0; i < plans.size(); ++i) {
+    requests += master_outcomes[i].requests + slave_outcomes[i].requests;
+    delivered_keys += master_outcomes[i].delivered_keys;
+    delivered_bits += master_outcomes[i].delivered_bits;
+    collected_keys += slave_outcomes[i].collected_keys;
+    mismatched += slave_outcomes[i].mismatched_keys;
+    for (const auto& id : master_outcomes[i].ids) {
+      if (!all_ids.insert(id).second) ++duplicates;
+    }
+  }
+
+  // Zero lost bits, per link: what the engines deposited either reached a
+  // master (delivered), waits segmented-but-small in a pair's residual
+  // buffer, or still sits in the store. Rejected material is accounted
+  // separately by the store's typed reject path.
+  std::uint64_t lost_bits = 0;
+  std::printf("\n%-9s | %10s %10s %10s %10s %9s\n", "link", "deposited",
+              "delivered", "buffered", "in store", "rejected");
+  for (std::size_t l = 0; l < orchestrator.link_count(); ++l) {
+    auto& store = orchestrator.key_store(l);
+    const std::string& link_name = orchestrator.link_spec(l).name;
+    std::uint64_t delivered = 0, buffered = 0;
+    for (const auto& plan : plans) {
+      if (plan.link != link_name) continue;
+      const auto stats = *service.pair_stats(plan.master, plan.slave);
+      delivered += stats.delivered_bits;
+      buffered += stats.buffered_bits;
+    }
+    const std::uint64_t deposited = store.total_deposited_bits();
+    const std::uint64_t available = store.bits_available() + buffered;
+    if (delivered + available != deposited) {
+      // Gate both directions: a deficit is lost material, a surplus is
+      // double-counted (duplicated) material - either fails the run.
+      const std::uint64_t accounted = delivered + available;
+      lost_bits += accounted > deposited ? accounted - deposited
+                                         : deposited - accounted;
+      std::fprintf(stderr, "conservation violated on %s\n",
+                   link_name.c_str());
+    }
+    std::printf("%-9s | %10llu %10llu %10llu %10llu %9llu\n",
+                link_name.c_str(),
+                static_cast<unsigned long long>(deposited),
+                static_cast<unsigned long long>(delivered),
+                static_cast<unsigned long long>(buffered),
+                static_cast<unsigned long long>(store.bits_available()),
+                static_cast<unsigned long long>(store.rejected_bits()));
+  }
+
+  const bool gate_ok = duplicates == 0 && lost_bits == 0 && mismatched == 0 &&
+                       collected_keys == delivered_keys &&
+                       delivered_keys > 0;
+  std::printf("\n%llu requests in %.2f s (%.0f req/s), %llu keys x %llu bits "
+              "delivered (%.0f bits/s), %llu collected, %llu secret bits "
+              "distilled\n",
+              static_cast<unsigned long long>(requests), wall_seconds,
+              requests / wall_seconds,
+              static_cast<unsigned long long>(delivered_keys),
+              static_cast<unsigned long long>(kKeySizeBits),
+              delivered_bits / wall_seconds,
+              static_cast<unsigned long long>(collected_keys),
+              static_cast<unsigned long long>(report.secret_bits));
+  std::printf("gates: duplicate_ids=%llu lost_bits=%llu mismatched=%llu -> "
+              "%s\n\n",
+              static_cast<unsigned long long>(duplicates),
+              static_cast<unsigned long long>(lost_bits),
+              static_cast<unsigned long long>(mismatched),
+              gate_ok ? "OK" : "FAILED");
+
+  std::printf("{\"bench\":\"key_delivery\",\"unit\":\"delivered_bits_per_s\","
+              "\"pairs\":%zu,\"consumers\":%zu,\"requests\":%llu,"
+              "\"delivered_keys\":%llu,\"delivered_bits\":%llu,"
+              "\"collected_keys\":%llu,\"wall_seconds\":%.3f,"
+              "\"requests_per_s\":%.1f,\"delivered_bits_per_s\":%.1f,"
+              "\"duplicate_ids\":%llu,\"lost_bits\":%llu,"
+              "\"gate_ok\":%s}\n",
+              plans.size(), plans.size() * 2,
+              static_cast<unsigned long long>(requests),
+              static_cast<unsigned long long>(delivered_keys),
+              static_cast<unsigned long long>(delivered_bits),
+              static_cast<unsigned long long>(collected_keys), wall_seconds,
+              requests / wall_seconds, delivered_bits / wall_seconds,
+              static_cast<unsigned long long>(duplicates),
+              static_cast<unsigned long long>(lost_bits),
+              gate_ok ? "true" : "false");
+  return gate_ok ? 0 : 1;
+}

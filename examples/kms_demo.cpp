@@ -71,8 +71,8 @@ int main() {
                   alice.abort_reason.c_str());
       continue;
     }
-    const auto alice_id = alice_kms.deposit(alice.final_key);
-    const auto bob_id = bob_kms.deposit(bob.final_key);
+    const auto alice_id = alice_kms.deposit(alice.final_key).key_id;
+    const auto bob_id = bob_kms.deposit(bob.final_key).key_id;
     std::printf("  block %llu: %zu secret bits (QBER %.2f%%, EC leak %llu, "
                 "kms ids %llu/%llu)\n",
                 static_cast<unsigned long long>(block),

@@ -73,6 +73,18 @@ def extract(doc):
         adaptive = row.get("adaptive") or {}
         metrics[f"scenario_{name}_adaptive_secret_bits"] = (
             float(adaptive.get("secret_bits", 0)), True)
+
+    key_delivery = doc.get("key_delivery") or {}
+    if key_delivery:
+        # Delivered bits are near-deterministic per seed (residual-buffer
+        # splits race by at most a few key sizes): gateable. Request and
+        # delivery rates are wall-clock: advisory.
+        metrics["key_delivery_delivered_bits"] = (
+            float(key_delivery.get("delivered_bits", 0)), True)
+        metrics["key_delivery_wall_requests_per_s"] = (
+            float(key_delivery.get("requests_per_s", 0.0)), False)
+        metrics["key_delivery_wall_bits_per_s"] = (
+            float(key_delivery.get("delivered_bits_per_s", 0.0)), False)
     return metrics
 
 
@@ -119,6 +131,11 @@ def main():
     if scenarios and not scenarios.get("gate_ok", True):
         failures.append("bench_scenarios gate_ok=false "
                         "(adaptive lost to static placement)")
+
+    key_delivery = current_doc.get("key_delivery") or {}
+    if key_delivery and not key_delivery.get("gate_ok", True):
+        failures.append("bench_key_delivery gate_ok=false "
+                        "(duplicate or lost key deliveries)")
 
     if failures:
         print("\nbench gate FAILED:", file=sys.stderr)

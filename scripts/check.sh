@@ -19,12 +19,17 @@ cd "$(dirname "$0")/.."
 
 smoke() {
   # Smoke runs shared by CI and local checks: the multi-link orchestrator
-  # under real concurrency, then the dynamic-link scenario matrix with
-  # short timelines (adaptive re-planning + device hot-remove included).
+  # under real concurrency, the dynamic-link scenario matrix with short
+  # timelines (adaptive re-planning + device hot-remove included), and the
+  # ETSI-shaped key-delivery API end to end through the JSON dispatcher
+  # (self-checks master/slave key identity and the 400/401/503 error
+  # model; a mismatch exits non-zero).
   echo "== smoke: multi_link ($1) =="
   "$1"/multi_link 2
   echo "== smoke: dynamic_link ($1) =="
   "$1"/dynamic_link all 4
+  echo "== smoke: key_delivery_demo ($1) =="
+  "$1"/key_delivery_demo 2
 }
 
 run_tree() {

@@ -1,9 +1,11 @@
 #!/usr/bin/env sh
 # Perf trajectory plumbing: run bench_pipeline_e2e + bench_multilink +
-# bench_scenarios + bench_toeplitz and write BENCH_pipeline.json at the
-# repo root, so subsequent PRs can compare end-to-end blocks/s, multi-link
-# aggregate secret bits/s, static-vs-adaptive scenario throughput,
-# per-stage items/s, and the Toeplitz kernel times against this baseline.
+# bench_scenarios + bench_key_delivery + bench_toeplitz and write
+# BENCH_pipeline.json at the repo root, so subsequent PRs can compare
+# end-to-end blocks/s, multi-link aggregate secret bits/s,
+# static-vs-adaptive scenario throughput, concurrent-SAE key-delivery
+# throughput, per-stage items/s, and the Toeplitz kernel times against
+# this baseline.
 # When bench/baseline.json exists the run finishes with
 # scripts/bench_compare.py, failing on regressions (the local mirror of the
 # CI bench-gate job).
@@ -30,7 +32,7 @@ done
 
 cmake -B "$BUILD" -S . >/dev/null
 cmake --build "$BUILD" -j --target bench_pipeline_e2e bench_multilink \
-  bench_scenarios >/dev/null
+  bench_scenarios bench_key_delivery >/dev/null
 
 echo "== bench_pipeline_e2e =="
 # No pipe here: under `set -e` a pipeline would mask a crashing bench with
@@ -63,6 +65,17 @@ case "$SCENARIOS_JSON" in
   *) echo "error: bench_scenarios summary line is not JSON" >&2; exit 1 ;;
 esac
 
+echo "== bench_key_delivery =="
+# Self-gates: zero duplicate UUID deliveries and zero lost key bits across
+# the concurrent SAE consumers; a violation exits non-zero and fails here.
+"$BUILD"/bench_key_delivery > "$BUILD"/bench_key_delivery.out
+cat "$BUILD"/bench_key_delivery.out
+KEY_DELIVERY_JSON=$(tail -n 1 "$BUILD"/bench_key_delivery.out)
+case "$KEY_DELIVERY_JSON" in
+  '{'*'}') ;;
+  *) echo "error: bench_key_delivery summary line is not JSON" >&2; exit 1 ;;
+esac
+
 # bench_toeplitz needs google-benchmark; degrade gracefully without it.
 TOEPLITZ_JSON=null
 if cmake --build "$BUILD" -j --target bench_toeplitz >/dev/null 2>&1 \
@@ -78,6 +91,7 @@ fi
   printf '"pipeline_e2e":%s,' "$PIPELINE_JSON"
   printf '"multilink":%s,' "$MULTILINK_JSON"
   printf '"scenarios":%s,' "$SCENARIOS_JSON"
+  printf '"key_delivery":%s,' "$KEY_DELIVERY_JSON"
   printf '"toeplitz":%s}\n' "$TOEPLITZ_JSON"
 } > BENCH_pipeline.json
 echo "wrote BENCH_pipeline.json"

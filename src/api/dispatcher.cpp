@@ -1,0 +1,100 @@
+#include "api/dispatcher.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace qkdpp::api {
+
+namespace {
+
+constexpr std::string_view kKeysPrefix = "/api/v1/keys/";
+
+Response error_response(int status, std::string message,
+                        std::vector<std::string> details = {}) {
+  Response response;
+  response.status = status;
+  response.body =
+      ApiError{status, std::move(message), std::move(details)}.to_json();
+  return response;
+}
+
+template <typename T>
+Response from_result(Result<T> result) {
+  Response response;
+  if (result.ok()) {
+    response.status = kStatusOk;
+    response.body = result->to_json();
+  } else {
+    response.status = result.error.status;
+    response.body = result.error.to_json();
+  }
+  return response;
+}
+
+}  // namespace
+
+Response Dispatcher::dispatch(const Request& request) {
+  // Target shape: /api/v1/keys/{peer_SAE_ID}/{endpoint}
+  if (request.target.compare(0, kKeysPrefix.size(), kKeysPrefix) != 0) {
+    return error_response(kStatusNotFound,
+                          "no such route: " + request.target);
+  }
+  const std::string_view rest =
+      std::string_view(request.target).substr(kKeysPrefix.size());
+  const std::size_t slash = rest.find('/');
+  if (slash == std::string_view::npos || slash == 0 ||
+      slash + 1 >= rest.size()) {
+    return error_response(kStatusNotFound,
+                          "no such route: " + request.target);
+  }
+  const std::string_view peer = rest.substr(0, slash);
+  const std::string_view endpoint = rest.substr(slash + 1);
+
+  if (endpoint == "status") {
+    if (request.method != "GET") {
+      return error_response(kStatusBadRequest, "status requires GET");
+    }
+    return from_result(service_.get_status(request.caller, peer));
+  }
+  if (endpoint == "enc_keys") {
+    KeyRequest key_request;  // GET = the ETSI default request (1 key)
+    if (request.method == "POST") {
+      try {
+        key_request = KeyRequest::from_json(request.body);
+      } catch (const Error& error) {
+        return error_response(kStatusBadRequest, error.what());
+      }
+    } else if (request.method != "GET") {
+      return error_response(kStatusBadRequest,
+                            "enc_keys requires GET or POST");
+    }
+    return from_result(service_.get_key(request.caller, peer, key_request));
+  }
+  if (endpoint == "dec_keys") {
+    if (request.method != "POST") {
+      return error_response(kStatusBadRequest, "dec_keys requires POST");
+    }
+    KeyIdsRequest ids_request;
+    try {
+      ids_request = KeyIdsRequest::from_json(request.body);
+    } catch (const Error& error) {
+      return error_response(kStatusBadRequest, error.what());
+    }
+    return from_result(
+        service_.get_key_with_ids(request.caller, peer, ids_request));
+  }
+  return error_response(kStatusNotFound, "no such route: " + request.target);
+}
+
+std::string Dispatcher::dispatch(std::string_view request_json) {
+  Request request;
+  try {
+    request = Request::from_json(Json::parse(request_json));
+  } catch (const Error& error) {
+    return error_response(kStatusBadRequest, error.what()).to_json().dump();
+  }
+  return dispatch(request).to_json().dump();
+}
+
+}  // namespace qkdpp::api

@@ -1,0 +1,398 @@
+#include "api/key_delivery.hpp"
+
+#include <array>
+#include <set>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace qkdpp::api {
+
+namespace {
+
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+std::string to_hex(const BitVec& bits) {
+  const auto bytes = bits.to_bytes();
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (const std::uint8_t byte : bytes) {
+    out.push_back(kHexDigits[byte >> 4]);
+    out.push_back(kHexDigits[byte & 0x0F]);
+  }
+  return out;
+}
+
+bool is_hex_lower(char c) noexcept {
+  return (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f');
+}
+
+/// Composite registry key; '/' is rejected in SAE ids, so unambiguous.
+std::string pair_key(std::string_view master, std::string_view slave) {
+  std::string key;
+  key.reserve(master.size() + slave.size() + 1);
+  key.append(master);
+  key.push_back('/');
+  key.append(slave);
+  return key;
+}
+
+}  // namespace
+
+bool KeyDeliveryService::is_uuid(std::string_view text) noexcept {
+  if (text.size() != 36) return false;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (i == 8 || i == 13 || i == 18 || i == 23) {
+      if (text[i] != '-') return false;
+    } else if (!is_hex_lower(text[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+KeyDeliveryService::KeyDeliveryService(
+    service::LinkOrchestrator& orchestrator, KeyDeliveryConfig config)
+    : orchestrator_(orchestrator), config_(std::move(config)) {}
+
+void KeyDeliveryService::register_pair(SaePair pair) {
+  if (pair.master_sae_id.empty() || pair.slave_sae_id.empty()) {
+    throw_error(ErrorCode::kConfig, "SAE ids must be non-empty");
+  }
+  // The dispatcher routes on "/api/v1/keys/{SAE}/{endpoint}": an id with
+  // a '/' would register fine yet be unreachable over the wire (the path
+  // splitter would cut it short and 404 every request).
+  if (pair.master_sae_id.find('/') != std::string::npos ||
+      pair.slave_sae_id.find('/') != std::string::npos) {
+    throw_error(ErrorCode::kConfig, "SAE ids must not contain '/'");
+  }
+  if (pair.master_sae_id == pair.slave_sae_id) {
+    throw_error(ErrorCode::kConfig, "master and slave SAE must differ");
+  }
+  // The store's ledger reserves this name for unlabeled draws; an SAE
+  // registered under it would have its accounting silently merged with
+  // anonymous traffic.
+  if (pair.master_sae_id == pipeline::kAnonymousConsumer ||
+      pair.slave_sae_id == pipeline::kAnonymousConsumer) {
+    std::string what = "reserved consumer name: ";
+    what += pipeline::kAnonymousConsumer;
+    throw_error(ErrorCode::kConfig, what);
+  }
+  const auto link = orchestrator_.link_index(pair.link_name);
+  if (!link.has_value()) {
+    throw_error(ErrorCode::kConfig,
+                "unknown link '" + pair.link_name + "'");
+  }
+  if (pair.default_key_size == 0 || pair.default_key_size % 8 != 0 ||
+      pair.min_key_size == 0 || pair.min_key_size % 8 != 0 ||
+      pair.max_key_size % 8 != 0 || pair.min_key_size > pair.max_key_size ||
+      pair.default_key_size < pair.min_key_size ||
+      pair.default_key_size > pair.max_key_size) {
+    throw_error(ErrorCode::kConfig,
+                "key sizes must be multiples of 8 bits with "
+                "min <= default <= max");
+  }
+  if (pair.max_key_per_request == 0) {
+    throw_error(ErrorCode::kConfig, "max_key_per_request must be >= 1");
+  }
+  if (pair.max_pending_keys == 0) {
+    throw_error(ErrorCode::kConfig, "max_pending_keys must be >= 1");
+  }
+  std::unique_lock lock(registry_mutex_);
+  const std::string key = pair_key(pair.master_sae_id, pair.slave_sae_id);
+  if (index_.find(key) != index_.end()) {
+    throw_error(ErrorCode::kConfig,
+                "pair (" + pair.master_sae_id + ", " + pair.slave_sae_id +
+                    ") already registered");
+  }
+  // The UUID scheme encodes 14 bits of pair index (mint_uuid_locked);
+  // past that, structural uniqueness across pairs would silently degrade
+  // to rng collision odds.
+  if (pairs_.size() >= (std::size_t{1} << 14)) {
+    throw_error(ErrorCode::kConfig, "pair registry full (2^14 pairs)");
+  }
+  // Golden-ratio stride: distinct, well-mixed UUID stream per pair.
+  const std::uint64_t seed =
+      config_.uuid_seed + 0x9e3779b97f4a7c15ULL * (pairs_.size() + 1);
+  pairs_.emplace_back(std::move(pair), *link, pairs_.size(), seed);
+  index_.emplace(key, &pairs_.back());  // deque elements are pinned
+}
+
+const KeyDeliveryService::PairState* KeyDeliveryService::find_pair(
+    std::string_view master, std::string_view slave) const {
+  std::shared_lock lock(registry_mutex_);
+  const auto it = index_.find(pair_key(master, slave));
+  return it != index_.end() ? it->second : nullptr;
+}
+
+KeyDeliveryService::PairState* KeyDeliveryService::find_pair(
+    std::string_view master, std::string_view slave) {
+  return const_cast<PairState*>(
+      std::as_const(*this).find_pair(master, slave));
+}
+
+std::string KeyDeliveryService::mint_uuid_locked(PairState& pair) {
+  // RFC 4122 shaped, but structurally unique instead of merely
+  // probabilistically: the first half is the pair's seeded rng stream, the
+  // second half encodes (pair index, per-pair counter), so two deliveries
+  // can never share an id - the bench's zero-duplicate gate is a property
+  // of construction, not of 128-bit collision odds.
+  std::array<std::uint8_t, 16> bytes{};
+  const std::uint64_t random = pair.uuid_rng.next_u64();
+  for (int i = 0; i < 8; ++i) {
+    bytes[i] = static_cast<std::uint8_t>(random >> (8 * i));
+  }
+  const std::uint64_t counter = pair.uuid_counter++;
+  bytes[8] = static_cast<std::uint8_t>(0x80 | ((pair.index >> 8) & 0x3F));
+  bytes[9] = static_cast<std::uint8_t>(pair.index);
+  for (int i = 0; i < 6; ++i) {
+    bytes[10 + i] = static_cast<std::uint8_t>(counter >> (8 * (5 - i)));
+  }
+  bytes[6] = static_cast<std::uint8_t>(0x40 | (bytes[6] & 0x0F));  // v4
+
+  std::string out;
+  out.reserve(36);
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    if (i == 4 || i == 6 || i == 8 || i == 10) out.push_back('-');
+    out.push_back(kHexDigits[bytes[i] >> 4]);
+    out.push_back(kHexDigits[bytes[i] & 0x0F]);
+  }
+  return out;
+}
+
+Result<StatusResponse> KeyDeliveryService::get_status(
+    std::string_view caller_sae, std::string_view peer_sae) const {
+  if (caller_sae.empty() || peer_sae.empty()) {
+    return Result<StatusResponse>::failure(kStatusBadRequest,
+                                           "SAE ids must be non-empty");
+  }
+  // Either side of the pair may ask for status, naming its peer.
+  const PairState* pair = find_pair(caller_sae, peer_sae);
+  if (pair == nullptr) pair = find_pair(peer_sae, caller_sae);
+  if (pair == nullptr) {
+    return Result<StatusResponse>::failure(
+        kStatusUnauthorized,
+        "no registered SAE pair for caller '" + std::string(caller_sae) +
+            "' and peer '" + std::string(peer_sae) + "'");
+  }
+
+  auto& store = orchestrator_.key_store(pair->link);
+  const auto capacity = store.config().capacity_bits;
+  std::scoped_lock lock(pair->mutex);
+  StatusResponse status;
+  status.source_kme_id = config_.source_kme_id;
+  status.target_kme_id = config_.target_kme_id;
+  status.master_sae_id = pair->spec.master_sae_id;
+  status.slave_sae_id = pair->spec.slave_sae_id;
+  status.key_size = pair->spec.default_key_size;
+  status.stored_key_count =
+      (store.bits_available() + pair->residual.size()) /
+      pair->spec.default_key_size;
+  status.max_key_count =
+      capacity == 0 ? 0 : capacity / pair->spec.default_key_size;
+  status.max_key_per_request = pair->spec.max_key_per_request;
+  status.max_key_size = pair->spec.max_key_size;
+  status.min_key_size = pair->spec.min_key_size;
+  status.pending_key_count = pair->pending.size();
+  return Result<StatusResponse>::success(std::move(status));
+}
+
+Result<KeyContainer> KeyDeliveryService::get_key(std::string_view caller_sae,
+                                                 std::string_view slave_sae,
+                                                 const KeyRequest& request) {
+  if (caller_sae.empty() || slave_sae.empty()) {
+    return Result<KeyContainer>::failure(kStatusBadRequest,
+                                         "SAE ids must be non-empty");
+  }
+  PairState* pair = find_pair(caller_sae, slave_sae);
+  if (pair == nullptr) {
+    return Result<KeyContainer>::failure(
+        kStatusUnauthorized,
+        "SAE '" + std::string(caller_sae) +
+            "' is not the registered master for slave '" +
+            std::string(slave_sae) + "'");
+  }
+  if (request.number == 0) {
+    return Result<KeyContainer>::failure(kStatusBadRequest,
+                                         "number must be >= 1");
+  }
+  if (request.number > pair->spec.max_key_per_request) {
+    return Result<KeyContainer>::failure(
+        kStatusBadRequest,
+        "number exceeds max_key_per_request",
+        {std::to_string(request.number) + " > " +
+         std::to_string(pair->spec.max_key_per_request)});
+  }
+  const std::uint64_t size =
+      request.size == 0 ? pair->spec.default_key_size : request.size;
+  if (size % 8 != 0 || size < pair->spec.min_key_size ||
+      size > pair->spec.max_key_size) {
+    return Result<KeyContainer>::failure(
+        kStatusBadRequest,
+        "size must be a multiple of 8 in [min_key_size, max_key_size]",
+        {"size=" + std::to_string(size)});
+  }
+
+  auto& store = orchestrator_.key_store(pair->link);
+  std::scoped_lock lock(pair->mutex);
+  KeyContainer container;
+  // Segments are cut at a moving offset and the residual is compacted
+  // once at the end: per-key subvec-of-the-remainder would re-copy the
+  // whole (possibly multi-kilobit) buffer for every minted key.
+  std::size_t offset = 0;
+  bool backpressured = false;
+  for (std::uint64_t n = 0; n < request.number; ++n) {
+    // Handover backpressure: stop minting for a slave that is not
+    // collecting, instead of retaining unbounded copies.
+    if (pair->pending.size() >= pair->spec.max_pending_keys) {
+      backpressured = true;
+      break;
+    }
+    // Top the residual up to one key's worth from the link store; block
+    // tails below `size` stay buffered for the next request, so
+    // segmentation never drops a distilled bit. Only draw while this key
+    // can still be completed: draining the shared store into this pair's
+    // private residual on a hopeless request would starve the link's
+    // other pairs of material the store could have served them.
+    while (pair->residual.size() - offset < size) {
+      if (pair->residual.size() - offset + store.bits_available() < size) {
+        break;
+      }
+      auto drawn = store.get_key(pair->spec.master_sae_id);
+      if (!drawn.has_value()) break;
+      pair->residual.append(drawn->bits);
+    }
+    if (pair->residual.size() - offset < size) break;
+    BitVec bits = pair->residual.subvec(offset, size);
+    offset += size;
+
+    DeliveredKey delivered;
+    delivered.key_id = mint_uuid_locked(*pair);
+    delivered.key = to_hex(bits);
+    pair->pending.emplace(delivered.key_id, std::move(bits));
+    container.keys.push_back(std::move(delivered));
+
+    ++pair->stats.delivered_keys;
+    pair->stats.delivered_bits += size;
+    ++pair->stats.pending_keys;
+    pair->stats.pending_bits += size;
+  }
+  if (offset > 0) {
+    pair->residual =
+        pair->residual.subvec(offset, pair->residual.size() - offset);
+  }
+  pair->stats.buffered_bits = pair->residual.size();
+
+  if (container.keys.empty()) {
+    if (backpressured) {
+      return Result<KeyContainer>::failure(
+          kStatusUnavailable, "pending handover backlog full",
+          {"pending_keys=" + std::to_string(pair->pending.size()),
+           "max_pending_keys=" +
+               std::to_string(pair->spec.max_pending_keys)});
+    }
+    std::vector<std::string> details = {
+        "store_bits=" + std::to_string(store.bits_available()),
+        "buffered_bits=" + std::to_string(pair->residual.size()),
+        "requested_size=" + std::to_string(size)};
+    // If the store has been refusing deposits, say why: a capacity-bound
+    // store explains an exhausted pair better than "no material" does.
+    for (std::size_t r = 1; r < pipeline::kRejectReasonCount; ++r) {
+      const auto reason = static_cast<pipeline::RejectReason>(r);
+      if (const auto count = store.rejected_keys(reason); count > 0) {
+        details.push_back(std::string("store_rejected_") +
+                          pipeline::to_string(reason) + "=" +
+                          std::to_string(count));
+      }
+    }
+    return Result<KeyContainer>::failure(
+        kStatusUnavailable, "key material exhausted for this pair",
+        std::move(details));
+  }
+  return Result<KeyContainer>::success(std::move(container));
+}
+
+Result<KeyContainer> KeyDeliveryService::get_key_with_ids(
+    std::string_view caller_sae, std::string_view master_sae,
+    const KeyIdsRequest& request) {
+  if (caller_sae.empty() || master_sae.empty()) {
+    return Result<KeyContainer>::failure(kStatusBadRequest,
+                                         "SAE ids must be non-empty");
+  }
+  PairState* pair = find_pair(master_sae, caller_sae);
+  if (pair == nullptr) {
+    return Result<KeyContainer>::failure(
+        kStatusUnauthorized,
+        "SAE '" + std::string(caller_sae) +
+            "' is not the registered slave for master '" +
+            std::string(master_sae) + "'");
+  }
+  if (request.key_ids.empty()) {
+    return Result<KeyContainer>::failure(kStatusBadRequest,
+                                         "key_IDs must be non-empty");
+  }
+  if (request.key_ids.size() > pair->spec.max_key_per_request) {
+    return Result<KeyContainer>::failure(
+        kStatusBadRequest, "key_IDs exceeds max_key_per_request");
+  }
+  std::vector<std::string> bad;
+  for (const auto& id : request.key_ids) {
+    if (!is_uuid(id)) bad.push_back(id);
+  }
+  if (!bad.empty()) {
+    return Result<KeyContainer>::failure(
+        kStatusBadRequest, "malformed key_ID", std::move(bad));
+  }
+  // A repeated id inside one batch would be a double delivery of the same
+  // key: reject it as malformed before touching the handover state.
+  std::set<std::string_view> unique_ids;
+  for (const auto& id : request.key_ids) {
+    if (!unique_ids.insert(id).second) {
+      return Result<KeyContainer>::failure(
+          kStatusBadRequest, "duplicate key_ID in request", {id});
+    }
+  }
+
+  std::scoped_lock lock(pair->mutex);
+  // All-or-nothing: verify every id is retained before consuming any, so
+  // a failed batch leaves the handover state untouched.
+  std::vector<std::string> missing;
+  for (const auto& id : request.key_ids) {
+    if (pair->pending.find(id) == pair->pending.end()) missing.push_back(id);
+  }
+  if (!missing.empty()) {
+    return Result<KeyContainer>::failure(
+        kStatusBadRequest, "unknown or already-collected key_ID",
+        std::move(missing));
+  }
+
+  KeyContainer container;
+  for (const auto& id : request.key_ids) {
+    const auto it = pair->pending.find(id);
+    DeliveredKey delivered;
+    delivered.key_id = id;
+    delivered.key = to_hex(it->second);
+    ++pair->stats.collected_keys;
+    pair->stats.collected_bits += it->second.size();
+    --pair->stats.pending_keys;
+    pair->stats.pending_bits -= it->second.size();
+    pair->pending.erase(it);
+    container.keys.push_back(std::move(delivered));
+  }
+  return Result<KeyContainer>::success(std::move(container));
+}
+
+std::optional<PairStats> KeyDeliveryService::pair_stats(
+    std::string_view master_sae, std::string_view slave_sae) const {
+  const PairState* pair = find_pair(master_sae, slave_sae);
+  if (pair == nullptr) return std::nullopt;
+  std::scoped_lock lock(pair->mutex);
+  return pair->stats;
+}
+
+std::size_t KeyDeliveryService::pair_count() const {
+  std::shared_lock lock(registry_mutex_);
+  return pairs_.size();
+}
+
+}  // namespace qkdpp::api

@@ -1,0 +1,189 @@
+// KeyDeliveryService: the ETSI GS QKD 014-aligned delivery facade over the
+// LinkOrchestrator.
+//
+// The orchestrator distills variable-size blocks into per-link KeyStores;
+// applications want fixed-size keys with identities both ends of a link
+// can name. This facade closes that gap, per registered SAE pair
+// (master = the application end that requests keys, slave = the peer end
+// that later fetches the same keys by id, both bound to one orchestrator
+// link):
+//
+//   * get_status      - what the pair's endpoint can deliver right now
+//   * get_key         - master draws `number` keys of `size` bits: distilled
+//                       blocks are drawn from the link's KeyStore (draws
+//                       attributed to the master SAE), segmented at `size`
+//                       bits, and each segment is minted a stable 128-bit
+//                       UUID key id; the segment is simultaneously retained
+//                       for the slave
+//   * get_key_with_ids- slave fetches the retained keys by UUID (exactly
+//                       once; the handover copy is destroyed on delivery)
+//
+// Block tails smaller than `size` stay in a per-pair residual buffer and
+// join the next request, so no distilled bit is ever dropped by
+// segmentation: for every pair, bits drawn from the store ==
+// delivered_bits + buffered_bits (PairStats), the conservation law the
+// bench asserts.
+//
+// Failures are values, not exceptions: every entry point returns
+// Result<T> carrying either the DTO or an ApiError with an HTTP-like
+// status (400 malformed, 401 unknown SAE/pair, 503 exhausted) - the
+// explicit, auditable trust boundary between the post-processing engine
+// and key consumers. All entry points are thread-safe; per-pair state is
+// independently locked so concurrent SAE pairs never contend.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "api/dtos.hpp"
+#include "common/bitvec.hpp"
+#include "common/rng.hpp"
+#include "service/link_orchestrator.hpp"
+
+namespace qkdpp::api {
+
+/// One registered master/slave SAE pair served from one orchestrator link.
+struct SaePair {
+  std::string master_sae_id;  ///< caller of get_key
+  std::string slave_sae_id;   ///< caller of get_key_with_ids
+  std::string link_name;      ///< orchestrator link backing this pair
+  std::uint64_t default_key_size = 256;    ///< bits, when a request says 0
+  std::uint64_t max_key_per_request = 128;
+  std::uint64_t max_key_size = 4096;       ///< bits, multiple of 8
+  std::uint64_t min_key_size = 64;         ///< bits, multiple of 8
+  /// Cap on keys retained for a slave that has not collected yet. A dead
+  /// slave peer otherwise turns every enc_keys call into unbounded
+  /// retained memory - the same slow-consumer failure the bounded
+  /// KeyStore exists to prevent, one layer up. At the cap, get_key stops
+  /// minting and reports 503 backpressure.
+  std::uint64_t max_pending_keys = 4096;
+};
+
+struct KeyDeliveryConfig {
+  std::string source_kme_id = "kme-local";
+  std::string target_kme_id = "kme-peer";
+  /// Seed of the deterministic UUID streams (one per pair). Key ids must
+  /// be unpredictable in a deployment; a seeded stream keeps tests and
+  /// benches reproducible, same stance as common/rng.
+  std::uint64_t uuid_seed = 0x014;
+};
+
+/// Either the successful DTO or the typed ApiError.
+template <typename T>
+struct Result {
+  std::optional<T> value;
+  ApiError error;
+
+  bool ok() const noexcept { return value.has_value(); }
+  const T& operator*() const { return *value; }
+  const T* operator->() const { return &*value; }
+
+  static Result success(T dto) { return Result{std::move(dto), {}}; }
+  static Result failure(int status, std::string message,
+                        std::vector<std::string> details = {}) {
+    return Result{std::nullopt,
+                  ApiError{status, std::move(message), std::move(details)}};
+  }
+};
+
+/// Per-pair delivery accounting (bits are exact, never sampled).
+struct PairStats {
+  std::uint64_t delivered_keys = 0;  ///< minted + returned to the master
+  std::uint64_t delivered_bits = 0;
+  std::uint64_t collected_keys = 0;  ///< fetched by the slave (<= delivered)
+  std::uint64_t collected_bits = 0;
+  std::uint64_t buffered_bits = 0;   ///< residual tail awaiting segmentation
+  std::uint64_t pending_keys = 0;    ///< retained for the slave right now
+  std::uint64_t pending_bits = 0;
+};
+
+class KeyDeliveryService {
+ public:
+  /// The orchestrator must outlive the service. Key material flows only
+  /// through the orchestrator's per-link stores; the service never touches
+  /// engines or devices.
+  KeyDeliveryService(service::LinkOrchestrator& orchestrator,
+                     KeyDeliveryConfig config = {});
+
+  /// Register a master/slave pair on a link. Throws Error{kConfig} on an
+  /// unknown link, empty SAE ids, a duplicate (master, slave) pair, or a
+  /// key-size configuration that is not a multiple of 8 bits.
+  void register_pair(SaePair pair);
+
+  /// ETSI GET status: either SAE of a pair may ask, naming the peer.
+  Result<StatusResponse> get_status(std::string_view caller_sae,
+                                    std::string_view peer_sae) const;
+
+  /// ETSI POST enc_keys: the master SAE (caller) requests keys for the
+  /// pair it forms with `slave_sae`.
+  Result<KeyContainer> get_key(std::string_view caller_sae,
+                               std::string_view slave_sae,
+                               const KeyRequest& request);
+
+  /// ETSI POST dec_keys: the slave SAE (caller) fetches, by UUID, keys the
+  /// master already drew on the pair it forms with `master_sae`.
+  /// All-or-nothing: one unknown id fails the request (400) and consumes
+  /// nothing, so a retry after a typo cannot half-deliver a batch.
+  Result<KeyContainer> get_key_with_ids(std::string_view caller_sae,
+                                        std::string_view master_sae,
+                                        const KeyIdsRequest& request);
+
+  /// Exact delivery accounting for one pair; nullopt when unregistered.
+  std::optional<PairStats> pair_stats(std::string_view master_sae,
+                                      std::string_view slave_sae) const;
+
+  std::size_t pair_count() const;
+  const KeyDeliveryConfig& config() const noexcept { return config_; }
+
+  /// Syntactic UUID check (8-4-4-4-12 lowercase hex), exposed for input
+  /// validation in tests and transports.
+  static bool is_uuid(std::string_view text) noexcept;
+
+ private:
+  struct PairState {
+    SaePair spec;
+    std::size_t link = 0;
+    std::size_t index = 0;  ///< registration order, mixed into UUIDs
+    mutable std::mutex mutex;
+    BitVec residual;  ///< tail of the last drawn block, < key_size bits
+    /// Keys delivered to the master, retained until the slave collects.
+    std::map<std::string, BitVec> pending;
+    Xoshiro256 uuid_rng;
+    std::uint64_t uuid_counter = 0;  ///< structural uniqueness guarantee
+    PairStats stats;
+
+    PairState(SaePair s, std::size_t link_index, std::size_t pair_index,
+              std::uint64_t seed)
+        : spec(std::move(s)),
+          link(link_index),
+          index(pair_index),
+          uuid_rng(seed) {}
+  };
+
+  std::string mint_uuid_locked(PairState& pair);
+  const PairState* find_pair(std::string_view master,
+                             std::string_view slave) const;
+  PairState* find_pair(std::string_view master, std::string_view slave);
+
+  service::LinkOrchestrator& orchestrator_;
+  KeyDeliveryConfig config_;
+  /// Guards pairs_/index_ layout only (registration); lookups take it
+  /// shared, so requests on different pairs contend on nothing but their
+  /// own mutex.
+  mutable std::shared_mutex registry_mutex_;
+  std::deque<PairState> pairs_;  ///< pinned: PairState owns a mutex
+  /// O(log n) request routing over a registry sized for 2^14 pairs. Keyed
+  /// "master/slave" - '/' cannot occur in an SAE id (register_pair
+  /// rejects it), so the composite key is unambiguous.
+  std::map<std::string, PairState*, std::less<>> index_;
+};
+
+}  // namespace qkdpp::api

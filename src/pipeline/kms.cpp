@@ -1,6 +1,20 @@
 #include "pipeline/kms.hpp"
 
+#include <numeric>
+
 namespace qkdpp::pipeline {
+
+const char* to_string(RejectReason reason) noexcept {
+  switch (reason) {
+    case RejectReason::kNone: return "none";
+    case RejectReason::kEmpty: return "empty";
+    case RejectReason::kOversized: return "oversized";
+    case RejectReason::kCapacity: return "capacity";
+    case RejectReason::kClosed: return "closed";
+    case RejectReason::kCount_: break;
+  }
+  return "unknown";
+}
 
 bool KeyStore::fits_locked(std::uint64_t bits) const noexcept {
   if (config_.capacity_bits == 0) return true;
@@ -9,6 +23,7 @@ bool KeyStore::fits_locked(std::uint64_t bits) const noexcept {
 
 void KeyStore::consume_locked(std::string_view consumer, std::uint64_t bits) {
   consumed_bits_ += bits;
+  if (consumer.empty()) consumer = kAnonymousConsumer;
   const auto it = drawn_.find(consumer);
   if (it != drawn_.end()) {
     it->second += bits;
@@ -17,31 +32,35 @@ void KeyStore::consume_locked(std::string_view consumer, std::uint64_t bits) {
   }
 }
 
-std::uint64_t KeyStore::deposit(BitVec key) {
+DepositResult KeyStore::reject_locked(RejectReason reason,
+                                      std::uint64_t bits) {
+  ++rejected_by_reason_[static_cast<std::size_t>(reason)];
+  rejected_bits_ += bits;
+  return DepositResult{0, reason};
+}
+
+DepositResult KeyStore::deposit(BitVec key) {
   std::unique_lock lock(mutex_);
   // An empty key carries no material; minting an id would let consumers
   // draw zero-bit "keys" that still count toward keys_available().
-  const bool oversized =
-      config_.capacity_bits != 0 && key.size() > config_.capacity_bits;
-  if (key.size() == 0 || oversized) {
-    ++rejected_keys_;
-    rejected_bits_ += key.size();
-    return 0;
+  if (key.size() == 0) return reject_locked(RejectReason::kEmpty, 0);
+  if (config_.capacity_bits != 0 && key.size() > config_.capacity_bits) {
+    return reject_locked(RejectReason::kOversized, key.size());
   }
   if (!fits_locked(key.size())) {
     if (config_.on_overflow == OverflowPolicy::kBlock) {
       space_.wait(lock, [&] { return closed_ || fits_locked(key.size()); });
-    }
-    if (!fits_locked(key.size())) {  // kReject, or kBlock released by close()
-      ++rejected_keys_;
-      rejected_bits_ += key.size();
-      return 0;
+      if (!fits_locked(key.size())) {  // released by close()
+        return reject_locked(RejectReason::kClosed, key.size());
+      }
+    } else {
+      return reject_locked(RejectReason::kCapacity, key.size());
     }
   }
   const std::uint64_t id = next_id_++;
   deposited_bits_ += key.size();
   keys_.emplace(id, std::move(key));
-  return id;
+  return DepositResult{id, RejectReason::kNone};
 }
 
 std::optional<StoredKey> KeyStore::get_key(std::string_view consumer) {
@@ -95,7 +114,8 @@ std::uint64_t KeyStore::total_consumed_bits() const {
 
 std::uint64_t KeyStore::rejected_keys() const {
   std::scoped_lock lock(mutex_);
-  return rejected_keys_;
+  return std::accumulate(rejected_by_reason_.begin(),
+                         rejected_by_reason_.end(), std::uint64_t{0});
 }
 
 std::uint64_t KeyStore::rejected_bits() const {
@@ -103,8 +123,16 @@ std::uint64_t KeyStore::rejected_bits() const {
   return rejected_bits_;
 }
 
+std::uint64_t KeyStore::rejected_keys(RejectReason reason) const {
+  // kCount_ is a public enumerator; guard rather than index past the end.
+  if (static_cast<std::size_t>(reason) >= kRejectReasonCount) return 0;
+  std::scoped_lock lock(mutex_);
+  return rejected_by_reason_[static_cast<std::size_t>(reason)];
+}
+
 std::uint64_t KeyStore::consumed_by(std::string_view consumer) const {
   std::scoped_lock lock(mutex_);
+  if (consumer.empty()) consumer = kAnonymousConsumer;
   const auto it = drawn_.find(consumer);
   return it != drawn_.end() ? it->second : 0;
 }

@@ -14,9 +14,14 @@
 // close() releases blocked depositors on shutdown). Empty keys are always
 // rejected: a zero-bit "key" has no material, and minting an id for it
 // would let consumers draw nothing while keys_available() claims otherwise.
-// Draws are attributed per consumer name for ETSI-style SAE accounting.
+// Every rejection carries a typed RejectReason (DepositResult), so callers
+// can distinguish a capacity bound from a shutdown instead of decoding an
+// id==0 sentinel. Draws are attributed per consumer name for ETSI-style
+// SAE accounting; an empty name is attributed to the reserved "anonymous"
+// consumer so unlabeled draws stay visible in the ledger.
 #pragma once
 
+#include <array>
 #include <condition_variable>
 #include <cstdint>
 #include <map>
@@ -33,6 +38,34 @@ struct StoredKey {
   std::uint64_t key_id = 0;
   BitVec bits;
 };
+
+/// Why a deposit was refused. kNone means the key was accepted.
+enum class RejectReason : std::uint8_t {
+  kNone = 0,      ///< accepted: DepositResult::key_id is valid
+  kEmpty,         ///< zero-bit key (no material to store)
+  kOversized,     ///< larger than the whole store capacity (can never fit)
+  kCapacity,      ///< store full under kReject
+  kClosed,        ///< blocked depositor released by close()
+  kCount_,        ///< sentinel: number of reasons, not a reason itself
+};
+inline constexpr std::size_t kRejectReasonCount =
+    static_cast<std::size_t>(RejectReason::kCount_);
+
+/// Stable human-readable name (logs, JSON error details, tests).
+const char* to_string(RejectReason reason) noexcept;
+
+/// Outcome of KeyStore::deposit: the minted id on acceptance, the typed
+/// reason on rejection. Replaces the old `returns 0 on rejection` sentinel.
+struct DepositResult {
+  std::uint64_t key_id = 0;
+  RejectReason reason = RejectReason::kNone;
+
+  bool accepted() const noexcept { return reason == RejectReason::kNone; }
+  explicit operator bool() const noexcept { return accepted(); }
+};
+
+/// Ledger name unlabeled draws are attributed to.
+inline constexpr std::string_view kAnonymousConsumer = "anonymous";
 
 /// What a deposit does when it would push the store past capacity.
 enum class OverflowPolicy : std::uint8_t {
@@ -52,10 +85,11 @@ class KeyStore {
 
   const KeyStoreConfig& config() const noexcept { return config_; }
 
-  /// Deposit a distilled key; returns its assigned id, or 0 when the key
-  /// was rejected (empty, larger than the whole capacity, over capacity
-  /// under kReject, or blocked past close() under kBlock).
-  std::uint64_t deposit(BitVec key);
+  /// Deposit a distilled key. The result carries the assigned id on
+  /// acceptance, or the typed reason the key was refused (empty, larger
+  /// than the whole capacity, over capacity under kReject, or blocked
+  /// past close() under kBlock).
+  DepositResult deposit(BitVec key);
 
   /// Oldest unconsumed key (FIFO), if any. Destructive; the draw is
   /// attributed to `consumer`.
@@ -76,8 +110,11 @@ class KeyStore {
   std::uint64_t total_consumed_bits() const;
   std::uint64_t rejected_keys() const;
   std::uint64_t rejected_bits() const;
+  /// Rejections broken down by reason (kNone is always zero).
+  std::uint64_t rejected_keys(RejectReason reason) const;
 
-  /// Bits drawn so far by `consumer` (as passed to the get_* calls).
+  /// Bits drawn so far by `consumer` (as passed to the get_* calls; the
+  /// empty name reads the reserved "anonymous" ledger entry).
   std::uint64_t consumed_by(std::string_view consumer) const;
   /// Snapshot of the full per-consumer draw ledger.
   std::map<std::string, std::uint64_t> draw_accounting() const;
@@ -85,6 +122,7 @@ class KeyStore {
  private:
   bool fits_locked(std::uint64_t bits) const noexcept;
   void consume_locked(std::string_view consumer, std::uint64_t bits);
+  DepositResult reject_locked(RejectReason reason, std::uint64_t bits);
 
   KeyStoreConfig config_;
   mutable std::mutex mutex_;
@@ -94,8 +132,8 @@ class KeyStore {
   std::uint64_t next_id_ = 1;
   std::uint64_t deposited_bits_ = 0;
   std::uint64_t consumed_bits_ = 0;
-  std::uint64_t rejected_keys_ = 0;
   std::uint64_t rejected_bits_ = 0;
+  std::array<std::uint64_t, kRejectReasonCount> rejected_by_reason_{};
   bool closed_ = false;
 };
 

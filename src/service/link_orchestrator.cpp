@@ -99,6 +99,14 @@ LinkOrchestrator::LinkOrchestrator(OrchestratorConfig config)
   }
 }
 
+std::optional<std::size_t> LinkOrchestrator::link_index(
+    std::string_view name) const {
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    if (links_[i].spec.name == name) return i;
+  }
+  return std::nullopt;
+}
+
 void LinkOrchestrator::apply_device_events(std::uint64_t block_index) {
   for (auto& state : events_) {
     const auto& event = state.event;
@@ -119,8 +127,6 @@ void LinkOrchestrator::run_link(std::size_t i, LinkReport& report) {
   const ReplanPolicy& policy = config_.replan;
   report.name = state.spec.name;
   report.length_km = state.spec.link.channel.length_km;
-  const std::uint64_t rejected_keys_before = state.store.rejected_keys();
-  const std::uint64_t rejected_bits_before = state.store.rejected_bits();
 
   // Sliding-window channel/throughput view driving adaptation. The QBER
   // window holds measured per-block estimates (deterministic per seed);
@@ -169,8 +175,17 @@ void LinkOrchestrator::run_link(std::size_t i, LinkReport& report) {
         state.engine->process_block(input, block_id, state.rng);
     if (outcome.success) {
       ++report.blocks_ok;
-      if (state.store.deposit(outcome.final_key) != 0) {
+      // Typed deposit outcome: rejected material is accounted from the
+      // result itself instead of sampling the store's counters around the
+      // run (which misattributed rejections when other depositors share
+      // the store).
+      const pipeline::DepositResult deposited =
+          state.store.deposit(outcome.final_key);
+      if (deposited.accepted()) {
         report.secret_bits += outcome.final_key_bits;
+      } else {
+        ++report.rejected_keys;
+        report.rejected_bits += outcome.final_key_bits;
       }
     } else {
       ++report.blocks_aborted;
@@ -229,8 +244,6 @@ void LinkOrchestrator::run_link(std::size_t i, LinkReport& report) {
   for (std::size_t s = 0; s < placement.stage_names.size(); ++s) {
     report.stage_devices.push_back(placement.device_of(s));
   }
-  report.rejected_keys = state.store.rejected_keys() - rejected_keys_before;
-  report.rejected_bits = state.store.rejected_bits() - rejected_bits_before;
   if (report.wall_seconds > 0) {
     report.secret_bits_per_s =
         static_cast<double>(report.secret_bits) / report.wall_seconds;

@@ -21,7 +21,9 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -147,6 +149,9 @@ class LinkOrchestrator {
 
   std::size_t link_count() const noexcept { return links_.size(); }
   const LinkSpec& link_spec(std::size_t i) const { return links_[i].spec; }
+  /// Index of the link named `name` (the identity a delivery facade keys
+  /// SAE registrations on), or nullopt when no such link exists.
+  std::optional<std::size_t> link_index(std::string_view name) const;
   const engine::PostprocessEngine& link_engine(std::size_t i) const {
     return *links_[i].engine;
   }

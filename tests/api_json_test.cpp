@@ -1,0 +1,219 @@
+// JSON + DTO tests: strict parser behaviour (malformed input throws
+// kSerialization), deterministic dumps, and the round-trip property
+// DTO -> to_json -> dump -> parse -> from_json == DTO for *every* DTO the
+// key-delivery API speaks, over seeded randomized instances.
+#include "api/dtos.hpp"
+#include "api/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace qkdpp::api {
+namespace {
+
+TEST(Json, ParsesScalarsAndContainers) {
+  EXPECT_TRUE(Json::parse("null").is_null());
+  EXPECT_EQ(Json::parse("true").as_bool(), true);
+  EXPECT_EQ(Json::parse("-42").as_int(), -42);
+  EXPECT_DOUBLE_EQ(Json::parse("2.5e3").as_double(), 2500.0);
+  EXPECT_EQ(Json::parse("\"hi\"").as_string(), "hi");
+  EXPECT_EQ(Json::parse("[1,2,3]").size(), 3u);
+  EXPECT_EQ(Json::parse("{\"a\":{\"b\":[false]}}")
+                .at("a")
+                .at("b")
+                .as_array()[0]
+                .as_bool(),
+            false);
+}
+
+TEST(Json, IntegersSurviveBeyondDoubleMantissa) {
+  // 2^63 - 1 is not representable in a double; the parser must keep the
+  // int64 path for key/bit counters.
+  const std::int64_t big = 9223372036854775807LL;
+  EXPECT_EQ(Json::parse("9223372036854775807").as_int(), big);
+  EXPECT_EQ(Json(big).dump(), "9223372036854775807");
+}
+
+TEST(Json, StringEscapesRoundTrip) {
+  const std::string raw = "line\nbreak \"quote\" back\\slash \t tab \x01";
+  const Json json(raw);
+  EXPECT_EQ(Json::parse(json.dump()).as_string(), raw);
+  // UTF-16 escapes, including a surrogate pair, decode to UTF-8.
+  EXPECT_EQ(Json::parse("\"\\u00e9\"").as_string(), "\xc3\xa9");
+  EXPECT_EQ(Json::parse("\"\\ud83d\\ude00\"").as_string(),
+            "\xf0\x9f\x98\x80");
+}
+
+TEST(Json, DumpIsDeterministicRegardlessOfInsertionOrder) {
+  Json a = Json::object();
+  a.set("zeta", 1);
+  a.set("alpha", 2);
+  Json b = Json::object();
+  b.set("alpha", 2);
+  b.set("zeta", 1);
+  EXPECT_EQ(a.dump(), b.dump());
+  EXPECT_EQ(a.dump(), "{\"alpha\":2,\"zeta\":1}");
+}
+
+TEST(Json, MalformedInputThrowsSerialization) {
+  const char* broken[] = {
+      "",           "{",        "[1,",     "{\"a\":}",   "{'a':1}",
+      "[1 2]",      "01",       "1.",      "1e",         "tru",
+      "\"unterminated", "\"bad \\q escape\"", "{\"a\":1}extra",
+      "\"\\ud800\"",  // unpaired surrogate
+      "nan",
+  };
+  for (const char* text : broken) {
+    EXPECT_THROW((void)Json::parse(text), Error) << text;
+    try {
+      (void)Json::parse(text);
+    } catch (const Error& error) {
+      EXPECT_EQ(error.code(), ErrorCode::kSerialization) << text;
+    }
+  }
+}
+
+TEST(Json, DepthLimitRejectsAdversarialNesting) {
+  std::string deep(1000, '[');
+  deep += std::string(1000, ']');
+  EXPECT_THROW((void)Json::parse(deep), Error);
+}
+
+TEST(Json, TypeMismatchesThrowOnUntrustedInput) {
+  const Json json = Json::parse("{\"n\":-1}");
+  EXPECT_THROW((void)json.at("n").as_string(), Error);
+  EXPECT_THROW((void)json.at("n").as_uint(), Error);  // negative
+  EXPECT_THROW((void)json.at("missing"), Error);
+  EXPECT_THROW((void)json.as_array(), Error);
+}
+
+// --- randomized DTO round-trip property ----------------------------------
+
+std::string random_name(Xoshiro256& rng) {
+  static const char* const kNames[] = {"sae-vpn-a", "sae-voip-b", "kme-1",
+                                       "", "with \"quotes\"", "utf8 \xc3\xa9",
+                                       "a/b?c=d"};
+  return kNames[rng.uniform(std::size(kNames))];
+}
+
+std::string random_hex(Xoshiro256& rng, std::size_t bytes) {
+  std::string out;
+  for (std::size_t i = 0; i < bytes * 2; ++i) {
+    out.push_back("0123456789abcdef"[rng.uniform(16)]);
+  }
+  return out;
+}
+
+std::string random_uuid(Xoshiro256& rng) {
+  std::string out = random_hex(rng, 16);
+  out.insert(8, "-");
+  out.insert(13, "-");
+  out.insert(18, "-");
+  out.insert(23, "-");
+  return out;
+}
+
+StatusResponse random_status(Xoshiro256& rng) {
+  StatusResponse status;
+  status.source_kme_id = random_name(rng);
+  status.target_kme_id = random_name(rng);
+  status.master_sae_id = random_name(rng);
+  status.slave_sae_id = random_name(rng);
+  status.key_size = rng.uniform(1 << 16);
+  status.stored_key_count = rng.next_u64() >> 1;  // any non-negative int64
+  status.max_key_count = rng.uniform(1 << 20);
+  status.max_key_per_request = rng.uniform(1 << 10);
+  status.max_key_size = rng.uniform(1 << 16);
+  status.min_key_size = rng.uniform(1 << 10);
+  status.pending_key_count = rng.uniform(1 << 10);
+  return status;
+}
+
+KeyContainer random_container(Xoshiro256& rng) {
+  KeyContainer container;
+  const std::size_t n = rng.uniform(5);
+  for (std::size_t i = 0; i < n; ++i) {
+    container.keys.push_back(
+        DeliveredKey{random_uuid(rng), random_hex(rng, 32)});
+  }
+  return container;
+}
+
+ApiError random_error(Xoshiro256& rng) {
+  static const int kStatuses[] = {kStatusBadRequest, kStatusUnauthorized,
+                                  kStatusNotFound, kStatusUnavailable};
+  ApiError error;
+  error.status = kStatuses[rng.uniform(std::size(kStatuses))];
+  error.message = random_name(rng);
+  const std::size_t n = rng.uniform(4);
+  for (std::size_t i = 0; i < n; ++i) {
+    error.details.push_back(random_name(rng));
+  }
+  return error;
+}
+
+/// One generic round trip: serialize to text, reparse, decode, compare.
+template <typename T>
+void expect_round_trip(const T& dto) {
+  const std::string wire = dto.to_json().dump();
+  const T decoded = T::from_json(Json::parse(wire));
+  EXPECT_EQ(decoded, dto) << wire;
+  // Serialization is deterministic: a second pass is byte-identical.
+  EXPECT_EQ(decoded.to_json().dump(), wire);
+}
+
+TEST(DtoRoundTrip, EveryDtoSurvivesSerializeParseDecode) {
+  Xoshiro256 rng(20260726);
+  for (int iteration = 0; iteration < 200; ++iteration) {
+    expect_round_trip(random_status(rng));
+
+    KeyRequest key_request;
+    key_request.number = rng.uniform(1 << 10);
+    key_request.size = rng.uniform(1 << 16);
+    expect_round_trip(key_request);
+
+    KeyIdsRequest ids;
+    const std::size_t n = rng.uniform(5);
+    for (std::size_t i = 0; i < n; ++i) {
+      ids.key_ids.push_back(random_uuid(rng));
+    }
+    expect_round_trip(ids);
+
+    expect_round_trip(DeliveredKey{random_uuid(rng), random_hex(rng, 32)});
+    expect_round_trip(random_container(rng));
+    expect_round_trip(random_error(rng));
+
+    Request request;
+    request.method = rng.bernoulli(0.5) ? "GET" : "POST";
+    request.target = "/api/v1/keys/" + random_name(rng) + "/enc_keys";
+    request.caller = random_name(rng);
+    request.body = rng.bernoulli(0.5) ? Json() : random_container(rng).to_json();
+    expect_round_trip(request);
+
+    Response response;
+    response.status = rng.bernoulli(0.5) ? kStatusOk : kStatusUnavailable;
+    response.body = rng.bernoulli(0.5) ? random_error(rng).to_json()
+                                       : random_status(rng).to_json();
+    expect_round_trip(response);
+  }
+}
+
+TEST(DtoRoundTrip, OptionalFieldsTakeDefaults) {
+  // ETSI clients may omit fields at their defaults; decoding must fill
+  // them in instead of rejecting the document.
+  const KeyRequest request = KeyRequest::from_json(Json::parse("{}"));
+  EXPECT_EQ(request.number, 1u);
+  EXPECT_EQ(request.size, 0u);
+  const ApiError error =
+      ApiError::from_json(Json::parse("{\"status\":503,\"message\":\"m\"}"));
+  EXPECT_TRUE(error.details.empty());
+}
+
+}  // namespace
+}  // namespace qkdpp::api

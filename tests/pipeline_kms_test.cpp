@@ -22,28 +22,43 @@ TEST(KeyStore, DepositAndFifoDraw) {
   const BitVec second = rng.random_bits(200);
   const auto id_first = store.deposit(first);
   const auto id_second = store.deposit(second);
-  EXPECT_NE(id_first, 0u);
-  EXPECT_NE(id_second, 0u);
-  EXPECT_NE(id_first, id_second);
+  EXPECT_TRUE(id_first.accepted());
+  EXPECT_TRUE(id_second.accepted());
+  EXPECT_NE(id_first.key_id, id_second.key_id);
   EXPECT_EQ(store.keys_available(), 2u);
   EXPECT_EQ(store.bits_available(), 300u);
 
   const auto drawn = store.get_key();
   ASSERT_TRUE(drawn.has_value());
-  EXPECT_EQ(drawn->key_id, id_first);  // FIFO
+  EXPECT_EQ(drawn->key_id, id_first.key_id);  // FIFO
   EXPECT_EQ(drawn->bits, first);
   EXPECT_EQ(store.bits_available(), 200u);
+}
+
+TEST(KeyStore, RejectReasonNamesAreStable) {
+  // Logs and JSON error details embed these names; renaming one is a
+  // wire-visible change, so pin them.
+  EXPECT_STREQ(to_string(RejectReason::kNone), "none");
+  EXPECT_STREQ(to_string(RejectReason::kEmpty), "empty");
+  EXPECT_STREQ(to_string(RejectReason::kOversized), "oversized");
+  EXPECT_STREQ(to_string(RejectReason::kCapacity), "capacity");
+  EXPECT_STREQ(to_string(RejectReason::kClosed), "closed");
+  EXPECT_STREQ(to_string(RejectReason::kCount_), "unknown");
 }
 
 TEST(KeyStore, EmptyDepositRejectedRegression) {
   // Regression: an empty BitVec used to mint a key id and count toward
   // keys_available(), letting consumers draw zero-bit "keys".
   KeyStore store;
-  EXPECT_EQ(store.deposit(BitVec()), 0u);
+  const auto result = store.deposit(BitVec());
+  EXPECT_FALSE(result.accepted());
+  EXPECT_EQ(result.reason, RejectReason::kEmpty);
   EXPECT_EQ(store.keys_available(), 0u);
   EXPECT_EQ(store.bits_available(), 0u);
   EXPECT_EQ(store.total_deposited_bits(), 0u);
   EXPECT_EQ(store.rejected_keys(), 1u);
+  EXPECT_EQ(store.rejected_keys(RejectReason::kEmpty), 1u);
+  EXPECT_EQ(store.rejected_keys(RejectReason::kCount_), 0u);  // guarded
   EXPECT_FALSE(store.get_key().has_value());
 }
 
@@ -53,7 +68,7 @@ TEST(KeyStore, BitsAvailableConsistentAcrossMixedConsumption) {
   std::vector<std::uint64_t> ids;
   std::uint64_t total = 0;
   for (const std::size_t n : {64u, 128u, 256u, 512u, 1024u}) {
-    ids.push_back(store.deposit(rng.random_bits(n)));
+    ids.push_back(store.deposit(rng.random_bits(n)).key_id);
     total += n;
   }
   EXPECT_EQ(store.bits_available(), total);
@@ -91,20 +106,22 @@ TEST(KeyStore, CapacityRejectsWithStatistic) {
   config.on_overflow = OverflowPolicy::kReject;
   KeyStore store(config);
 
-  EXPECT_NE(store.deposit(rng.random_bits(200)), 0u);
+  EXPECT_TRUE(store.deposit(rng.random_bits(200)).accepted());
   // 100 more bits would exceed 256: rejected, counted, store unchanged.
-  EXPECT_EQ(store.deposit(rng.random_bits(100)), 0u);
+  EXPECT_EQ(store.deposit(rng.random_bits(100)).reason,
+            RejectReason::kCapacity);
   EXPECT_EQ(store.keys_available(), 1u);
   EXPECT_EQ(store.bits_available(), 200u);
   EXPECT_EQ(store.rejected_keys(), 1u);
+  EXPECT_EQ(store.rejected_keys(RejectReason::kCapacity), 1u);
   EXPECT_EQ(store.rejected_bits(), 100u);
   // A 56-bit key still fits.
-  EXPECT_NE(store.deposit(rng.random_bits(56)), 0u);
+  EXPECT_TRUE(store.deposit(rng.random_bits(56)).accepted());
   EXPECT_EQ(store.bits_available(), 256u);
 
   // Draining frees capacity again.
   ASSERT_TRUE(store.get_key().has_value());
-  EXPECT_NE(store.deposit(rng.random_bits(100)), 0u);
+  EXPECT_TRUE(store.deposit(rng.random_bits(100)).accepted());
 }
 
 TEST(KeyStore, OversizedKeyRejectedEvenWhenEmpty) {
@@ -113,8 +130,10 @@ TEST(KeyStore, OversizedKeyRejectedEvenWhenEmpty) {
   config.capacity_bits = 128;
   config.on_overflow = OverflowPolicy::kBlock;  // must not block forever
   KeyStore store(config);
-  EXPECT_EQ(store.deposit(rng.random_bits(129)), 0u);
+  EXPECT_EQ(store.deposit(rng.random_bits(129)).reason,
+            RejectReason::kOversized);
   EXPECT_EQ(store.rejected_keys(), 1u);
+  EXPECT_EQ(store.rejected_keys(RejectReason::kOversized), 1u);
 }
 
 TEST(KeyStore, BlockingDepositWaitsForConsumer) {
@@ -123,12 +142,12 @@ TEST(KeyStore, BlockingDepositWaitsForConsumer) {
   config.capacity_bits = 100;
   config.on_overflow = OverflowPolicy::kBlock;
   KeyStore store(config);
-  ASSERT_NE(store.deposit(rng.random_bits(80)), 0u);
+  ASSERT_TRUE(store.deposit(rng.random_bits(80)).accepted());
 
   // Second deposit must block until the consumer thread drains the first.
-  std::uint64_t second_id = 0;
+  DepositResult second;
   std::thread depositor(
-      [&] { second_id = store.deposit(rng.random_bits(60)); });
+      [&] { second = store.deposit(rng.random_bits(60)); });
   std::thread consumer([&] {
     while (!store.get_key("drain").has_value()) {
       std::this_thread::yield();
@@ -136,7 +155,7 @@ TEST(KeyStore, BlockingDepositWaitsForConsumer) {
   });
   depositor.join();
   consumer.join();
-  EXPECT_NE(second_id, 0u);
+  EXPECT_TRUE(second.accepted());
   EXPECT_EQ(store.bits_available(), 60u);
   EXPECT_EQ(store.consumed_by("drain"), 80u);
 }
@@ -147,15 +166,16 @@ TEST(KeyStore, CloseReleasesBlockedDepositors) {
   config.capacity_bits = 100;
   config.on_overflow = OverflowPolicy::kBlock;
   KeyStore store(config);
-  ASSERT_NE(store.deposit(rng.random_bits(100)), 0u);
+  ASSERT_TRUE(store.deposit(rng.random_bits(100)).accepted());
 
-  std::uint64_t blocked_id = 1;  // sentinel: must become 0 (rejected)
+  DepositResult blocked;
   std::thread depositor(
-      [&] { blocked_id = store.deposit(rng.random_bits(50)); });
+      [&] { blocked = store.deposit(rng.random_bits(50)); });
   store.close();
   depositor.join();
-  EXPECT_EQ(blocked_id, 0u);
+  EXPECT_EQ(blocked.reason, RejectReason::kClosed);
   EXPECT_EQ(store.rejected_keys(), 1u);
+  EXPECT_EQ(store.rejected_keys(RejectReason::kClosed), 1u);
   EXPECT_EQ(store.rejected_bits(), 50u);
   // The key that was already stored is still drawable.
   EXPECT_TRUE(store.get_key().has_value());
@@ -166,21 +186,26 @@ TEST(KeyStore, PerConsumerDrawAccounting) {
   KeyStore store;
   std::vector<std::uint64_t> ids;
   for (int i = 0; i < 4; ++i) {
-    ids.push_back(store.deposit(rng.random_bits(100)));
+    ids.push_back(store.deposit(rng.random_bits(100)).key_id);
   }
   ASSERT_TRUE(store.get_key("vpn").has_value());
   ASSERT_TRUE(store.get_key("vpn").has_value());
   ASSERT_TRUE(store.get_key_with_id(ids[3], "voip").has_value());
-  ASSERT_TRUE(store.get_key().has_value());  // anonymous draw
+  ASSERT_TRUE(store.get_key().has_value());  // unlabeled draw
 
   EXPECT_EQ(store.consumed_by("vpn"), 200u);
   EXPECT_EQ(store.consumed_by("voip"), 100u);
   EXPECT_EQ(store.consumed_by("absent"), 0u);
+  // An empty consumer name lands in the reserved "anonymous" ledger entry
+  // instead of a silent "" key; reading with either name agrees.
+  EXPECT_EQ(store.consumed_by(kAnonymousConsumer), 100u);
+  EXPECT_EQ(store.consumed_by(""), 100u);
   const auto ledger = store.draw_accounting();
-  ASSERT_EQ(ledger.size(), 3u);  // vpn, voip, anonymous ""
+  ASSERT_EQ(ledger.size(), 3u);  // vpn, voip, anonymous
   EXPECT_EQ(ledger.at("vpn"), 200u);
   EXPECT_EQ(ledger.at("voip"), 100u);
-  EXPECT_EQ(ledger.at(""), 100u);
+  EXPECT_EQ(ledger.at(std::string(kAnonymousConsumer)), 100u);
+  EXPECT_EQ(ledger.count(""), 0u);
   EXPECT_EQ(store.total_consumed_bits(), 400u);
 }
 

@@ -17,13 +17,13 @@ TEST(KeyStore, DepositAndFifoConsume) {
   const BitVec k2 = rng.random_bits(128);
   const auto id1 = store.deposit(k1);
   const auto id2 = store.deposit(k2);
-  EXPECT_NE(id1, id2);
+  EXPECT_NE(id1.key_id, id2.key_id);
   EXPECT_EQ(store.keys_available(), 2u);
   EXPECT_EQ(store.bits_available(), 384u);
 
   const auto got = store.get_key();
   ASSERT_TRUE(got.has_value());
-  EXPECT_EQ(got->key_id, id1);
+  EXPECT_EQ(got->key_id, id1.key_id);
   EXPECT_EQ(got->bits, k1);
   EXPECT_EQ(store.keys_available(), 1u);
 }
@@ -32,7 +32,7 @@ TEST(KeyStore, GetByIdIsDestructiveOnce) {
   Xoshiro256 rng(2);
   KeyStore store;
   const BitVec k = rng.random_bits(64);
-  const auto id = store.deposit(k);
+  const auto id = store.deposit(k).key_id;
   ASSERT_TRUE(store.get_key_with_id(id).has_value());
   EXPECT_FALSE(store.get_key_with_id(id).has_value());
   EXPECT_FALSE(store.get_key_with_id(999).has_value());
