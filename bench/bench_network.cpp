@@ -1,0 +1,422 @@
+// Trusted-node relay network throughput: concurrent non-adjacent SAE
+// pairs drawing end-to-end key through the full JSON dispatcher while the
+// underlying links distill live - then the same workload again with a
+// forced mid-run outage on the busiest line span, which the router must
+// re-route around.
+//
+// Topology: 6 nodes, line + mesh chords (9 links), 4 non-adjacent SAE
+// pairs = 8 consumer threads over one shared KeyRelay:
+//
+//   n0 --- n1 --- n2 --- n3 --- n4 --- n5     line: L01 L12 L23 L34 L45
+//    \______/ \______/ \______/ \______/      chords: C02 C13 C24 C35
+//
+//   pairs: n0<->n5, n0<->n3, n1<->n4, n2<->n5 (every route >= 2 hops)
+//   outage phase: L23 (the middle line span) dies at block 1 and stays
+//   down - all cross-network traffic must fail over to C13/C24.
+//
+// Self-gating correctness (non-zero exit on violation):
+//   * zero duplicate UUIDs across both phases, every slave fetch
+//     bit-identical to the master's copy, collected == delivered
+//   * zero lost bits end-to-end: per pair, relayed == delivered +
+//     residual-buffered; per edge, store draws == relay-consumed +
+//     tap-buffered (the OTP chain neither drops nor double-spends)
+//   * the outage run still completes delivery via re-route: availability
+//     (delivered/requested bits) >= 0.9 x the no-outage run's
+//
+// The final stdout line is a machine-readable JSON summary (folded into
+// BENCH_pipeline.json).
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/dispatcher.hpp"
+#include "api/key_delivery.hpp"
+#include "common/stats.hpp"
+#include "network/delivery.hpp"
+#include "network/topology.hpp"
+#include "service/link_orchestrator.hpp"
+#include "sim/scenario.hpp"
+
+namespace {
+
+using namespace qkdpp;
+using namespace qkdpp::network;
+
+constexpr std::uint64_t kKeySizeBits = 128;
+constexpr std::uint64_t kKeysPerRequest = 8;
+// Fixed per-pair demand, sized to fit the n2|n3 cut even with L23 down:
+// every pair crosses that cut, which banks ~41k bits in the outage run
+// (C13 + C24 + one block of L23) against 4 x 64 x 128 = 32.8k demanded.
+constexpr std::uint64_t kTargetKeysPerPair = 64;
+constexpr std::uint64_t kBlocksPerLink = 3;
+
+struct Span {
+  const char* name;
+  const char* node_a;
+  const char* node_b;
+  double km;
+};
+
+constexpr Span kSpans[] = {
+    {"L01", "n0", "n1", 5.0},  {"L12", "n1", "n2", 6.0},
+    {"L23", "n2", "n3", 7.0},  {"L34", "n3", "n4", 6.5},
+    {"L45", "n4", "n5", 5.5},  {"C02", "n0", "n2", 9.0},
+    {"C13", "n1", "n3", 9.5},  {"C24", "n2", "n4", 10.0},
+    {"C35", "n3", "n5", 9.25},
+};
+
+struct PairPlan {
+  std::string master;
+  std::string slave;
+  const char* src;
+  const char* dst;
+};
+
+struct Handoff {
+  std::mutex mutex;
+  std::condition_variable ready;
+  std::deque<api::DeliveredKey> queue;
+  bool master_done = false;
+};
+
+struct PairOutcome {
+  std::uint64_t requests = 0;
+  std::uint64_t delivered_keys = 0;
+  std::uint64_t delivered_bits = 0;
+  std::uint64_t collected_keys = 0;
+  std::uint64_t mismatched_keys = 0;
+  std::vector<std::string> ids;
+};
+
+void run_master(api::Dispatcher& dispatcher, const PairPlan& plan,
+                const std::atomic<bool>& distillation_done, Handoff& handoff,
+                PairOutcome& outcome) {
+  while (outcome.delivered_keys < kTargetKeysPerPair) {
+    api::KeyRequest key_request;
+    key_request.number = std::min<std::uint64_t>(
+        kKeysPerRequest, kTargetKeysPerPair - outcome.delivered_keys);
+    key_request.size = kKeySizeBits;
+    const api::Request request{"POST",
+                               "/api/v1/keys/" + plan.slave + "/enc_keys",
+                               plan.master, key_request.to_json()};
+    const std::string wire_response =
+        dispatcher.dispatch(request.to_json().dump());
+    ++outcome.requests;
+    const auto response =
+        api::Response::from_json(api::Json::parse(wire_response));
+    if (response.ok()) {
+      auto container = api::KeyContainer::from_json(response.body);
+      std::scoped_lock lock(handoff.mutex);
+      for (auto& key : container.keys) {
+        ++outcome.delivered_keys;
+        outcome.delivered_bits += kKeySizeBits;
+        outcome.ids.push_back(key.key_id);
+        handoff.queue.push_back(std::move(key));
+      }
+      handoff.ready.notify_one();
+      continue;
+    }
+    if (response.status != api::kStatusUnavailable) {
+      std::fprintf(stderr, "master %s: unexpected status %d\n",
+                   plan.master.c_str(), response.status);
+      break;
+    }
+    // 503 while links still distill: back off and retry. After the last
+    // deposit, a 503 means the network (on feasible routes) is dry.
+    if (distillation_done.load(std::memory_order_acquire)) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  std::scoped_lock lock(handoff.mutex);
+  handoff.master_done = true;
+  handoff.ready.notify_one();
+}
+
+void run_slave(api::Dispatcher& dispatcher, const PairPlan& plan,
+               Handoff& handoff, PairOutcome& outcome) {
+  while (true) {
+    std::vector<api::DeliveredKey> batch;
+    {
+      std::unique_lock lock(handoff.mutex);
+      handoff.ready.wait(lock, [&] {
+        return !handoff.queue.empty() || handoff.master_done;
+      });
+      while (!handoff.queue.empty() && batch.size() < kKeysPerRequest) {
+        batch.push_back(std::move(handoff.queue.front()));
+        handoff.queue.pop_front();
+      }
+      if (batch.empty() && handoff.master_done) return;
+    }
+    if (batch.empty()) continue;
+
+    api::KeyIdsRequest ids_request;
+    for (const auto& key : batch) ids_request.key_ids.push_back(key.key_id);
+    const api::Request request{"POST",
+                               "/api/v1/keys/" + plan.master + "/dec_keys",
+                               plan.slave, ids_request.to_json()};
+    const std::string wire_response =
+        dispatcher.dispatch(request.to_json().dump());
+    ++outcome.requests;
+    const auto response =
+        api::Response::from_json(api::Json::parse(wire_response));
+    if (!response.ok()) {
+      outcome.mismatched_keys += batch.size();
+      continue;
+    }
+    const auto container = api::KeyContainer::from_json(response.body);
+    for (std::size_t i = 0; i < container.keys.size(); ++i) {
+      ++outcome.collected_keys;
+      if (container.keys[i] != batch[i]) ++outcome.mismatched_keys;
+    }
+  }
+}
+
+struct PhaseResult {
+  std::uint64_t requests = 0;
+  std::uint64_t delivered_bits = 0;
+  std::uint64_t collected_keys = 0;
+  std::uint64_t delivered_keys = 0;
+  std::uint64_t mismatched = 0;
+  std::uint64_t lost_bits = 0;
+  std::uint64_t reroutes = 0;
+  std::uint64_t secret_bits = 0;  ///< distilled under the phase
+  double wall_seconds = 0.0;
+  double availability = 0.0;
+};
+
+/// One full workload phase: 9 links distill live while 4 relayed pairs
+/// pull their fixed demand through the dispatcher.
+PhaseResult run_phase(bool with_outage, std::uint64_t uuid_seed,
+                      std::set<std::string>& all_ids,
+                      std::uint64_t& duplicates) {
+  service::OrchestratorConfig config;
+  config.store.capacity_bits = 1 << 22;
+  std::uint64_t seed = 41;
+  for (const Span& span : kSpans) {
+    service::LinkSpec spec;
+    spec.name = span.name;
+    spec.link.channel.length_km = span.km;
+    spec.pulses_per_block = sim::pulses_for_sifted_target(
+        spec.link, 30000.0, std::size_t{1} << 19, std::size_t{1} << 23);
+    spec.blocks = kBlocksPerLink;
+    spec.rng_seed = seed++;
+    config.links.push_back(std::move(spec));
+  }
+  if (with_outage) {
+    // The middle line span dies after its first block and never recovers:
+    // the router sees the abort streak and all cross-network demand must
+    // fail over to the C13/C24 chords.
+    sim::Perturbation outage;
+    outage.kind = sim::PerturbationKind::kLinkOutage;
+    outage.begin_block = 1;
+    outage.end_block = kBlocksPerLink;
+    config.links[2].schedule.perturbations.push_back(outage);
+  }
+  service::LinkOrchestrator orchestrator(std::move(config));
+
+  Topology topology(orchestrator);
+  for (const char* node : {"n0", "n1", "n2", "n3", "n4", "n5"}) {
+    topology.add_node(node);
+  }
+  for (const Span& span : kSpans) {
+    topology.add_edge(span.node_a, span.node_b, span.name);
+  }
+
+  api::KeyDeliveryConfig service_config;
+  service_config.uuid_seed = uuid_seed;  // one KME identity per phase
+  api::KeyDeliveryService service(orchestrator, service_config);
+  NetworkDelivery delivery(topology, service);
+
+  std::vector<PairPlan> plans = {
+      {"sae-m0", "sae-s0", "n0", "n5"},
+      {"sae-m1", "sae-s1", "n0", "n3"},
+      {"sae-m2", "sae-s2", "n1", "n4"},
+      {"sae-m3", "sae-s3", "n2", "n5"},
+  };
+  for (const PairPlan& plan : plans) {
+    api::SaePair pair;
+    pair.master_sae_id = plan.master;
+    pair.slave_sae_id = plan.slave;
+    pair.default_key_size = kKeySizeBits;
+    pair.max_key_per_request = kKeysPerRequest;
+    RelaySourceConfig source_config;
+    source_config.chunk_bits = 1024;
+    delivery.register_pair(pair, plan.src, plan.dst, source_config);
+  }
+  api::Dispatcher dispatcher(service);
+
+  std::atomic<bool> distillation_done{false};
+  std::deque<Handoff> handoffs(plans.size());
+  std::vector<PairOutcome> master_outcomes(plans.size());
+  std::vector<PairOutcome> slave_outcomes(plans.size());
+
+  Stopwatch clock;
+  auto distillation = std::async(std::launch::async, [&] {
+    const auto report = orchestrator.run();
+    distillation_done.store(true, std::memory_order_release);
+    return report;
+  });
+  std::vector<std::thread> consumers;
+  consumers.reserve(plans.size() * 2);
+  for (std::size_t i = 0; i < plans.size(); ++i) {
+    consumers.emplace_back([&, i] {
+      run_master(dispatcher, plans[i], distillation_done, handoffs[i],
+                 master_outcomes[i]);
+    });
+    consumers.emplace_back([&, i] {
+      run_slave(dispatcher, plans[i], handoffs[i], slave_outcomes[i]);
+    });
+  }
+  const auto report = distillation.get();
+  for (auto& thread : consumers) thread.join();
+
+  PhaseResult result;
+  result.wall_seconds = clock.seconds();
+  result.secret_bits = report.secret_bits;
+  for (std::size_t i = 0; i < plans.size(); ++i) {
+    result.requests += master_outcomes[i].requests + slave_outcomes[i].requests;
+    result.delivered_keys += master_outcomes[i].delivered_keys;
+    result.delivered_bits += master_outcomes[i].delivered_bits;
+    result.collected_keys += slave_outcomes[i].collected_keys;
+    result.mismatched += slave_outcomes[i].mismatched_keys;
+    for (const auto& id : master_outcomes[i].ids) {
+      if (!all_ids.insert(id).second) ++duplicates;
+    }
+  }
+  result.availability =
+      static_cast<double>(result.delivered_bits) /
+      static_cast<double>(plans.size() * kTargetKeysPerPair * kKeySizeBits);
+
+  // End-to-end conservation. Pair level: everything the relay produced for
+  // a pair is delivered or waiting in its residual. Edge level: everything
+  // the relay drew from a span's store is inside a delivered e2e key or
+  // buffered in that span's tap.
+  std::uint64_t relayed_total = 0;
+  for (const PairPlan& plan : plans) {
+    const auto source = delivery.source(plan.master, plan.slave);
+    const auto stats = source->stats();
+    result.reroutes += stats.reroutes;
+    relayed_total += stats.relayed_bits;
+    const auto pair_stats = *service.pair_stats(plan.master, plan.slave);
+    const std::uint64_t accounted =
+        pair_stats.delivered_bits + pair_stats.buffered_bits;
+    if (accounted != stats.relayed_bits) {
+      result.lost_bits += accounted > stats.relayed_bits
+                              ? accounted - stats.relayed_bits
+                              : stats.relayed_bits - accounted;
+      std::fprintf(stderr, "pair conservation violated on %s\n",
+                   plan.master.c_str());
+    }
+  }
+  std::printf("\n  %-4s | %9s %9s %9s %9s\n", "span", "deposited", "drawn",
+              "consumed", "buffered");
+  for (std::size_t e = 0; e < topology.edge_count(); ++e) {
+    const auto& store = orchestrator.key_store(topology.edge(e).link);
+    const std::uint64_t drawn =
+        store.consumed_by(delivery.relay().consumer_name(e));
+    const std::uint64_t consumed = delivery.relay().consumed_bits(e);
+    const std::uint64_t buffered = delivery.relay().buffered_bits(e);
+    if (drawn != consumed + buffered) {
+      result.lost_bits += drawn > consumed + buffered
+                              ? drawn - consumed - buffered
+                              : consumed + buffered - drawn;
+      std::fprintf(stderr, "edge conservation violated on %s\n",
+                   topology.edge(e).link_name.c_str());
+    }
+    std::printf("  %-4s | %9llu %9llu %9llu %9llu\n",
+                topology.edge(e).link_name.c_str(),
+                static_cast<unsigned long long>(store.total_deposited_bits()),
+                static_cast<unsigned long long>(drawn),
+                static_cast<unsigned long long>(consumed),
+                static_cast<unsigned long long>(buffered));
+  }
+  if (delivery.relay().delivered_bits() != relayed_total) {
+    result.lost_bits += 1;  // relay/source totals must agree exactly
+    std::fprintf(stderr, "relay total != sum of source totals\n");
+  }
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("network: 6 nodes / %zu links (line + chords), 4 non-adjacent "
+              "SAE pairs, %llu-bit keys, %llu keys/pair demand, JSON "
+              "dispatch, live distillation\n",
+              std::size(kSpans),
+              static_cast<unsigned long long>(kKeySizeBits),
+              static_cast<unsigned long long>(kTargetKeysPerPair));
+
+  std::set<std::string> all_ids;
+  std::uint64_t duplicates = 0;
+
+  std::printf("\n== phase 1: clean network ==\n");
+  const PhaseResult clean = run_phase(false, 0x6e01, all_ids, duplicates);
+  std::printf("  %llu/%llu keys delivered (availability %.3f), %llu "
+              "reroutes, %.2f s\n",
+              static_cast<unsigned long long>(clean.delivered_keys),
+              static_cast<unsigned long long>(4 * kTargetKeysPerPair),
+              clean.availability,
+              static_cast<unsigned long long>(clean.reroutes),
+              clean.wall_seconds);
+
+  std::printf("\n== phase 2: L23 hard outage from block 1 ==\n");
+  const PhaseResult outage = run_phase(true, 0x6e02, all_ids, duplicates);
+  std::printf("  %llu/%llu keys delivered (availability %.3f), %llu "
+              "reroutes, %.2f s\n",
+              static_cast<unsigned long long>(outage.delivered_keys),
+              static_cast<unsigned long long>(4 * kTargetKeysPerPair),
+              outage.availability,
+              static_cast<unsigned long long>(outage.reroutes),
+              outage.wall_seconds);
+
+  const double ratio =
+      clean.availability > 0 ? outage.availability / clean.availability : 0.0;
+  const std::uint64_t mismatched = clean.mismatched + outage.mismatched;
+  const std::uint64_t lost_bits = clean.lost_bits + outage.lost_bits;
+  const bool collected_ok =
+      clean.collected_keys == clean.delivered_keys &&
+      outage.collected_keys == outage.delivered_keys;
+  const bool gate_ok = duplicates == 0 && lost_bits == 0 && mismatched == 0 &&
+                       collected_ok && clean.delivered_keys > 0 &&
+                       outage.delivered_keys > 0 && ratio >= 0.9;
+
+  std::printf("\ngates: duplicate_ids=%llu lost_bits=%llu mismatched=%llu "
+              "availability_ratio=%.3f (>= 0.9) -> %s\n\n",
+              static_cast<unsigned long long>(duplicates),
+              static_cast<unsigned long long>(lost_bits),
+              static_cast<unsigned long long>(mismatched), ratio,
+              gate_ok ? "OK" : "FAILED");
+
+  const double wall = clean.wall_seconds + outage.wall_seconds;
+  std::printf(
+      "{\"bench\":\"network\",\"unit\":\"delivered_bits_per_s\","
+      "\"nodes\":6,\"edges\":%zu,\"pairs\":4,"
+      "\"requested_bits\":%llu,\"delivered_bits_clean\":%llu,"
+      "\"delivered_bits_outage\":%llu,\"availability_clean\":%.4f,"
+      "\"availability_outage\":%.4f,\"availability_ratio\":%.4f,"
+      "\"reroutes_clean\":%llu,\"reroutes_outage\":%llu,"
+      "\"requests\":%llu,\"wall_seconds\":%.3f,"
+      "\"delivered_bits_per_s\":%.1f,\"duplicate_ids\":%llu,"
+      "\"lost_bits\":%llu,\"gate_ok\":%s}\n",
+      std::size(kSpans),
+      static_cast<unsigned long long>(2 * 4 * kTargetKeysPerPair *
+                                      kKeySizeBits),
+      static_cast<unsigned long long>(clean.delivered_bits),
+      static_cast<unsigned long long>(outage.delivered_bits),
+      clean.availability, outage.availability, ratio,
+      static_cast<unsigned long long>(clean.reroutes),
+      static_cast<unsigned long long>(outage.reroutes),
+      static_cast<unsigned long long>(clean.requests + outage.requests), wall,
+      (clean.delivered_bits + outage.delivered_bits) / wall,
+      static_cast<unsigned long long>(duplicates),
+      static_cast<unsigned long long>(lost_bits), gate_ok ? "true" : "false");
+  return gate_ok ? 0 : 1;
+}

@@ -85,6 +85,21 @@ def extract(doc):
             float(key_delivery.get("requests_per_s", 0.0)), False)
         metrics["key_delivery_wall_bits_per_s"] = (
             float(key_delivery.get("delivered_bits_per_s", 0.0)), False)
+
+    network = doc.get("network") or {}
+    if network:
+        # Fixed per-pair demand makes delivered bits deterministic when the
+        # network can carry them (the bench sizes demand to fit the outage
+        # cut), and the clean/outage availability ratio is the re-route
+        # guarantee itself: both gateable. Wall rate is advisory.
+        metrics["network_delivered_bits_clean"] = (
+            float(network.get("delivered_bits_clean", 0)), True)
+        metrics["network_delivered_bits_outage"] = (
+            float(network.get("delivered_bits_outage", 0)), True)
+        metrics["network_availability_ratio"] = (
+            float(network.get("availability_ratio", 0.0)), True)
+        metrics["network_wall_bits_per_s"] = (
+            float(network.get("delivered_bits_per_s", 0.0)), False)
     return metrics
 
 
@@ -136,6 +151,11 @@ def main():
     if key_delivery and not key_delivery.get("gate_ok", True):
         failures.append("bench_key_delivery gate_ok=false "
                         "(duplicate or lost key deliveries)")
+
+    network = current_doc.get("network") or {}
+    if network and not network.get("gate_ok", True):
+        failures.append("bench_network gate_ok=false (duplicate/lost bits "
+                        "or outage availability below 0.9x clean)")
 
     if failures:
         print("\nbench gate FAILED:", file=sys.stderr)

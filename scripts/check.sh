@@ -23,13 +23,17 @@ smoke() {
   # timelines (adaptive re-planning + device hot-remove included), and the
   # ETSI-shaped key-delivery API end to end through the JSON dispatcher
   # (self-checks master/slave key identity and the 400/401/503 error
-  # model; a mismatch exits non-zero).
+  # model; a mismatch exits non-zero), and the trusted-node relay network
+  # (non-adjacent SAE delivery with a mid-stream admin outage re-routed
+  # around; self-checks failover + per-span bit conservation).
   echo "== smoke: multi_link ($1) =="
   "$1"/multi_link 2
   echo "== smoke: dynamic_link ($1) =="
   "$1"/dynamic_link all 4
   echo "== smoke: key_delivery_demo ($1) =="
   "$1"/key_delivery_demo 2
+  echo "== smoke: network_relay ($1) =="
+  "$1"/network_relay 2
 }
 
 run_tree() {

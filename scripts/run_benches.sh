@@ -1,10 +1,11 @@
 #!/usr/bin/env sh
 # Perf trajectory plumbing: run bench_pipeline_e2e + bench_multilink +
-# bench_scenarios + bench_key_delivery + bench_toeplitz and write
-# BENCH_pipeline.json at the repo root, so subsequent PRs can compare
+# bench_scenarios + bench_key_delivery + bench_network + bench_toeplitz and
+# write BENCH_pipeline.json at the repo root, so subsequent PRs can compare
 # end-to-end blocks/s, multi-link aggregate secret bits/s,
 # static-vs-adaptive scenario throughput, concurrent-SAE key-delivery
-# throughput, per-stage items/s, and the Toeplitz kernel times against
+# throughput, relay-network end-to-end delivery (clean vs forced-outage
+# availability), per-stage items/s, and the Toeplitz kernel times against
 # this baseline.
 # When bench/baseline.json exists the run finishes with
 # scripts/bench_compare.py, failing on regressions (the local mirror of the
@@ -32,7 +33,7 @@ done
 
 cmake -B "$BUILD" -S . >/dev/null
 cmake --build "$BUILD" -j --target bench_pipeline_e2e bench_multilink \
-  bench_scenarios bench_key_delivery >/dev/null
+  bench_scenarios bench_key_delivery bench_network >/dev/null
 
 echo "== bench_pipeline_e2e =="
 # No pipe here: under `set -e` a pipeline would mask a crashing bench with
@@ -76,6 +77,18 @@ case "$KEY_DELIVERY_JSON" in
   *) echo "error: bench_key_delivery summary line is not JSON" >&2; exit 1 ;;
 esac
 
+echo "== bench_network =="
+# Self-gates: zero duplicate/lost bits end-to-end across the trusted-node
+# relay network, and the forced-outage phase must deliver >= 0.9x the
+# clean run's availability via re-route; a violation exits non-zero here.
+"$BUILD"/bench_network > "$BUILD"/bench_network.out
+cat "$BUILD"/bench_network.out
+NETWORK_JSON=$(tail -n 1 "$BUILD"/bench_network.out)
+case "$NETWORK_JSON" in
+  '{'*'}') ;;
+  *) echo "error: bench_network summary line is not JSON" >&2; exit 1 ;;
+esac
+
 # bench_toeplitz needs google-benchmark; degrade gracefully without it.
 TOEPLITZ_JSON=null
 if cmake --build "$BUILD" -j --target bench_toeplitz >/dev/null 2>&1 \
@@ -92,6 +105,7 @@ fi
   printf '"multilink":%s,' "$MULTILINK_JSON"
   printf '"scenarios":%s,' "$SCENARIOS_JSON"
   printf '"key_delivery":%s,' "$KEY_DELIVERY_JSON"
+  printf '"network":%s,' "$NETWORK_JSON"
   printf '"toeplitz":%s}\n' "$TOEPLITZ_JSON"
 } > BENCH_pipeline.json
 echo "wrote BENCH_pipeline.json"

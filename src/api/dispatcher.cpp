@@ -32,6 +32,18 @@ Response from_result(Result<T> result) {
   return response;
 }
 
+/// Known path, wrong verb: 405 with the expected method(s) in the detail
+/// string, so a client fixing its verb is not chasing a 404.
+Response method_not_allowed(std::string_view endpoint,
+                            std::string_view method,
+                            std::string_view expected) {
+  std::string message(endpoint);
+  message += " does not support ";
+  message += method.empty() ? std::string_view("(empty method)") : method;
+  return error_response(kStatusMethodNotAllowed, std::move(message),
+                        {"expected: " + std::string(expected)});
+}
+
 }  // namespace
 
 Response Dispatcher::dispatch(const Request& request) {
@@ -53,7 +65,7 @@ Response Dispatcher::dispatch(const Request& request) {
 
   if (endpoint == "status") {
     if (request.method != "GET") {
-      return error_response(kStatusBadRequest, "status requires GET");
+      return method_not_allowed("status", request.method, "GET");
     }
     return from_result(service_.get_status(request.caller, peer));
   }
@@ -66,14 +78,13 @@ Response Dispatcher::dispatch(const Request& request) {
         return error_response(kStatusBadRequest, error.what());
       }
     } else if (request.method != "GET") {
-      return error_response(kStatusBadRequest,
-                            "enc_keys requires GET or POST");
+      return method_not_allowed("enc_keys", request.method, "GET or POST");
     }
     return from_result(service_.get_key(request.caller, peer, key_request));
   }
   if (endpoint == "dec_keys") {
     if (request.method != "POST") {
-      return error_response(kStatusBadRequest, "dec_keys requires POST");
+      return method_not_allowed("dec_keys", request.method, "POST");
     }
     KeyIdsRequest ids_request;
     try {

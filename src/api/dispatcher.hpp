@@ -14,8 +14,9 @@
 //   POST /api/v1/keys/{master_SAE_ID}/dec_keys  -> get_key_with_ids
 //
 // Error mapping: malformed envelope/body JSON -> 400, unknown route ->
-// 404, unsupported method on a known route -> 400, service-level failures
-// keep the ApiError status the service chose (400/401/503).
+// 404, unsupported method on a known route -> 405 (the expected method is
+// named in the error details), service-level failures keep the ApiError
+// status the service chose (400/401/503).
 #pragma once
 
 #include <string>

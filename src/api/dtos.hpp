@@ -95,6 +95,9 @@ inline constexpr int kStatusOk = 200;
 inline constexpr int kStatusBadRequest = 400;    ///< malformed request
 inline constexpr int kStatusUnauthorized = 401;  ///< unknown SAE / pair
 inline constexpr int kStatusNotFound = 404;      ///< no such route
+/// Known route, unsupported method; details name the expected method(s),
+/// so a client can distinguish "wrong verb" from "no such path" (404).
+inline constexpr int kStatusMethodNotAllowed = 405;
 inline constexpr int kStatusUnavailable = 503;   ///< exhausted / backpressure
 
 /// ETSI "Error" plus the transport status code.

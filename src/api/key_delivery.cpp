@@ -51,11 +51,47 @@ bool KeyDeliveryService::is_uuid(std::string_view text) noexcept {
   return true;
 }
 
+void KeySource::describe_exhaustion(std::vector<std::string>&) const {}
+
+std::optional<BitVec> LinkStoreSource::draw(std::string_view consumer) {
+  auto drawn = store_.get_key(consumer);
+  if (!drawn.has_value()) return std::nullopt;
+  return std::move(drawn->bits);
+}
+
+void LinkStoreSource::describe_exhaustion(
+    std::vector<std::string>& details) const {
+  // If the store has been refusing deposits, say why: a capacity-bound
+  // store explains an exhausted pair better than "no material" does.
+  for (std::size_t r = 1; r < pipeline::kRejectReasonCount; ++r) {
+    const auto reason = static_cast<pipeline::RejectReason>(r);
+    if (const auto count = store_.rejected_keys(reason); count > 0) {
+      details.push_back(std::string("store_rejected_") +
+                        pipeline::to_string(reason) + "=" +
+                        std::to_string(count));
+    }
+  }
+}
+
 KeyDeliveryService::KeyDeliveryService(
     service::LinkOrchestrator& orchestrator, KeyDeliveryConfig config)
     : orchestrator_(orchestrator), config_(std::move(config)) {}
 
 void KeyDeliveryService::register_pair(SaePair pair) {
+  const auto link = orchestrator_.link_index(pair.link_name);
+  if (!link.has_value()) {
+    throw_error(ErrorCode::kConfig,
+                "unknown link '" + pair.link_name + "'");
+  }
+  register_pair(std::move(pair), std::make_shared<LinkStoreSource>(
+                                     orchestrator_.key_store(*link)));
+}
+
+void KeyDeliveryService::register_pair(SaePair pair,
+                                       std::shared_ptr<KeySource> source) {
+  if (source == nullptr) {
+    throw_error(ErrorCode::kConfig, "pair needs a key source");
+  }
   if (pair.master_sae_id.empty() || pair.slave_sae_id.empty()) {
     throw_error(ErrorCode::kConfig, "SAE ids must be non-empty");
   }
@@ -77,11 +113,6 @@ void KeyDeliveryService::register_pair(SaePair pair) {
     std::string what = "reserved consumer name: ";
     what += pipeline::kAnonymousConsumer;
     throw_error(ErrorCode::kConfig, what);
-  }
-  const auto link = orchestrator_.link_index(pair.link_name);
-  if (!link.has_value()) {
-    throw_error(ErrorCode::kConfig,
-                "unknown link '" + pair.link_name + "'");
   }
   if (pair.default_key_size == 0 || pair.default_key_size % 8 != 0 ||
       pair.min_key_size == 0 || pair.min_key_size % 8 != 0 ||
@@ -114,7 +145,8 @@ void KeyDeliveryService::register_pair(SaePair pair) {
   // Golden-ratio stride: distinct, well-mixed UUID stream per pair.
   const std::uint64_t seed =
       config_.uuid_seed + 0x9e3779b97f4a7c15ULL * (pairs_.size() + 1);
-  pairs_.emplace_back(std::move(pair), *link, pairs_.size(), seed);
+  pairs_.emplace_back(std::move(pair), std::move(source), pairs_.size(),
+                      seed);
   index_.emplace(key, &pairs_.back());  // deque elements are pinned
 }
 
@@ -176,8 +208,7 @@ Result<StatusResponse> KeyDeliveryService::get_status(
             "' and peer '" + std::string(peer_sae) + "'");
   }
 
-  auto& store = orchestrator_.key_store(pair->link);
-  const auto capacity = store.config().capacity_bits;
+  const auto capacity = pair->source->capacity_bits();
   std::scoped_lock lock(pair->mutex);
   StatusResponse status;
   status.source_kme_id = config_.source_kme_id;
@@ -186,7 +217,7 @@ Result<StatusResponse> KeyDeliveryService::get_status(
   status.slave_sae_id = pair->spec.slave_sae_id;
   status.key_size = pair->spec.default_key_size;
   status.stored_key_count =
-      (store.bits_available() + pair->residual.size()) /
+      (pair->source->bits_available() + pair->residual.size()) /
       pair->spec.default_key_size;
   status.max_key_count =
       capacity == 0 ? 0 : capacity / pair->spec.default_key_size;
@@ -233,7 +264,7 @@ Result<KeyContainer> KeyDeliveryService::get_key(std::string_view caller_sae,
         {"size=" + std::to_string(size)});
   }
 
-  auto& store = orchestrator_.key_store(pair->link);
+  KeySource& source = *pair->source;
   std::scoped_lock lock(pair->mutex);
   KeyContainer container;
   // Segments are cut at a moving offset and the residual is compacted
@@ -248,19 +279,19 @@ Result<KeyContainer> KeyDeliveryService::get_key(std::string_view caller_sae,
       backpressured = true;
       break;
     }
-    // Top the residual up to one key's worth from the link store; block
+    // Top the residual up to one key's worth from the source; chunk
     // tails below `size` stay buffered for the next request, so
     // segmentation never drops a distilled bit. Only draw while this key
-    // can still be completed: draining the shared store into this pair's
-    // private residual on a hopeless request would starve the link's
-    // other pairs of material the store could have served them.
+    // can still be completed: draining a shared source into this pair's
+    // private residual on a hopeless request would starve the other pairs
+    // of material the source could have served them.
     while (pair->residual.size() - offset < size) {
-      if (pair->residual.size() - offset + store.bits_available() < size) {
+      if (pair->residual.size() - offset + source.bits_available() < size) {
         break;
       }
-      auto drawn = store.get_key(pair->spec.master_sae_id);
+      auto drawn = source.draw(pair->spec.master_sae_id);
       if (!drawn.has_value()) break;
-      pair->residual.append(drawn->bits);
+      pair->residual.append(*drawn);
     }
     if (pair->residual.size() - offset < size) break;
     BitVec bits = pair->residual.subvec(offset, size);
@@ -292,19 +323,10 @@ Result<KeyContainer> KeyDeliveryService::get_key(std::string_view caller_sae,
                std::to_string(pair->spec.max_pending_keys)});
     }
     std::vector<std::string> details = {
-        "store_bits=" + std::to_string(store.bits_available()),
+        "source_bits=" + std::to_string(source.bits_available()),
         "buffered_bits=" + std::to_string(pair->residual.size()),
         "requested_size=" + std::to_string(size)};
-    // If the store has been refusing deposits, say why: a capacity-bound
-    // store explains an exhausted pair better than "no material" does.
-    for (std::size_t r = 1; r < pipeline::kRejectReasonCount; ++r) {
-      const auto reason = static_cast<pipeline::RejectReason>(r);
-      if (const auto count = store.rejected_keys(reason); count > 0) {
-        details.push_back(std::string("store_rejected_") +
-                          pipeline::to_string(reason) + "=" +
-                          std::to_string(count));
-      }
-    }
+    source.describe_exhaustion(details);
     return Result<KeyContainer>::failure(
         kStatusUnavailable, "key material exhausted for this pair",
         std::move(details));

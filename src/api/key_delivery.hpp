@@ -5,8 +5,9 @@
 // applications want fixed-size keys with identities both ends of a link
 // can name. This facade closes that gap, per registered SAE pair
 // (master = the application end that requests keys, slave = the peer end
-// that later fetches the same keys by id, both bound to one orchestrator
-// link):
+// that later fetches the same keys by id, both bound to one KeySource -
+// an orchestrator link's store for adjacent SAEs, or a trusted-node relay
+// route from src/network/ for SAEs on non-adjacent nodes):
 //
 //   * get_status      - what the pair's endpoint can deliver right now
 //   * get_key         - master draws `number` keys of `size` bits: distilled
@@ -35,6 +36,7 @@
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <shared_mutex>
@@ -46,15 +48,59 @@
 #include "api/dtos.hpp"
 #include "common/bitvec.hpp"
 #include "common/rng.hpp"
+#include "pipeline/kms.hpp"
 #include "service/link_orchestrator.hpp"
 
 namespace qkdpp::api {
 
-/// One registered master/slave SAE pair served from one orchestrator link.
+/// Where a registered SAE pair's key material comes from. The facade's
+/// original source is one orchestrator link's KeyStore (LinkStoreSource,
+/// adjacent SAEs); the network layer supplies a relay-backed source for
+/// SAE pairs on non-adjacent nodes. Implementations must be safe to call
+/// concurrently with running distillation; the service serializes calls
+/// per pair under the pair mutex.
+class KeySource {
+ public:
+  virtual ~KeySource() = default;
+  /// Bits the source could hand out right now (an estimate under
+  /// concurrency; draw() is the ground truth).
+  virtual std::uint64_t bits_available() const = 0;
+  /// Backing capacity bound in bits (0 = unbounded/unknown), for the ETSI
+  /// status max_key_count field.
+  virtual std::uint64_t capacity_bits() const = 0;
+  /// Destructively draw the next chunk of key material (a distilled block,
+  /// a relayed segment - sizes vary; the service segments and buffers the
+  /// tail). nullopt when nothing can be produced right now.
+  virtual std::optional<BitVec> draw(std::string_view consumer) = 0;
+  /// Append "why am I empty" diagnostics to a 503 error's detail list.
+  virtual void describe_exhaustion(std::vector<std::string>& details) const;
+};
+
+/// The point-to-point source: one orchestrator link's bounded KeyStore.
+class LinkStoreSource final : public KeySource {
+ public:
+  explicit LinkStoreSource(pipeline::KeyStore& store) : store_(store) {}
+  std::uint64_t bits_available() const override {
+    return store_.bits_available();
+  }
+  std::uint64_t capacity_bits() const override {
+    return store_.config().capacity_bits;
+  }
+  std::optional<BitVec> draw(std::string_view consumer) override;
+  void describe_exhaustion(std::vector<std::string>& details) const override;
+
+ private:
+  pipeline::KeyStore& store_;
+};
+
+/// One registered master/slave SAE pair served from one key source (an
+/// orchestrator link for adjacent SAEs, a relay route for non-adjacent).
 struct SaePair {
   std::string master_sae_id;  ///< caller of get_key
   std::string slave_sae_id;   ///< caller of get_key_with_ids
-  std::string link_name;      ///< orchestrator link backing this pair
+  /// Orchestrator link backing this pair. Ignored (may be empty) when the
+  /// pair is registered with an explicit KeySource.
+  std::string link_name;
   std::uint64_t default_key_size = 256;    ///< bits, when a request says 0
   std::uint64_t max_key_per_request = 128;
   std::uint64_t max_key_size = 4096;       ///< bits, multiple of 8
@@ -118,6 +164,13 @@ class KeyDeliveryService {
   /// key-size configuration that is not a multiple of 8 bits.
   void register_pair(SaePair pair);
 
+  /// Register a pair over an explicit key source (the network layer's
+  /// relay-backed sources use this; pair.link_name is ignored). The ETSI
+  /// surface - get_status/get_key/get_key_with_ids, UUID minting, residual
+  /// buffering, conservation accounting - is identical for both kinds of
+  /// pair: a consumer cannot tell adjacent from relayed.
+  void register_pair(SaePair pair, std::shared_ptr<KeySource> source);
+
   /// ETSI GET status: either SAE of a pair may ask, naming the peer.
   Result<StatusResponse> get_status(std::string_view caller_sae,
                                     std::string_view peer_sae) const;
@@ -150,7 +203,7 @@ class KeyDeliveryService {
  private:
   struct PairState {
     SaePair spec;
-    std::size_t link = 0;
+    std::shared_ptr<KeySource> source;
     std::size_t index = 0;  ///< registration order, mixed into UUIDs
     mutable std::mutex mutex;
     BitVec residual;  ///< tail of the last drawn block, < key_size bits
@@ -160,10 +213,10 @@ class KeyDeliveryService {
     std::uint64_t uuid_counter = 0;  ///< structural uniqueness guarantee
     PairStats stats;
 
-    PairState(SaePair s, std::size_t link_index, std::size_t pair_index,
-              std::uint64_t seed)
+    PairState(SaePair s, std::shared_ptr<KeySource> key_source,
+              std::size_t pair_index, std::uint64_t seed)
         : spec(std::move(s)),
-          link(link_index),
+          source(std::move(key_source)),
           index(pair_index),
           uuid_rng(seed) {}
   };

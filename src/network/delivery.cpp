@@ -1,0 +1,148 @@
+#include "network/delivery.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace qkdpp::network {
+
+RelaySource::RelaySource(const Router& router, KeyRelay& relay,
+                         std::size_t src_node, std::size_t dst_node,
+                         RelaySourceConfig config)
+    : router_(router),
+      relay_(relay),
+      src_(src_node),
+      dst_(dst_node),
+      config_(config) {}
+
+namespace {
+
+/// Smallest deliverable depth along the route: what one relay() can carry.
+std::uint64_t route_bottleneck(const KeyRelay& relay, const Route& route) {
+  std::uint64_t bottleneck = ~std::uint64_t{0};
+  for (const std::size_t edge : route.edges) {
+    bottleneck = std::min(bottleneck, relay.deliverable_bits(edge));
+  }
+  return bottleneck;
+}
+
+}  // namespace
+
+std::uint64_t RelaySource::bits_available() const {
+  RouteQuery query;
+  query.extra_edge_bits = relay_.buffered_bits_per_edge();
+  query.need_bits = 1;
+  const auto route = router_.find_route(src_, dst_, query);
+  if (!route.has_value()) return 0;
+  return route_bottleneck(relay_, *route);
+}
+
+std::optional<BitVec> RelaySource::draw(std::string_view /*consumer*/) {
+  // The ETSI caller name stays at the service layer; against the link
+  // stores the relay draws under its own per-edge ledger names.
+  RouteQuery query;
+  query.need_bits = 1;
+  std::uint32_t reroutes_this_draw = 0;
+
+  while (true) {
+    query.extra_edge_bits = relay_.buffered_bits_per_edge();
+    const auto route = router_.find_route(src_, dst_, query);
+    if (!route.has_value()) return std::nullopt;
+
+    const std::uint64_t bottleneck = route_bottleneck(relay_, *route);
+    const std::uint64_t size = std::min<std::uint64_t>(
+        config_.chunk_bits, bottleneck);
+    if (size == 0) return std::nullopt;
+
+    RelayResult result = relay_.relay(*route, size);
+    if (result.ok()) {
+      std::lock_guard lock(mutex_);
+      stats_.draws += 1;
+      stats_.relayed_bits += result.key.size();
+      stats_.reroutes += reroutes_this_draw;
+      stats_.last_route = *route;
+      return std::move(result.key);
+    }
+    if (result.error == RelayError::kInsufficientKey &&
+        result.failed_edge != Topology::npos &&
+        reroutes_this_draw < config_.max_reroutes_per_draw) {
+      // A concurrent pair drained that hop between routing and taking (or
+      // the outage hit mid-stream): exclude it and route around.
+      if (query.exclude_edges.size() <= result.failed_edge) {
+        query.exclude_edges.resize(result.failed_edge + 1, false);
+      }
+      query.exclude_edges[result.failed_edge] = true;
+      reroutes_this_draw += 1;
+      continue;
+    }
+    return std::nullopt;
+  }
+}
+
+void RelaySource::describe_exhaustion(
+    std::vector<std::string>& details) const {
+  RouteQuery query;
+  query.extra_edge_bits = relay_.buffered_bits_per_edge();
+  query.need_bits = 1;
+  const auto route = router_.find_route(src_, dst_, query);
+  if (!route.has_value()) {
+    details.push_back("relay: no feasible route between the pair's nodes");
+    return;
+  }
+  details.push_back("relay: route bottleneck " +
+                    std::to_string(route_bottleneck(relay_, *route)) +
+                    " bits over " + std::to_string(route->hops()) + " hops");
+}
+
+RelaySourceStats RelaySource::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+NetworkDelivery::NetworkDelivery(Topology& topology,
+                                 api::KeyDeliveryService& service,
+                                 RouterPolicy policy)
+    : topology_(topology),
+      service_(service),
+      router_(topology, policy),
+      relay_(topology) {}
+
+void NetworkDelivery::register_pair(api::SaePair pair,
+                                    std::string_view src_node,
+                                    std::string_view dst_node,
+                                    RelaySourceConfig config) {
+  const auto src = topology_.node_index(src_node);
+  const auto dst = topology_.node_index(dst_node);
+  if (!src.has_value() || !dst.has_value()) {
+    throw_error(ErrorCode::kConfig,
+                "unknown node in pair placement: " + std::string(src_node) +
+                    " -> " + std::string(dst_node));
+  }
+  if (*src == *dst) {
+    throw_error(ErrorCode::kConfig,
+                "pair endpoints on the same node '" + std::string(src_node) +
+                    "' need no relay");
+  }
+  auto source =
+      std::make_shared<RelaySource>(router_, relay_, *src, *dst, config);
+  const std::string key = pair.master_sae_id + "/" + pair.slave_sae_id;
+  // The service validates the pair spec (and rejects duplicates) before we
+  // remember the source, so a failed registration leaves no stale entry.
+  service_.register_pair(std::move(pair), source);
+  std::lock_guard lock(mutex_);
+  sources_.emplace(key, std::move(source));
+}
+
+std::shared_ptr<const RelaySource> NetworkDelivery::source(
+    std::string_view master_sae, std::string_view slave_sae) const {
+  std::string key(master_sae);
+  key += "/";
+  key += slave_sae;
+  std::lock_guard lock(mutex_);
+  const auto it = sources_.find(key);
+  if (it == sources_.end()) return nullptr;
+  return it->second;
+}
+
+}  // namespace qkdpp::network

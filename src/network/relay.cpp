@@ -1,0 +1,139 @@
+#include "network/relay.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace qkdpp::network {
+
+const char* to_string(RelayError error) noexcept {
+  switch (error) {
+    case RelayError::kOk: return "ok";
+    case RelayError::kBadRoute: return "bad-route";
+    case RelayError::kUntrustedNode: return "untrusted-node";
+    case RelayError::kInsufficientKey: return "insufficient-key";
+  }
+  return "unknown";
+}
+
+KeyRelay::KeyRelay(Topology& topology) : topology_(topology) {
+  for (std::size_t e = 0; e < topology_.edge_count(); ++e) {
+    taps_.emplace_back();
+    taps_.back().consumer = "relay@" + topology_.edge(e).link_name;
+  }
+}
+
+BitVec KeyRelay::take(std::size_t edge, std::uint64_t bits) {
+  HopTap& tap = taps_[edge];
+  pipeline::KeyStore& store =
+      topology_.orchestrator().key_store(topology_.edge(edge).link);
+  std::lock_guard lock(tap.mutex);
+  // Refill the residual with whole distilled blocks. A block drawn here is
+  // consumed from the store's point of view but stays relay-buffered until
+  // it lands in a delivered key - that is the conservation split.
+  while (tap.residual.size() < bits) {
+    auto drawn = store.get_key(tap.consumer);
+    if (!drawn.has_value()) return {};
+    tap.residual.append(drawn->bits);
+  }
+  BitVec segment = tap.residual.subvec(0, bits);
+  tap.residual = tap.residual.subvec(bits, tap.residual.size() - bits);
+  tap.consumed += bits;
+  return segment;
+}
+
+void KeyRelay::give_back(std::size_t edge, const BitVec& segment) {
+  HopTap& tap = taps_[edge];
+  std::lock_guard lock(tap.mutex);
+  // Front of the residual: the next take() re-cuts the exact same bits,
+  // keeping the hop's pad stream in order across a failed multi-hop relay.
+  BitVec restored = segment;
+  restored.append(tap.residual);
+  tap.residual = std::move(restored);
+  tap.consumed -= segment.size();
+}
+
+RelayResult KeyRelay::relay(const Route& route, std::uint64_t bits) {
+  RelayResult result;
+  if (bits == 0 || route.edges.empty() ||
+      route.nodes.size() != route.edges.size() + 1) {
+    result.error = RelayError::kBadRoute;
+    return result;
+  }
+  for (std::size_t i = 1; i + 1 < route.nodes.size(); ++i) {
+    if (!topology_.node(route.nodes[i]).trusted) {
+      result.error = RelayError::kUntrustedNode;
+      return result;
+    }
+  }
+
+  // Cut one `bits`-sized segment per hop, in route order. All-or-nothing:
+  // a dry hop hands every earlier segment back before we report it.
+  std::vector<BitVec> segments;
+  segments.reserve(route.edges.size());
+  for (std::size_t i = 0; i < route.edges.size(); ++i) {
+    BitVec segment = take(route.edges[i], bits);
+    if (segment.size() != bits) {
+      for (std::size_t j = 0; j < segments.size(); ++j) {
+        give_back(route.edges[j], segments[j]);
+      }
+      result.error = RelayError::kInsufficientKey;
+      result.failed_edge = route.edges[i];
+      return result;
+    }
+    segments.push_back(std::move(segment));
+  }
+
+  // Hop 0's distilled key IS the end-to-end key; every later hop carries
+  // it under a one-time pad of its own segment. We run the receive side
+  // too: recovering K from the ciphertext is the correctness check that
+  // the OTP algebra (and our segment bookkeeping) did not slip.
+  const BitVec& key = segments[0];
+  for (std::size_t i = 1; i < segments.size(); ++i) {
+    const BitVec cipher = key ^ segments[i];
+    const BitVec recovered = cipher ^ segments[i];
+    QKDPP_REQUIRE(recovered == key, "relay OTP hop failed to recover key");
+  }
+
+  result.hops.reserve(route.edges.size());
+  for (std::size_t i = 0; i < route.edges.size(); ++i) {
+    result.hops.push_back(HopAccount{route.edges[i], bits});
+  }
+  result.key = segments[0];
+  delivered_bits_.fetch_add(bits, std::memory_order_relaxed);
+  return result;
+}
+
+std::uint64_t KeyRelay::buffered_bits(std::size_t edge) const {
+  const HopTap& tap = taps_[edge];
+  std::lock_guard lock(tap.mutex);
+  return tap.residual.size();
+}
+
+std::uint64_t KeyRelay::consumed_bits(std::size_t edge) const {
+  const HopTap& tap = taps_[edge];
+  std::lock_guard lock(tap.mutex);
+  return tap.consumed;
+}
+
+std::uint64_t KeyRelay::deliverable_bits(std::size_t edge) const {
+  const HopTap& tap = taps_[edge];
+  pipeline::KeyStore& store =
+      topology_.orchestrator().key_store(topology_.edge(edge).link);
+  std::lock_guard lock(tap.mutex);
+  return tap.residual.size() + store.bits_available();
+}
+
+std::uint64_t KeyRelay::delivered_bits() const {
+  return delivered_bits_.load(std::memory_order_relaxed);
+}
+
+std::vector<std::uint64_t> KeyRelay::buffered_bits_per_edge() const {
+  std::vector<std::uint64_t> out(taps_.size(), 0);
+  for (std::size_t e = 0; e < taps_.size(); ++e) {
+    out[e] = buffered_bits(e);
+  }
+  return out;
+}
+
+}  // namespace qkdpp::network

@@ -1,0 +1,110 @@
+#include "network/router.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <tuple>
+
+namespace qkdpp::network {
+
+double Router::edge_cost(const EdgeStatus& status,
+                         std::uint64_t deliverable_bits) const {
+  // Constant per-hop term: every hop is another trusted node holding the
+  // key in the clear, so shorter paths win when links look alike.
+  double cost = 1.0;
+  cost += policy_.qber_weight * status.windowed_qber;
+  const double scale = static_cast<double>(policy_.depth_scale_bits);
+  cost += policy_.depth_weight *
+          (scale / (scale + static_cast<double>(deliverable_bits)));
+  return cost;
+}
+
+bool Router::edge_feasible(const EdgeStatus& status,
+                           std::uint64_t deliverable_bits,
+                           std::uint64_t need_bits) const {
+  if (!status.admin_up) return false;
+  if (status.windowed_qber >= policy_.qber_infeasible) return false;
+  if (policy_.down_after_aborts != 0 &&
+      status.consecutive_aborts >= policy_.down_after_aborts) {
+    return false;
+  }
+  if (need_bits != 0 && deliverable_bits < need_bits) return false;
+  return true;
+}
+
+std::optional<Route> Router::find_route(std::size_t src, std::size_t dst,
+                                        const RouteQuery& query) const {
+  const std::size_t n = topology_.node_count();
+  const std::size_t m = topology_.edge_count();
+  if (src >= n || dst >= n || src == dst) return std::nullopt;
+
+  // Snapshot every edge once: costs must not shift under Dijkstra's feet
+  // while distillation threads update the live metrics.
+  std::vector<double> cost(m);
+  std::vector<bool> usable(m);
+  for (std::size_t e = 0; e < m; ++e) {
+    if (e < query.exclude_edges.size() && query.exclude_edges[e]) {
+      usable[e] = false;
+      continue;
+    }
+    const EdgeStatus status = topology_.edge_status(e);
+    std::uint64_t deliverable = status.store_bits;
+    if (e < query.extra_edge_bits.size()) {
+      deliverable += query.extra_edge_bits[e];
+    }
+    usable[e] = edge_feasible(status, deliverable, query.need_bits);
+    cost[e] = edge_cost(status, deliverable);
+  }
+
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(n, kInf);
+  std::vector<std::size_t> prev_node(n, Topology::npos);
+  std::vector<std::size_t> prev_edge(n, Topology::npos);
+  // (cost, node) ordering makes tie-breaks fall to the lower node index:
+  // equal-cost graphs route identically run over run.
+  using Entry = std::pair<double, std::size_t>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  dist[src] = 0.0;
+  heap.emplace(0.0, src);
+
+  while (!heap.empty()) {
+    const auto [d, node] = heap.top();
+    heap.pop();
+    if (d > dist[node]) continue;  // stale entry
+    if (node == dst) break;
+    // Interior nodes must be trusted: a route may *end* at an untrusted
+    // node (it terminates its own traffic) but never pass through one.
+    if (node != src && node != dst && !topology_.node(node).trusted) {
+      continue;
+    }
+    for (const auto& [peer, edge] : topology_.neighbors(node)) {
+      if (!usable[edge]) continue;
+      const double next = d + cost[edge];
+      if (next < dist[peer] ||
+          (next == dist[peer] && node < prev_node[peer])) {
+        dist[peer] = next;
+        prev_node[peer] = node;
+        prev_edge[peer] = edge;
+        heap.emplace(next, peer);
+      }
+    }
+  }
+
+  if (dist[dst] == kInf) return std::nullopt;
+
+  Route route;
+  route.cost = dist[dst];
+  for (std::size_t node = dst; node != Topology::npos;
+       node = prev_node[node]) {
+    route.nodes.push_back(node);
+    if (prev_edge[node] != Topology::npos) {
+      route.edges.push_back(prev_edge[node]);
+    }
+    if (node == src) break;
+  }
+  std::reverse(route.nodes.begin(), route.nodes.end());
+  std::reverse(route.edges.begin(), route.edges.end());
+  return route;
+}
+
+}  // namespace qkdpp::network

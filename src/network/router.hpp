@@ -1,0 +1,95 @@
+// Router: QBER/throughput/depth-weighted path selection over a Topology.
+//
+// Edge cost is live, not static: a hop's weight grows with its windowed
+// QBER (error correction leaks more, PA compresses harder - expensive
+// bits) and with store depletion (a nearly-dry hop is about to stall the
+// relay), on top of a constant per-hop term (every extra trusted node is
+// another place the key exists in the clear). Edges are *infeasible* -
+// not merely expensive - when administratively down, when the windowed
+// QBER sits at/above the abort region (the link cannot distill), or when
+// the link shows an unbroken abort streak (the scenario engine cut the
+// fiber). Untrusted nodes never appear in the interior of a route.
+//
+// Selection is deterministic: Dijkstra with (cost, node index) ordering,
+// so equal-cost topologies route identically across runs - the property
+// the same-seed failover tests pin down.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "network/topology.hpp"
+
+namespace qkdpp::network {
+
+struct RouterPolicy {
+  /// Edge infeasible when windowed QBER >= this (the link is in or near
+  /// its abort region; relaying through it would stall mid-stream).
+  double qber_infeasible = 0.11;
+  /// Cost per unit of windowed QBER (at 3% QBER and the default weight,
+  /// the QBER term roughly equals one extra hop).
+  double qber_weight = 30.0;
+  /// Cost scale of the depletion term depth_scale/(depth_scale + bits).
+  double depth_weight = 1.0;
+  std::uint64_t depth_scale_bits = std::uint64_t{1} << 16;
+  /// Edge considered down after this many consecutive aborted blocks
+  /// (0 = never infer down from aborts).
+  std::uint64_t down_after_aborts = 3;
+};
+
+/// One selected path: nodes[0]=src .. nodes.back()=dst, edges[i] connects
+/// nodes[i] and nodes[i+1].
+struct Route {
+  std::vector<std::size_t> nodes;
+  std::vector<std::size_t> edges;
+  double cost = 0.0;
+
+  std::size_t hops() const noexcept { return edges.size(); }
+  friend bool operator==(const Route& a, const Route& b) {
+    return a.nodes == b.nodes && a.edges == b.edges;
+  }
+};
+
+/// Per-query extras the relay layer feeds into route selection.
+struct RouteQuery {
+  /// Edges to treat as infeasible (sized edge_count, or empty). The relay
+  /// excludes a hop that just failed mid-stream and re-asks.
+  std::vector<bool> exclude_edges;
+  /// Bits buffered relay-side per edge (sized edge_count, or empty):
+  /// counted into the edge's deliverable depth on top of the store.
+  std::vector<std::uint64_t> extra_edge_bits;
+  /// Require every edge on the route to have at least this many
+  /// deliverable bits (store + extra) right now. 0 = no floor.
+  std::uint64_t need_bits = 0;
+};
+
+class Router {
+ public:
+  explicit Router(const Topology& topology, RouterPolicy policy = {})
+      : topology_(topology), policy_(policy) {}
+
+  const RouterPolicy& policy() const noexcept { return policy_; }
+
+  /// Cost of traversing an edge in `status` with `deliverable_bits` of
+  /// material behind it. Exposed so tests can pin the weighting down.
+  double edge_cost(const EdgeStatus& status,
+                   std::uint64_t deliverable_bits) const;
+
+  /// May the edge carry relay traffic at all right now?
+  bool edge_feasible(const EdgeStatus& status,
+                     std::uint64_t deliverable_bits,
+                     std::uint64_t need_bits) const;
+
+  /// Cheapest feasible route src -> dst, or nullopt when the (remaining)
+  /// graph disconnects them. Interior nodes are always trusted.
+  std::optional<Route> find_route(std::size_t src, std::size_t dst,
+                                  const RouteQuery& query = {}) const;
+
+ private:
+  const Topology& topology_;
+  RouterPolicy policy_;
+};
+
+}  // namespace qkdpp::network

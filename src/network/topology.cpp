@@ -1,0 +1,85 @@
+#include "network/topology.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace qkdpp::network {
+
+std::size_t Topology::add_node(std::string name, bool trusted) {
+  if (name.empty()) {
+    throw_error(ErrorCode::kConfig, "node needs a name");
+  }
+  if (node_index_.find(name) != node_index_.end()) {
+    throw_error(ErrorCode::kConfig, "duplicate node '" + name + "'");
+  }
+  const std::size_t index = nodes_.size();
+  node_index_.emplace(name, index);
+  nodes_.push_back(NodeSpec{std::move(name), trusted});
+  adjacency_.emplace_back();
+  return index;
+}
+
+std::size_t Topology::add_edge(std::string_view node_a,
+                               std::string_view node_b,
+                               std::string_view link_name) {
+  const auto a = node_index(node_a);
+  const auto b = node_index(node_b);
+  if (!a.has_value() || !b.has_value()) {
+    throw_error(ErrorCode::kConfig,
+                "edge endpoint unknown: " + std::string(node_a) + " - " +
+                    std::string(node_b));
+  }
+  if (*a == *b) {
+    throw_error(ErrorCode::kConfig,
+                "self-loop on node '" + std::string(node_a) + "'");
+  }
+  const auto link = orchestrator_.link_index(link_name);
+  if (!link.has_value()) {
+    throw_error(ErrorCode::kConfig,
+                "unknown link '" + std::string(link_name) + "'");
+  }
+  if (link_used_.size() < orchestrator_.link_count()) {
+    link_used_.resize(orchestrator_.link_count(), false);
+  }
+  // One physical span backs one edge: two edges sharing a link would
+  // double-count its key material in every route computation.
+  if (link_used_[*link]) {
+    throw_error(ErrorCode::kConfig,
+                "link '" + std::string(link_name) +
+                    "' already backs another edge");
+  }
+  link_used_[*link] = true;
+
+  const std::size_t index = edges_.size();
+  EdgeSpec edge;
+  edge.node_a = *a;
+  edge.node_b = *b;
+  edge.link = *link;
+  edge.link_name = std::string(link_name);
+  edges_.push_back(std::move(edge));
+  adjacency_[*a].emplace_back(*b, index);
+  adjacency_[*b].emplace_back(*a, index);
+  admin_up_.emplace_back(true);
+  return index;
+}
+
+std::optional<std::size_t> Topology::node_index(std::string_view name) const {
+  const auto it = node_index_.find(std::string(name));
+  if (it == node_index_.end()) return std::nullopt;
+  return it->second;
+}
+
+EdgeStatus Topology::edge_status(std::size_t i) const {
+  const EdgeSpec& edge = edges_[i];
+  const service::LinkHealth health = orchestrator_.link_health(edge.link);
+  EdgeStatus status;
+  status.windowed_qber = health.windowed_qber;
+  status.store_bits = orchestrator_.key_store(edge.link).bits_available();
+  status.consecutive_aborts = health.consecutive_aborts;
+  status.admin_up = admin_up_[i].load(std::memory_order_relaxed);
+  status.distilling = health.distilling;
+  return status;
+}
+
+}  // namespace qkdpp::network

@@ -1,0 +1,115 @@
+// Topology: the trusted-node QKD network graph over a LinkOrchestrator.
+//
+// Nodes are trusted-node sites (a KME terminating several QKD spans);
+// edges are orchestrator links - each edge is backed by exactly one
+// LinkSpec/KeyStore pair, so the graph adds no key material of its own,
+// it only names how the point-to-point links connect. Per-edge live
+// metrics (windowed QBER, abort streaks, store depth) are snapshots of
+// what the orchestrator already measures per link since PR 4; the router
+// weighs paths on them and the relay consumes hop key through them.
+//
+// Trust is explicit per node (Lorunser et al.: relay nodes *see* key
+// material, so the assumption must be a named property, not an ambient
+// one): a node constructed with trusted=false can terminate its own
+// traffic but the router/relay refuse to pass end-to-end key through it.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "service/link_orchestrator.hpp"
+
+namespace qkdpp::network {
+
+/// One trusted-node site. `trusted` is the relay trust bit: end-to-end
+/// key may transit this node in the clear (inside the node's security
+/// perimeter) only when it is set.
+struct NodeSpec {
+  std::string name;
+  bool trusted = true;
+};
+
+/// One edge: an orchestrator link connecting two nodes.
+struct EdgeSpec {
+  std::size_t node_a = 0;  ///< topology node indices
+  std::size_t node_b = 0;
+  std::size_t link = 0;    ///< orchestrator link index backing this edge
+  std::string link_name;
+};
+
+/// Live view of one edge, sampled from the orchestrator's per-link health
+/// and the link's KeyStore. Safe to read while distillation runs.
+struct EdgeStatus {
+  double windowed_qber = 0.0;
+  std::uint64_t store_bits = 0;  ///< deliverable from the link store now
+  std::uint64_t consecutive_aborts = 0;
+  bool admin_up = true;  ///< operator/admin state (set_admin_up)
+  bool distilling = false;
+};
+
+class Topology {
+ public:
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  /// The orchestrator must outlive the topology; its links back the edges.
+  explicit Topology(service::LinkOrchestrator& orchestrator)
+      : orchestrator_(orchestrator) {}
+
+  /// Add a site. Throws Error{kConfig} on an empty or duplicate name.
+  std::size_t add_node(std::string name, bool trusted = true);
+
+  /// Connect two existing nodes with an orchestrator link. Throws
+  /// Error{kConfig} on unknown nodes/link, a self-loop, or a link that
+  /// already backs another edge (one physical span, one edge).
+  std::size_t add_edge(std::string_view node_a, std::string_view node_b,
+                       std::string_view link_name);
+
+  std::size_t node_count() const noexcept { return nodes_.size(); }
+  std::size_t edge_count() const noexcept { return edges_.size(); }
+  const NodeSpec& node(std::size_t i) const { return nodes_[i]; }
+  const EdgeSpec& edge(std::size_t i) const { return edges_[i]; }
+  std::optional<std::size_t> node_index(std::string_view name) const;
+
+  /// (peer node, edge) adjacency of `node`, in insertion order (which is
+  /// what keeps route selection deterministic given equal costs).
+  const std::vector<std::pair<std::size_t, std::size_t>>& neighbors(
+      std::size_t node) const {
+    return adjacency_[node];
+  }
+  std::size_t other_end(std::size_t edge, std::size_t node) const {
+    const EdgeSpec& e = edges_[edge];
+    return e.node_a == node ? e.node_b : e.node_a;
+  }
+
+  /// Operator switch: an edge administratively down is infeasible for the
+  /// router no matter how healthy its link looks. Thread-safe.
+  void set_admin_up(std::size_t edge, bool up) {
+    admin_up_[edge].store(up, std::memory_order_relaxed);
+  }
+
+  /// Live snapshot of edge `i` (orchestrator health + store depth).
+  EdgeStatus edge_status(std::size_t i) const;
+
+  service::LinkOrchestrator& orchestrator() const noexcept {
+    return orchestrator_;
+  }
+
+ private:
+  service::LinkOrchestrator& orchestrator_;
+  std::vector<NodeSpec> nodes_;
+  std::vector<EdgeSpec> edges_;
+  std::vector<std::vector<std::pair<std::size_t, std::size_t>>> adjacency_;
+  std::deque<std::atomic<bool>> admin_up_;  // pinned (atomics)
+  std::unordered_map<std::string, std::size_t> node_index_;
+  std::vector<bool> link_used_;  ///< orchestrator links already edged
+};
+
+}  // namespace qkdpp::network

@@ -86,7 +86,17 @@ LinkOrchestrator::LinkOrchestrator(OrchestratorConfig config)
   for (auto& spec : config_.links) {
     spec.link.validate();
     QKDPP_REQUIRE(spec.pulses_per_block > 0, "empty block");
+    if (!link_index_.emplace(spec.name, links_.size()).second) {
+      throw_error(ErrorCode::kConfig,
+                  "duplicate link name '" + spec.name +
+                      "' (link_index would be ambiguous)");
+    }
     links_.emplace_back(spec, config_.store);
+    // Seed the live health with the analytic channel view so the network
+    // router has a sensible QBER weight before the first block distills.
+    links_.back().live_qber.store(
+        sim::AnalyticLink(spec.link).qber(spec.link.source.mu_signal),
+        std::memory_order_relaxed);
 
     engine::EngineOptions options;
     options.shared_devices = devices_;
@@ -101,10 +111,22 @@ LinkOrchestrator::LinkOrchestrator(OrchestratorConfig config)
 
 std::optional<std::size_t> LinkOrchestrator::link_index(
     std::string_view name) const {
-  for (std::size_t i = 0; i < links_.size(); ++i) {
-    if (links_[i].spec.name == name) return i;
-  }
-  return std::nullopt;
+  const auto it = link_index_.find(name);
+  if (it == link_index_.end()) return std::nullopt;
+  return it->second;
+}
+
+LinkHealth LinkOrchestrator::link_health(std::size_t i) const {
+  const LinkState& state = links_[i];
+  LinkHealth health;
+  health.windowed_qber = state.live_qber.load(std::memory_order_relaxed);
+  health.blocks_ok = state.live_blocks_ok.load(std::memory_order_relaxed);
+  health.blocks_aborted =
+      state.live_blocks_aborted.load(std::memory_order_relaxed);
+  health.consecutive_aborts =
+      state.live_abort_streak.load(std::memory_order_relaxed);
+  health.distilling = state.live_distilling.load(std::memory_order_relaxed);
+  return health;
 }
 
 void LinkOrchestrator::apply_device_events(std::uint64_t block_index) {
@@ -124,6 +146,7 @@ void LinkOrchestrator::apply_device_events(std::uint64_t block_index) {
 
 void LinkOrchestrator::run_link(std::size_t i, LinkReport& report) {
   LinkState& state = links_[i];
+  state.live_distilling.store(true, std::memory_order_relaxed);
   const ReplanPolicy& policy = config_.replan;
   report.name = state.spec.name;
   report.length_km = state.spec.link.channel.length_km;
@@ -175,6 +198,8 @@ void LinkOrchestrator::run_link(std::size_t i, LinkReport& report) {
         state.engine->process_block(input, block_id, state.rng);
     if (outcome.success) {
       ++report.blocks_ok;
+      state.live_blocks_ok.fetch_add(1, std::memory_order_relaxed);
+      state.live_abort_streak.store(0, std::memory_order_relaxed);
       // Typed deposit outcome: rejected material is accounted from the
       // result itself instead of sampling the store's counters around the
       // run (which misattributed rejections when other depositors share
@@ -189,6 +214,8 @@ void LinkOrchestrator::run_link(std::size_t i, LinkReport& report) {
       }
     } else {
       ++report.blocks_aborted;
+      state.live_blocks_aborted.fetch_add(1, std::memory_order_relaxed);
+      state.live_abort_streak.fetch_add(1, std::memory_order_relaxed);
       if (outcome.abort_reason == engine::kAbortDeviceOffline) {
         ++report.offline_aborts;
       }
@@ -202,6 +229,9 @@ void LinkOrchestrator::run_link(std::size_t i, LinkReport& report) {
     push_window(seconds_window, block_clock.seconds(), policy.window);
     const double windowed_qber = mean(qber_window);
     report.windowed_qber = windowed_qber;
+    if (!qber_window.empty()) {
+      state.live_qber.store(windowed_qber, std::memory_order_relaxed);
+    }
 
     bool replan = false;
     if (policy.adapt_reconciler && policy.enabled() && !qber_window.empty()) {
@@ -239,6 +269,7 @@ void LinkOrchestrator::run_link(std::size_t i, LinkReport& report) {
     }
   }
   report.wall_seconds = link_clock.seconds();
+  state.live_distilling.store(false, std::memory_order_relaxed);
 
   const auto placement = state.engine->placement();
   for (std::size_t s = 0; s < placement.stage_names.size(); ++s) {

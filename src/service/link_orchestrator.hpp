@@ -20,10 +20,12 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -130,6 +132,21 @@ struct LinkReport {
   double windowed_qber = 0.0;        ///< last sliding-window QBER estimate
 };
 
+/// Live per-link channel health, readable while run() is in flight (the
+/// network layer routes relay traffic on it). Values are sampled at block
+/// boundaries by the link thread; between runs they hold the last run's
+/// final state (or the analytic nominal before the first block).
+struct LinkHealth {
+  double windowed_qber = 0.0;  ///< sliding-window QBER estimate
+  std::uint64_t blocks_ok = 0;
+  std::uint64_t blocks_aborted = 0;
+  /// Aborted blocks since the last success: a link that is hard-down (an
+  /// outage scenario, a saturating Eve) shows an unbroken abort streak,
+  /// which is the router's "edge is down" signal.
+  std::uint64_t consecutive_aborts = 0;
+  bool distilling = false;  ///< a run() is currently driving this link
+};
+
 struct OrchestratorReport {
   std::vector<LinkReport> links;
   double wall_seconds = 0.0;           ///< whole-fleet wall clock
@@ -150,8 +167,12 @@ class LinkOrchestrator {
   std::size_t link_count() const noexcept { return links_.size(); }
   const LinkSpec& link_spec(std::size_t i) const { return links_[i].spec; }
   /// Index of the link named `name` (the identity a delivery facade keys
-  /// SAE registrations on), or nullopt when no such link exists.
+  /// SAE registrations on), or nullopt when no such link exists. O(1):
+  /// the relay layer resolves a link per hop per request, so a
+  /// registry-scale topology must not linear-scan here.
   std::optional<std::size_t> link_index(std::string_view name) const;
+  /// Live channel health of link `i` (thread-safe; readable mid-run).
+  LinkHealth link_health(std::size_t i) const;
   const engine::PostprocessEngine& link_engine(std::size_t i) const {
     return *links_[i].engine;
   }
@@ -178,12 +199,28 @@ class LinkOrchestrator {
     /// construction and the link thread starting still triggers the
     /// catch-up replan at the first block.
     std::uint64_t roster_seen = 0;
+    /// Live health mirror, published at block boundaries for concurrent
+    /// readers (link_health); the link thread is the only writer.
+    std::atomic<double> live_qber{0.0};
+    std::atomic<std::uint64_t> live_blocks_ok{0};
+    std::atomic<std::uint64_t> live_blocks_aborted{0};
+    std::atomic<std::uint64_t> live_abort_streak{0};
+    std::atomic<bool> live_distilling{false};
 
     LinkState(LinkSpec s, pipeline::KeyStoreConfig store_config)
         : spec(std::move(s)),
           simulator(spec.link),
           store(store_config),
           rng(spec.rng_seed) {}
+  };
+
+  /// Heterogeneous string hashing so link_index(string_view) never
+  /// materializes a std::string per lookup.
+  struct StringHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view text) const noexcept {
+      return std::hash<std::string_view>{}(text);
+    }
   };
 
   /// One shared-roster fault with apply-once latches (several link threads
@@ -203,6 +240,9 @@ class LinkOrchestrator {
   std::shared_ptr<hetero::DeviceSet> devices_;
   std::deque<LinkState> links_;  // LinkState is pinned (store owns a mutex)
   std::deque<DeviceEventState> events_;  // pinned (atomics)
+  /// name -> index, immutable after construction (O(1) link_index).
+  std::unordered_map<std::string, std::size_t, StringHash, std::equal_to<>>
+      link_index_;
 };
 
 }  // namespace qkdpp::service

@@ -32,6 +32,7 @@ const char* to_string(PerturbationKind kind) noexcept {
     case PerturbationKind::kQberBurst: return "qber-burst";
     case PerturbationKind::kEveRamp: return "eve-ramp";
     case PerturbationKind::kDetectorDegradation: return "detector-degradation";
+    case PerturbationKind::kLinkOutage: return "link-outage";
   }
   return "unknown";
 }
@@ -77,6 +78,15 @@ LinkConfig LinkSchedule::config_at(const LinkConfig& base,
             std::clamp(config.detector.efficiency * scale, 1e-6, 1.0);
         break;
       }
+      case PerturbationKind::kLinkOutage:
+        // Hard down: every pulse intercepted and the channel maximally
+        // misaligned pushes the QBER to ~50%, so parameter estimation
+        // aborts every block in the window - deterministically, which is
+        // what lets same-seed network failover runs replay identically.
+        if (!active(p, block)) break;
+        config.eve.intercept_fraction = 1.0;
+        config.channel.misalignment = 0.5;
+        break;
     }
   }
   return config;
@@ -106,6 +116,8 @@ void ScenarioConfig::validate() const {
         check(p.magnitude > 0 && p.magnitude <= 1.0,
               "detector degradation multiplier outside (0, 1]");
         break;
+      case PerturbationKind::kLinkOutage:
+        break;  // magnitude unused: an outage has no strength knob
     }
   }
   for (const auto& event : device_events) {
@@ -201,6 +213,21 @@ ScenarioConfig device_hot_remove_scenario(std::uint64_t blocks) {
   fault.offline_at_block = at(4, 18, blocks);
   fault.online_at_block = at(14, 18, blocks);
   scenario.device_events.push_back(fault);
+  return scenario;
+}
+
+ScenarioConfig link_outage_scenario(std::uint64_t blocks) {
+  // A fiber cut in the middle third of the run: the link distills nothing
+  // while the cut is open, then comes back. Every block in the window
+  // aborts deterministically, so a same-seed replay reroutes identically.
+  ScenarioConfig scenario;
+  scenario.name = "link-outage";
+  scenario.blocks = blocks;
+  Perturbation outage;
+  outage.kind = PerturbationKind::kLinkOutage;
+  outage.begin_block = at(6, 18, blocks);
+  outage.end_block = at(12, 18, blocks);
+  scenario.schedule.perturbations.push_back(outage);
   return scenario;
 }
 

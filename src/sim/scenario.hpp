@@ -36,6 +36,13 @@ enum class PerturbationKind : std::uint8_t {
   /// Detector efficiency decays linearly to `magnitude` x nominal across
   /// [begin, end) and stays degraded afterwards (APD aging / icing).
   kDetectorDegradation = 3,
+  /// Hard link outage over [begin, end): a fiber cut or an adversary owning
+  /// the span. Modeled as full intercept-resend plus saturated
+  /// misalignment, so every block in the window fails parameter estimation
+  /// deterministically - the link distills nothing and a network-layer
+  /// router sees an unbroken abort streak on this edge. `magnitude` is
+  /// ignored.
+  kLinkOutage = 4,
 };
 
 const char* to_string(PerturbationKind kind) noexcept;
@@ -98,6 +105,12 @@ ScenarioConfig eve_ramp_scenario(std::uint64_t blocks = 18);
 ScenarioConfig detector_degradation_scenario(std::uint64_t blocks = 18);
 /// and a device hot-remove/re-add fault on the shared roster.
 ScenarioConfig device_hot_remove_scenario(std::uint64_t blocks = 18);
+
+/// Mid-run hard outage of the link over [~1/3, ~2/3) of the timeline: the
+/// route-perturbation scenario the network layer re-routes around. Not part
+/// of shipped_scenarios() - a dead link has no adaptive-vs-static story for
+/// bench_scenarios; it exists to take a topology *edge* down.
+ScenarioConfig link_outage_scenario(std::uint64_t blocks = 18);
 
 /// All shipped scenarios, scaled to `blocks` timeline steps each.
 std::vector<ScenarioConfig> shipped_scenarios(std::uint64_t blocks = 0);

@@ -307,16 +307,18 @@ TEST_F(KeyDeliveryTest, DispatcherErrorMapping) {
                                   "sae-a", {}})
                 .status,
             kStatusNotFound);
-  EXPECT_EQ(dispatcher
-                .dispatch(Request{"POST", "/api/v1/keys/sae-b/status",
-                                  "sae-a", {}})
-                .status,
-            kStatusBadRequest);
-  EXPECT_EQ(dispatcher
-                .dispatch(Request{"GET", "/api/v1/keys/sae-b/dec_keys",
-                                  "sae-b", {}})
-                .status,
-            kStatusBadRequest);
+  // Wrong verb on a known path is 405 (not 404, not 400): the route
+  // exists, only the method is wrong, and the details say which to use.
+  const auto post_status = dispatcher.dispatch(
+      Request{"POST", "/api/v1/keys/sae-b/status", "sae-a", {}});
+  EXPECT_EQ(post_status.status, kStatusMethodNotAllowed);
+  EXPECT_EQ(ApiError::from_json(post_status.body).details,
+            std::vector<std::string>{"expected: GET"});
+  const auto get_dec = dispatcher.dispatch(
+      Request{"GET", "/api/v1/keys/sae-b/dec_keys", "sae-b", {}});
+  EXPECT_EQ(get_dec.status, kStatusMethodNotAllowed);
+  EXPECT_EQ(ApiError::from_json(get_dec.body).details,
+            std::vector<std::string>{"expected: POST"});
   // Malformed envelope and malformed body both map to 400 responses.
   const auto garbage = Response::from_json(
       Json::parse(dispatcher.dispatch("this is not json")));

@@ -11,8 +11,11 @@
 #include <string>
 #include <vector>
 
+#include "api/dispatcher.hpp"
+#include "api/key_delivery.hpp"
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "service/link_orchestrator.hpp"
 
 namespace qkdpp::api {
 namespace {
@@ -213,6 +216,44 @@ TEST(DtoRoundTrip, OptionalFieldsTakeDefaults) {
   const ApiError error =
       ApiError::from_json(Json::parse("{\"status\":503,\"message\":\"m\"}"));
   EXPECT_TRUE(error.details.empty());
+}
+
+TEST(DispatcherMethods, WrongVerbOnKnownRouteIs405WithExpectedMethod) {
+  // Wire-level contract: a known path with an unsupported verb must come
+  // back 405 with the expected method(s) named in the details - distinct
+  // from 404 (no such path), so a client can fix its verb instead of
+  // chasing a typo. Driven through the fully serialized dispatch path so
+  // the ApiError round-trips as a real transport would see it.
+  service::OrchestratorConfig config;
+  config.links.emplace_back();
+  config.links.back().name = "metro";
+  service::LinkOrchestrator orchestrator(std::move(config));
+  KeyDeliveryService service(orchestrator);
+  Dispatcher dispatcher(service);
+
+  const struct {
+    const char* method;
+    const char* endpoint;
+    const char* expected;
+  } cases[] = {{"POST", "status", "expected: GET"},
+               {"DELETE", "enc_keys", "expected: GET or POST"},
+               {"GET", "dec_keys", "expected: POST"}};
+  for (const auto& c : cases) {
+    const Request request{c.method,
+                          std::string("/api/v1/keys/sae-b/") + c.endpoint,
+                          "sae-a",
+                          {}};
+    const auto response = Response::from_json(
+        Json::parse(dispatcher.dispatch(request.to_json().dump())));
+    EXPECT_EQ(response.status, kStatusMethodNotAllowed) << c.endpoint;
+    const auto error = ApiError::from_json(response.body);
+    EXPECT_EQ(error.status, kStatusMethodNotAllowed) << c.endpoint;
+    ASSERT_EQ(error.details.size(), 1u) << c.endpoint;
+    EXPECT_EQ(error.details[0], c.expected) << c.endpoint;
+  }
+  // The 404 boundary is unchanged: an unknown endpoint is still not found.
+  const Request unknown{"GET", "/api/v1/keys/sae-b/teapot", "sae-a", {}};
+  EXPECT_EQ(dispatcher.dispatch(unknown).status, kStatusNotFound);
 }
 
 }  // namespace
