@@ -1,0 +1,539 @@
+// Chaos bench: the classical channel misbehaves, the stack must not.
+//
+// Phase 1 - goodput under loss. A two-link session-transport fleet runs
+// three times with identical seeds: clean, and twice under a steady 5%
+// drop + 1% corruption profile injected below the ARQ layer. Because the
+// ARQ decorator delivers exactly-once in-order, the protocol transcript -
+// and therefore every distilled key - must be byte-identical across all
+// three runs; the faults may cost wall-clock (retransmission timeouts)
+// but never key material. Gates:
+//   * chaotic goodput (secret bits / wall s) >= 0.7x the clean run's
+//   * chaotic key bytes == clean key bytes (zero lost/duplicated bits,
+//     zero delivered keys failing verification)
+//   * the two same-seed chaotic runs are byte-identical (determinism)
+//   * faults were actually injected and actually healed (counters > 0)
+//
+// Phase 2 - delivery under chaos. Three links (steady loss, a loss burst,
+// and a permanent outage that opens the circuit breaker) distill while SAE
+// consumer threads drive the full JSON dispatcher path. Gates: zero
+// duplicate key UUIDs, zero lost bits (store conservation), zero
+// master/slave mismatches, the dark link's breaker opened, and the
+// starved pair's final 503 names the open breaker with a Retry-After
+// hint.
+//
+// Everything the gates compare is seeded and deterministic except the
+// wall-clock goodput ratio, which gets a wide 0.7 margin precisely so a
+// loaded CI machine cannot flake it. The final stdout line is a
+// machine-readable JSON summary (folded into BENCH_pipeline.json).
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/dispatcher.hpp"
+#include "api/key_delivery.hpp"
+#include "common/stats.hpp"
+#include "service/link_orchestrator.hpp"
+#include "sim/scenario.hpp"
+
+namespace {
+
+using namespace qkdpp;
+
+constexpr std::uint64_t kForever = std::uint64_t{1} << 32;
+
+protocol::FaultProfile steady_loss() {
+  protocol::FaultProfile profile;
+  profile.drop = 0.05;
+  profile.corrupt = 0.01;
+  return profile;
+}
+
+sim::ChannelFaultPhase phase_all_run(const protocol::FaultProfile& profile) {
+  sim::ChannelFaultPhase phase;
+  phase.begin_block = 0;
+  phase.end_block = kForever;
+  phase.profile = profile;
+  return phase;
+}
+
+// ---------------------------------------------------------------------------
+// Phase 1: goodput + byte-identity under steady loss.
+
+struct DistillRun {
+  std::uint64_t secret_bits = 0;
+  std::uint64_t blocks_ok = 0;
+  std::uint64_t blocks_aborted = 0;
+  std::uint64_t mismatched_keys = 0;
+  std::uint64_t retransmits = 0;
+  std::uint64_t faults_injected = 0;
+  double wall_seconds = 0.0;
+  double goodput_bits_per_s = 0.0;
+  /// Every distilled key, drained from the stores in deposit order - the
+  /// byte-identity gates compare these across runs.
+  std::vector<std::uint8_t> key_bytes;
+};
+
+DistillRun run_distillation(const protocol::FaultProfile& profile,
+                            std::uint64_t seed_base) {
+  service::OrchestratorConfig config;
+  config.store.capacity_bits = 1 << 22;
+  std::uint64_t seed = seed_base;
+  for (const char* name : {"east", "west"}) {
+    service::LinkSpec spec;
+    spec.name = name;
+    spec.link.channel.length_km = 25.0;
+    spec.pulses_per_block = std::size_t{1} << 20;
+    spec.blocks = 4;
+    spec.rng_seed = seed++;
+    spec.params.ldpc.min_frame = 4096;
+    spec.session_transport = true;
+    if (profile.any()) {
+      spec.schedule.channel_faults.push_back(phase_all_run(profile));
+    }
+    config.links.push_back(std::move(spec));
+  }
+
+  service::LinkOrchestrator orchestrator(std::move(config));
+  Stopwatch clock;
+  const auto report = orchestrator.run();
+  DistillRun run;
+  run.wall_seconds = clock.seconds();
+  for (const auto& link : report.links) {
+    run.secret_bits += link.secret_bits;
+    run.blocks_ok += link.blocks_ok;
+    run.blocks_aborted += link.blocks_aborted;
+    run.mismatched_keys += link.mismatched_keys;
+    run.retransmits += link.channel.retransmits;
+    run.faults_injected += link.channel.faults_injected;
+  }
+  run.goodput_bits_per_s =
+      run.wall_seconds > 0
+          ? static_cast<double>(run.secret_bits) / run.wall_seconds
+          : 0.0;
+  for (std::size_t l = 0; l < orchestrator.link_count(); ++l) {
+    auto& store = orchestrator.key_store(l);
+    while (auto key = store.get_key("chaos-bench")) {
+      const auto bytes = key->bits.to_bytes();
+      run.key_bytes.insert(run.key_bytes.end(), bytes.begin(), bytes.end());
+    }
+  }
+  return run;
+}
+
+// ---------------------------------------------------------------------------
+// Phase 2: concurrent delivery through the dispatcher while links distill
+// under faults (one of them terminally dark, so its breaker opens).
+
+struct PairPlan {
+  std::string master;
+  std::string slave;
+  std::string link;
+};
+
+struct Handoff {
+  std::mutex mutex;
+  std::condition_variable ready;
+  std::deque<api::DeliveredKey> queue;
+  bool master_done = false;
+};
+
+struct ConsumerOutcome {
+  std::uint64_t requests = 0;
+  std::uint64_t delivered_keys = 0;
+  std::uint64_t delivered_bits = 0;
+  std::uint64_t collected_keys = 0;
+  std::uint64_t mismatched_keys = 0;
+  std::uint64_t unavailable_503 = 0;
+  std::vector<std::string> ids;
+};
+
+constexpr std::uint64_t kKeySizeBits = 256;
+constexpr std::uint64_t kKeysPerRequest = 8;
+
+void run_master(api::Dispatcher& dispatcher, const PairPlan& plan,
+                const std::atomic<bool>& distillation_done, Handoff& handoff,
+                ConsumerOutcome& outcome) {
+  api::KeyRequest key_request;
+  key_request.number = kKeysPerRequest;
+  key_request.size = kKeySizeBits;
+  const api::Request request{"POST",
+                             "/api/v1/keys/" + plan.slave + "/enc_keys",
+                             plan.master, key_request.to_json()};
+  const std::string wire_request = request.to_json().dump();
+
+  while (true) {
+    const std::string wire_response = dispatcher.dispatch(wire_request);
+    ++outcome.requests;
+    const auto response =
+        api::Response::from_json(api::Json::parse(wire_response));
+    if (response.ok()) {
+      auto container = api::KeyContainer::from_json(response.body);
+      std::scoped_lock lock(handoff.mutex);
+      for (auto& key : container.keys) {
+        ++outcome.delivered_keys;
+        outcome.delivered_bits += kKeySizeBits;
+        outcome.ids.push_back(key.key_id);
+        handoff.queue.push_back(std::move(key));
+      }
+      handoff.ready.notify_one();
+      continue;
+    }
+    if (response.status != api::kStatusUnavailable) {
+      std::fprintf(stderr, "master %s: unexpected status %d\n",
+                   plan.master.c_str(), response.status);
+      break;
+    }
+    // 503 is the degradation contract under chaos: starved store, open
+    // breaker, or backpressure. Count it, back off, retry until the link
+    // is done AND drained.
+    ++outcome.unavailable_503;
+    if (distillation_done.load(std::memory_order_acquire)) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  std::scoped_lock lock(handoff.mutex);
+  handoff.master_done = true;
+  handoff.ready.notify_one();
+}
+
+void run_slave(api::Dispatcher& dispatcher, const PairPlan& plan,
+               Handoff& handoff, ConsumerOutcome& outcome) {
+  while (true) {
+    std::vector<api::DeliveredKey> batch;
+    {
+      std::unique_lock lock(handoff.mutex);
+      handoff.ready.wait(lock, [&] {
+        return !handoff.queue.empty() || handoff.master_done;
+      });
+      while (!handoff.queue.empty() && batch.size() < kKeysPerRequest) {
+        batch.push_back(std::move(handoff.queue.front()));
+        handoff.queue.pop_front();
+      }
+      if (batch.empty() && handoff.master_done) return;
+    }
+    if (batch.empty()) continue;
+
+    api::KeyIdsRequest ids_request;
+    for (const auto& key : batch) ids_request.key_ids.push_back(key.key_id);
+    const api::Request request{"POST",
+                               "/api/v1/keys/" + plan.master + "/dec_keys",
+                               plan.slave, ids_request.to_json()};
+    const std::string wire_response =
+        dispatcher.dispatch(request.to_json().dump());
+    ++outcome.requests;
+    const auto response =
+        api::Response::from_json(api::Json::parse(wire_response));
+    if (!response.ok()) {
+      outcome.mismatched_keys += batch.size();
+      continue;
+    }
+    const auto container = api::KeyContainer::from_json(response.body);
+    for (std::size_t i = 0; i < container.keys.size(); ++i) {
+      ++outcome.collected_keys;
+      if (container.keys[i] != batch[i]) ++outcome.mismatched_keys;
+    }
+  }
+}
+
+struct DeliveryResult {
+  std::uint64_t requests = 0;
+  std::uint64_t delivered_keys = 0;
+  std::uint64_t delivered_bits = 0;
+  std::uint64_t collected_keys = 0;
+  std::uint64_t mismatched = 0;
+  std::uint64_t duplicates = 0;
+  std::uint64_t lost_bits = 0;
+  std::uint64_t unavailable_503 = 0;
+  std::uint64_t breaker_opens = 0;
+  bool breaker_detail_ok = false;
+  double wall_seconds = 0.0;
+};
+
+DeliveryResult run_delivery_under_chaos(std::uint64_t seed_base) {
+  service::OrchestratorConfig config;
+  config.store.capacity_bits = 1 << 22;
+  config.breaker = service::CircuitBreakerPolicy::standard();
+
+  // All three links reconcile with Cascade here: phase 2 gates delivery
+  // accounting and breaker behavior, not throughput, and Cascade's
+  // interactive convergence keeps every healthy block's success
+  // deterministic (LDPC at this block size can shed a marginal clean
+  // block, which would make the dark link's abort arithmetic seed-lucky).
+  protocol::RetryPolicy fast;
+  fast.max_retries = 5;
+  fast.base_timeout = std::chrono::milliseconds{2};
+  fast.exchange_deadline = std::chrono::milliseconds{5000};
+  fast.close_linger = std::chrono::milliseconds{50};
+
+  auto link = [&](const char* name, std::uint64_t blocks,
+                  std::uint64_t seed) {
+    service::LinkSpec spec;
+    spec.name = name;
+    spec.link.channel.length_km = 10.0;
+    spec.pulses_per_block = std::size_t{1} << 18;
+    spec.blocks = blocks;
+    spec.rng_seed = seed;
+    spec.params.method = protocol::ReconcileMethod::kCascade;
+    spec.session_transport = true;
+    spec.channel_retry = fast;
+    return spec;
+  };
+
+  auto steady = link("steady", 5, seed_base + 60);
+  steady.schedule.channel_faults.push_back(phase_all_run(steady_loss()));
+  config.links.push_back(std::move(steady));
+
+  auto bursty = link("bursty", 8, seed_base + 61);
+  bursty.schedule = sim::loss_burst_scenario(8).schedule;
+  config.links.push_back(std::move(bursty));
+
+  // Dark from block 2 onward: banks two blocks of key, then every frame
+  // drops until the end of the run - the breaker must open and stay open.
+  auto dark = link("dark", 10, seed_base + 62);
+  sim::ChannelFaultPhase outage;
+  outage.begin_block = 2;
+  outage.end_block = kForever;
+  outage.profile.drop = 1.0;
+  dark.schedule.channel_faults.push_back(outage);
+  config.links.push_back(std::move(dark));
+
+  service::LinkOrchestrator orchestrator(std::move(config));
+  api::KeyDeliveryService service(orchestrator);
+  std::vector<PairPlan> plans;
+  for (const char* name : {"steady", "bursty", "dark"}) {
+    PairPlan plan;
+    plan.master = std::string("sae-") + name + "-m";
+    plan.slave = std::string("sae-") + name + "-s";
+    plan.link = name;
+    plans.push_back(plan);
+    service.register_pair({plan.master, plan.slave, plan.link, kKeySizeBits,
+                           kKeysPerRequest, 4096, 64});
+  }
+  api::Dispatcher dispatcher(service);
+
+  std::atomic<bool> distillation_done{false};
+  std::deque<Handoff> handoffs(plans.size());
+  std::vector<ConsumerOutcome> master_outcomes(plans.size());
+  std::vector<ConsumerOutcome> slave_outcomes(plans.size());
+
+  Stopwatch clock;
+  auto distillation = std::async(std::launch::async, [&] {
+    const auto report = orchestrator.run();
+    distillation_done.store(true, std::memory_order_release);
+    return report;
+  });
+  std::vector<std::thread> consumers;
+  consumers.reserve(plans.size() * 2);
+  for (std::size_t i = 0; i < plans.size(); ++i) {
+    consumers.emplace_back([&, i] {
+      run_master(dispatcher, plans[i], distillation_done, handoffs[i],
+                 master_outcomes[i]);
+    });
+    consumers.emplace_back([&, i] {
+      run_slave(dispatcher, plans[i], handoffs[i], slave_outcomes[i]);
+    });
+  }
+  const auto report = distillation.get();
+  for (auto& thread : consumers) thread.join();
+
+  DeliveryResult result;
+  result.wall_seconds = clock.seconds();
+  std::set<std::string> all_ids;
+  for (std::size_t i = 0; i < plans.size(); ++i) {
+    result.requests +=
+        master_outcomes[i].requests + slave_outcomes[i].requests;
+    result.delivered_keys += master_outcomes[i].delivered_keys;
+    result.delivered_bits += master_outcomes[i].delivered_bits;
+    result.collected_keys += slave_outcomes[i].collected_keys;
+    result.mismatched += slave_outcomes[i].mismatched_keys;
+    result.unavailable_503 += master_outcomes[i].unavailable_503;
+    for (const auto& id : master_outcomes[i].ids) {
+      if (!all_ids.insert(id).second) ++result.duplicates;
+    }
+  }
+  // Conservation per link: deposited == delivered + buffered + in store.
+  for (std::size_t l = 0; l < orchestrator.link_count(); ++l) {
+    auto& store = orchestrator.key_store(l);
+    const std::string& link_name = orchestrator.link_spec(l).name;
+    std::uint64_t delivered = 0, buffered = 0;
+    for (const auto& plan : plans) {
+      if (plan.link != link_name) continue;
+      const auto stats = *service.pair_stats(plan.master, plan.slave);
+      delivered += stats.delivered_bits;
+      buffered += stats.buffered_bits;
+    }
+    const std::uint64_t deposited = store.total_deposited_bits();
+    const std::uint64_t accounted =
+        delivered + buffered + store.bits_available();
+    if (accounted != deposited) {
+      result.lost_bits += accounted > deposited ? accounted - deposited
+                                                : deposited - accounted;
+      std::fprintf(stderr, "conservation violated on %s\n",
+                   link_name.c_str());
+    }
+  }
+  for (const auto& link_report : report.links) {
+    result.breaker_opens += link_report.breaker_opens;
+    result.mismatched += link_report.mismatched_keys;
+  }
+
+  // The starved dark pair's 503 must be actionable: name the open breaker
+  // and carry a Retry-After-style hint.
+  api::KeyRequest drain;
+  drain.number = kKeysPerRequest;
+  drain.size = kKeySizeBits;
+  const auto starved = service.get_key("sae-dark-m", "sae-dark-s", drain);
+  bool named_breaker = false, named_retry = false;
+  if (!starved.ok() && starved.error.status == api::kStatusUnavailable) {
+    for (const auto& detail : starved.error.details) {
+      named_breaker |= detail == "link_breaker=open";
+      named_retry |= detail.rfind("retry_after_ms=", 0) == 0;
+    }
+  }
+  result.breaker_detail_ok = named_breaker && named_retry;
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Optional seed base (default 301): the nightly chaos matrix sweeps
+  // this, so every gate below must hold for *any* seed, not a lucky one.
+  std::uint64_t seed_base = 301;
+  if (argc > 1) {
+    char* end = nullptr;
+    seed_base = std::strtoull(argv[1], &end, 10);
+    if (end == argv[1] || *end != '\0' || seed_base == 0) {
+      std::fprintf(stderr, "usage: bench_chaos [seed>0]\n");
+      return 2;
+    }
+  }
+  std::printf("chaos: 2 session links x 4 blocks @ 25 km, ARQ over injected "
+              "faults; then 3 links (steady loss / burst / dark) through "
+              "the JSON dispatcher\n\n");
+
+  // --- phase 1 -----------------------------------------------------------
+  // Untimed warmup: the first run pays one-time costs (LDPC code-table
+  // construction), which would otherwise make whichever arm goes first
+  // look slower and distort the goodput ratio.
+  (void)run_distillation(protocol::FaultProfile{}, seed_base);
+  const DistillRun clean = run_distillation(protocol::FaultProfile{}, seed_base);
+  const DistillRun chaotic = run_distillation(steady_loss(), seed_base);
+  const DistillRun replay = run_distillation(steady_loss(), seed_base);
+
+  const double goodput_ratio =
+      clean.goodput_bits_per_s > 0
+          ? chaotic.goodput_bits_per_s / clean.goodput_bits_per_s
+          : 0.0;
+  const bool identical_bytes = chaotic.key_bytes == clean.key_bytes;
+  // Determinism compares key material only: retransmit/fault counters are
+  // wall-clock-dependent by design (a slow peer triggers a spurious
+  // retransmit, and every extra send consumes a fault draw), so two
+  // same-seed runs agree on every delivered byte but not on how many
+  // times the ARQ had to try.
+  const bool deterministic = chaotic.key_bytes == replay.key_bytes &&
+                             chaotic.secret_bits == replay.secret_bits;
+
+  std::printf("%-8s | %11s %9s %7s | %11s %11s %9s\n", "run", "secret bits",
+              "blocks ok", "aborted", "goodput b/s", "retransmits",
+              "injected");
+  const struct {
+    const char* name;
+    const DistillRun* run;
+  } rows[] = {{"clean", &clean}, {"chaotic", &chaotic}, {"replay", &replay}};
+  for (const auto& row : rows) {
+    std::printf("%-8s | %11llu %9llu %7llu | %11.0f %11llu %9llu\n",
+                row.name,
+                static_cast<unsigned long long>(row.run->secret_bits),
+                static_cast<unsigned long long>(row.run->blocks_ok),
+                static_cast<unsigned long long>(row.run->blocks_aborted),
+                row.run->goodput_bits_per_s,
+                static_cast<unsigned long long>(row.run->retransmits),
+                static_cast<unsigned long long>(row.run->faults_injected));
+  }
+  std::printf("\ngoodput ratio %.3f (gate >= 0.7), key bytes %s clean, "
+              "same-seed replay %s\n",
+              goodput_ratio, identical_bytes ? "==" : "!=",
+              deterministic ? "identical" : "DIVERGED");
+
+  bool gate_ok = true;
+  std::string gate_log;
+  auto gate = [&](bool ok, const char* what) {
+    if (!ok) {
+      gate_ok = false;
+      gate_log += std::string("  ") + what + "\n";
+    }
+  };
+  gate(goodput_ratio >= 0.7, "chaotic goodput < 0.7x clean");
+  gate(identical_bytes, "chaotic key bytes differ from clean");
+  gate(deterministic, "same-seed chaotic runs diverged");
+  gate(clean.mismatched_keys + chaotic.mismatched_keys +
+               replay.mismatched_keys ==
+           0,
+       "a delivered key failed endpoint verification");
+  gate(chaotic.faults_injected > 0, "fault injector never fired");
+  gate(chaotic.retransmits > 0, "ARQ never retransmitted under loss");
+  gate(clean.secret_bits > 0, "clean run distilled nothing");
+
+  // --- phase 2 -----------------------------------------------------------
+  const DeliveryResult delivery = run_delivery_under_chaos(seed_base);
+  std::printf("\ndelivery under chaos: %llu requests in %.2f s, %llu keys "
+              "(%llu bits) delivered, %llu collected, %llu x 503, breaker "
+              "opens %llu\n",
+              static_cast<unsigned long long>(delivery.requests),
+              delivery.wall_seconds,
+              static_cast<unsigned long long>(delivery.delivered_keys),
+              static_cast<unsigned long long>(delivery.delivered_bits),
+              static_cast<unsigned long long>(delivery.collected_keys),
+              static_cast<unsigned long long>(delivery.unavailable_503),
+              static_cast<unsigned long long>(delivery.breaker_opens));
+  gate(delivery.duplicates == 0, "duplicate key UUID delivered");
+  gate(delivery.lost_bits == 0, "key-bit conservation violated");
+  gate(delivery.mismatched == 0, "master/slave key mismatch");
+  gate(delivery.delivered_keys > 0 &&
+           delivery.collected_keys == delivery.delivered_keys,
+       "delivery starved or slave fell behind");
+  gate(delivery.breaker_opens >= 1, "dark link never opened its breaker");
+  gate(delivery.breaker_detail_ok,
+       "starved 503 did not name the open breaker + retry hint");
+
+  if (!gate_ok) {
+    std::fprintf(stderr, "\nchaos gate FAILED:\n%s", gate_log.c_str());
+  } else {
+    std::printf("\nall chaos gates OK\n");
+  }
+
+  std::printf(
+      "\n{\"bench\":\"chaos\",\"unit\":\"secret_bits\",\"gate_ok\":%s,"
+      "\"clean_secret_bits\":%llu,\"chaotic_secret_bits\":%llu,"
+      "\"goodput_ratio\":%.3f,\"identical_bytes\":%s,\"deterministic\":%s,"
+      "\"retransmits\":%llu,\"faults_injected\":%llu,"
+      "\"delivery\":{\"requests\":%llu,\"delivered_keys\":%llu,"
+      "\"delivered_bits\":%llu,\"unavailable_503\":%llu,"
+      "\"duplicate_ids\":%llu,\"lost_bits\":%llu,\"breaker_opens\":%llu,"
+      "\"wall_seconds\":%.3f}}\n",
+      gate_ok ? "true" : "false",
+      static_cast<unsigned long long>(clean.secret_bits),
+      static_cast<unsigned long long>(chaotic.secret_bits), goodput_ratio,
+      identical_bytes ? "true" : "false", deterministic ? "true" : "false",
+      static_cast<unsigned long long>(chaotic.retransmits),
+      static_cast<unsigned long long>(chaotic.faults_injected),
+      static_cast<unsigned long long>(delivery.requests),
+      static_cast<unsigned long long>(delivery.delivered_keys),
+      static_cast<unsigned long long>(delivery.delivered_bits),
+      static_cast<unsigned long long>(delivery.unavailable_503),
+      static_cast<unsigned long long>(delivery.duplicates),
+      static_cast<unsigned long long>(delivery.lost_bits),
+      static_cast<unsigned long long>(delivery.breaker_opens),
+      delivery.wall_seconds);
+  return gate_ok ? 0 : 1;
+}

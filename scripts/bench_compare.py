@@ -100,6 +100,22 @@ def extract(doc):
             float(network.get("availability_ratio", 0.0)), True)
         metrics["network_wall_bits_per_s"] = (
             float(network.get("delivered_bits_per_s", 0.0)), False)
+
+    chaos = doc.get("chaos") or {}
+    if chaos:
+        # Secret-bit totals are seeded and deterministic (the bench itself
+        # gates byte-identity across clean/chaotic/replay): gateable. The
+        # goodput ratio and delivery volume are wall-clock-shaped: advisory
+        # (the bench already hard-gates ratio >= 0.7 via its exit code).
+        metrics["chaos_clean_secret_bits"] = (
+            float(chaos.get("clean_secret_bits", 0)), True)
+        metrics["chaos_chaotic_secret_bits"] = (
+            float(chaos.get("chaotic_secret_bits", 0)), True)
+        metrics["chaos_wall_goodput_ratio"] = (
+            float(chaos.get("goodput_ratio", 0.0)), False)
+        delivery = chaos.get("delivery") or {}
+        metrics["chaos_delivered_bits"] = (
+            float(delivery.get("delivered_bits", 0)), True)
     return metrics
 
 

@@ -1,12 +1,12 @@
 #!/usr/bin/env sh
 # Perf trajectory plumbing: run bench_pipeline_e2e + bench_multilink +
-# bench_scenarios + bench_key_delivery + bench_network + bench_toeplitz and
-# write BENCH_pipeline.json at the repo root, so subsequent PRs can compare
-# end-to-end blocks/s, multi-link aggregate secret bits/s,
-# static-vs-adaptive scenario throughput, concurrent-SAE key-delivery
-# throughput, relay-network end-to-end delivery (clean vs forced-outage
-# availability), per-stage items/s, and the Toeplitz kernel times against
-# this baseline.
+# bench_scenarios + bench_key_delivery + bench_network + bench_chaos +
+# bench_toeplitz and write BENCH_pipeline.json at the repo root, so
+# subsequent PRs can compare end-to-end blocks/s, multi-link aggregate
+# secret bits/s, static-vs-adaptive scenario throughput, concurrent-SAE
+# key-delivery throughput, relay-network end-to-end delivery (clean vs
+# forced-outage availability), chaos goodput under channel faults,
+# per-stage items/s, and the Toeplitz kernel times against this baseline.
 # When bench/baseline.json exists the run finishes with
 # scripts/bench_compare.py, failing on regressions (the local mirror of the
 # CI bench-gate job).
@@ -33,7 +33,7 @@ done
 
 cmake -B "$BUILD" -S . >/dev/null
 cmake --build "$BUILD" -j --target bench_pipeline_e2e bench_multilink \
-  bench_scenarios bench_key_delivery bench_network >/dev/null
+  bench_scenarios bench_key_delivery bench_network bench_chaos >/dev/null
 
 echo "== bench_pipeline_e2e =="
 # No pipe here: under `set -e` a pipeline would mask a crashing bench with
@@ -89,6 +89,19 @@ case "$NETWORK_JSON" in
   *) echo "error: bench_network summary line is not JSON" >&2; exit 1 ;;
 esac
 
+echo "== bench_chaos =="
+# Self-gates: chaotic goodput >= 0.7x clean under 5% loss + 1% corruption,
+# byte-identical keys across clean/chaotic/replay runs (zero lost or
+# duplicated bits, zero keys failing verification), breaker opens on the
+# dark link, actionable 503s; a violation exits non-zero and fails here.
+"$BUILD"/bench_chaos > "$BUILD"/bench_chaos.out
+cat "$BUILD"/bench_chaos.out
+CHAOS_JSON=$(tail -n 1 "$BUILD"/bench_chaos.out)
+case "$CHAOS_JSON" in
+  '{'*'}') ;;
+  *) echo "error: bench_chaos summary line is not JSON" >&2; exit 1 ;;
+esac
+
 # bench_toeplitz needs google-benchmark; degrade gracefully without it.
 TOEPLITZ_JSON=null
 if cmake --build "$BUILD" -j --target bench_toeplitz >/dev/null 2>&1 \
@@ -106,6 +119,7 @@ fi
   printf '"scenarios":%s,' "$SCENARIOS_JSON"
   printf '"key_delivery":%s,' "$KEY_DELIVERY_JSON"
   printf '"network":%s,' "$NETWORK_JSON"
+  printf '"chaos":%s,' "$CHAOS_JSON"
   printf '"toeplitz":%s}\n' "$TOEPLITZ_JSON"
 } > BENCH_pipeline.json
 echo "wrote BENCH_pipeline.json"

@@ -47,6 +47,20 @@ Response method_not_allowed(std::string_view endpoint,
 }  // namespace
 
 Response Dispatcher::dispatch(const Request& request) {
+  // The no-throw guarantee lives here, not in every route: a typed Error
+  // escaping the service or DTO serialization must degrade to a response,
+  // because the transport loop behind this call has nothing to catch with.
+  try {
+    return route(request);
+  } catch (const Error& error) {
+    const int status = error.code() == ErrorCode::kSerialization
+                           ? kStatusBadRequest
+                           : kStatusInternal;
+    return error_response(status, error.what());
+  }
+}
+
+Response Dispatcher::route(const Request& request) {
   // Target shape: /api/v1/keys/{peer_SAE_ID}/{endpoint}
   if (request.target.compare(0, kKeysPrefix.size(), kKeysPrefix) != 0) {
     return error_response(kStatusNotFound,

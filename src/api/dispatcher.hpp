@@ -42,6 +42,8 @@ class Dispatcher {
   std::string dispatch(std::string_view request_json);
 
  private:
+  Response route(const Request& request);
+
   KeyDeliveryService& service_;
 };
 

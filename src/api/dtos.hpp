@@ -99,6 +99,7 @@ inline constexpr int kStatusNotFound = 404;      ///< no such route
 /// so a client can distinguish "wrong verb" from "no such path" (404).
 inline constexpr int kStatusMethodNotAllowed = 405;
 inline constexpr int kStatusUnavailable = 503;   ///< exhausted / backpressure
+inline constexpr int kStatusInternal = 500;      ///< unexpected typed error
 
 /// ETSI "Error" plus the transport status code.
 struct ApiError {

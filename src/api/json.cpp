@@ -34,6 +34,14 @@ class Parser {
  private:
   static constexpr int kMaxDepth = 64;
 
+  /// Shadows the file-scope malformed(): every parse error names the byte
+  /// offset the cursor died at, so a client staring at a 400 can find the
+  /// broken spot in its own request instead of re-bisecting the payload.
+  [[noreturn]] void malformed(const std::string& what) const {
+    throw_error(ErrorCode::kSerialization,
+                "json: " + what + " at byte " + std::to_string(pos_));
+  }
+
   void skip_ws() {
     while (pos_ < text_.size()) {
       const char c = text_[pos_];

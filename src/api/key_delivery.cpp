@@ -71,6 +71,29 @@ void LinkStoreSource::describe_exhaustion(
                         std::to_string(count));
     }
   }
+  if (orchestrator_ == nullptr) return;
+  // Say whether the starvation is transient (link distilling, wait) or
+  // structural (breaker open: the classical channel is timing out and no
+  // deposits will land until a probe re-closes it).
+  const service::LinkHealth health = orchestrator_->link_health(link_);
+  details.push_back(std::string("link_distilling=") +
+                    (health.distilling ? "true" : "false"));
+  if (health.breaker_open) {
+    details.push_back("link_breaker=open");
+    details.push_back("link_consecutive_aborts=" +
+                      std::to_string(health.consecutive_aborts));
+  }
+}
+
+std::uint64_t LinkStoreSource::retry_after_hint_ms() const {
+  if (orchestrator_ == nullptr) return 0;
+  const service::LinkHealth health = orchestrator_->link_health(link_);
+  // Breaker open: material resumes only after the cooldown's half-open
+  // probe succeeds, so tell clients to stay away longer than the
+  // block-cadence hint a healthy-but-drained link gets.
+  if (health.breaker_open) return 2000;
+  if (health.distilling) return 250;
+  return 0;
 }
 
 KeyDeliveryService::KeyDeliveryService(
@@ -83,8 +106,9 @@ void KeyDeliveryService::register_pair(SaePair pair) {
     throw_error(ErrorCode::kConfig,
                 "unknown link '" + pair.link_name + "'");
   }
-  register_pair(std::move(pair), std::make_shared<LinkStoreSource>(
-                                     orchestrator_.key_store(*link)));
+  register_pair(std::move(pair),
+                std::make_shared<LinkStoreSource>(
+                    orchestrator_.key_store(*link), orchestrator_, *link));
 }
 
 void KeyDeliveryService::register_pair(SaePair pair,
@@ -326,6 +350,9 @@ Result<KeyContainer> KeyDeliveryService::get_key(std::string_view caller_sae,
         "source_bits=" + std::to_string(source.bits_available()),
         "buffered_bits=" + std::to_string(pair->residual.size()),
         "requested_size=" + std::to_string(size)};
+    if (const auto hint = source.retry_after_hint_ms(); hint > 0) {
+      details.push_back("retry_after_ms=" + std::to_string(hint));
+    }
     source.describe_exhaustion(details);
     return Result<KeyContainer>::failure(
         kStatusUnavailable, "key material exhausted for this pair",

@@ -74,12 +74,24 @@ class KeySource {
   virtual std::optional<BitVec> draw(std::string_view consumer) = 0;
   /// Append "why am I empty" diagnostics to a 503 error's detail list.
   virtual void describe_exhaustion(std::vector<std::string>& details) const;
+  /// Advisory client back-off for a 503, in milliseconds (the ApiError
+  /// carries it as a Retry-After-style detail; an HTTP shim would emit the
+  /// header). 0 = no estimate: nothing suggests material is coming.
+  virtual std::uint64_t retry_after_hint_ms() const { return 0; }
 };
 
 /// The point-to-point source: one orchestrator link's bounded KeyStore.
+/// When constructed with the link's orchestrator coordinates it also
+/// surfaces the link's live health on exhaustion (is the link still
+/// distilling? has its circuit breaker opened?), which is what turns a
+/// bare 503 into an actionable one.
 class LinkStoreSource final : public KeySource {
  public:
   explicit LinkStoreSource(pipeline::KeyStore& store) : store_(store) {}
+  LinkStoreSource(pipeline::KeyStore& store,
+                  const service::LinkOrchestrator& orchestrator,
+                  std::size_t link)
+      : store_(store), orchestrator_(&orchestrator), link_(link) {}
   std::uint64_t bits_available() const override {
     return store_.bits_available();
   }
@@ -88,9 +100,12 @@ class LinkStoreSource final : public KeySource {
   }
   std::optional<BitVec> draw(std::string_view consumer) override;
   void describe_exhaustion(std::vector<std::string>& details) const override;
+  std::uint64_t retry_after_hint_ms() const override;
 
  private:
   pipeline::KeyStore& store_;
+  const service::LinkOrchestrator* orchestrator_ = nullptr;
+  std::size_t link_ = 0;
 };
 
 /// One registered master/slave SAE pair served from one key source (an

@@ -13,6 +13,7 @@ const char* to_string(ErrorCode code) noexcept {
     case ErrorCode::kQberTooHigh: return "qber above abort threshold";
     case ErrorCode::kInsufficientKey: return "no extractable secret key";
     case ErrorCode::kChannelClosed: return "channel closed";
+    case ErrorCode::kTimeout: return "channel timeout";
     case ErrorCode::kConfig: return "invalid configuration";
   }
   return "unknown error";

@@ -23,6 +23,7 @@ enum class ErrorCode {
   kQberTooHigh,       ///< parameter estimation above abort threshold
   kInsufficientKey,   ///< finite-key planner says no extractable secret
   kChannelClosed,     ///< peer hung up
+  kTimeout,           ///< retransmission budget or exchange deadline exhausted
   kConfig,            ///< invalid run-time configuration
 };
 

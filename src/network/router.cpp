@@ -23,6 +23,10 @@ bool Router::edge_feasible(const EdgeStatus& status,
                            std::uint64_t deliverable_bits,
                            std::uint64_t need_bits) const {
   if (!status.admin_up) return false;
+  // An open breaker is operationally indistinguishable from admin-down:
+  // the classical channel is timing out, so no new key will land on this
+  // edge until a half-open probe succeeds.
+  if (status.breaker_open) return false;
   if (status.windowed_qber >= policy_.qber_infeasible) return false;
   if (policy_.down_after_aborts != 0 &&
       status.consecutive_aborts >= policy_.down_after_aborts) {

@@ -79,6 +79,7 @@ EdgeStatus Topology::edge_status(std::size_t i) const {
   status.consecutive_aborts = health.consecutive_aborts;
   status.admin_up = admin_up_[i].load(std::memory_order_relaxed);
   status.distilling = health.distilling;
+  status.breaker_open = health.breaker_open;
   return status;
 }
 

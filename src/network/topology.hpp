@@ -53,6 +53,10 @@ struct EdgeStatus {
   std::uint64_t consecutive_aborts = 0;
   bool admin_up = true;  ///< operator/admin state (set_admin_up)
   bool distilling = false;
+  /// The link's circuit breaker is open (or half-open probing): the
+  /// classical channel behind this edge keeps timing out, so the router
+  /// treats it like an admin-down edge until the probe re-closes it.
+  bool breaker_open = false;
 };
 
 class Topology {

@@ -62,6 +62,22 @@ T expect_msg(ClassicalChannel& channel) {
   return std::move(*typed);
 }
 
+/// Convert a channel/auth failure into a typed abort on `result` and tell
+/// the peer (best effort — the channel may already be dead; a lost Abort
+/// just means the peer aborts on its own deadline instead).
+void record_fault(SessionResult& result, ClassicalChannel& channel,
+                  std::uint64_t block_id, const Error& error) {
+  result.success = false;
+  result.abort_reason = error.what();
+  result.fault_code = error.code();
+  if (error.code() != ErrorCode::kChannelClosed) {
+    try {
+      send_abort(channel, block_id, error.what());
+    } catch (const Error&) {
+    }
+  }
+}
+
 std::uint32_t pa_params_crc(const PaParams& params) {
   std::uint8_t bytes[24];
   for (int i = 0; i < 8; ++i) {
@@ -325,6 +341,8 @@ SessionResult run_alice_session(ClassicalChannel& channel,
     result.success = true;
   } catch (const AbortSignal& abort) {
     result.abort_reason = abort.reason;
+  } catch (const Error& error) {
+    record_fault(result, channel, block_id, error);
   }
   result.channel = channel.counters();
   return result;
@@ -460,6 +478,8 @@ SessionResult run_bob_session(ClassicalChannel& channel,
     result.success = true;
   } catch (const AbortSignal& abort) {
     result.abort_reason = abort.reason;
+  } catch (const Error& error) {
+    record_fault(result, channel, block_id, error);
   }
   result.channel = channel.counters();
   return result;

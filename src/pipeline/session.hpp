@@ -23,17 +23,27 @@
 // (engine/primitives.hpp) - this file only owns the message choreography,
 // so both deployments distill bit-identical keys from the same raw
 // material. Abort at any decision point is a message, not an exception;
-// both sides return success=false with the same reason. Channel /
-// authentication failures do throw - they are attacks or bugs, not
-// expected physics.
+// both sides return success=false with the same reason.
+//
+// Channel faults are typed aborts too: a retransmission budget or exchange
+// deadline blown at the ARQ layer (Error{kTimeout}), a peer hang-up
+// (kChannelClosed), or a Wegman-Carter tag mismatch (kAuthentication) ends
+// the block with success=false and SessionResult::fault_code set, after a
+// best-effort Abort message to the peer — the orchestrator's circuit
+// breaker consumes these instead of the process unwinding. A corrupted or
+// replayed message is either healed below (ReliableChannel dedup + CRC +
+// retransmit) or lands here as one of those typed aborts; it can never
+// become a delivered key, because verification still gates delivery.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "common/bitvec.hpp"
+#include "common/error.hpp"
 #include "common/rng.hpp"
 #include "engine/params.hpp"
 #include "protocol/channel.hpp"
@@ -48,6 +58,11 @@ using SessionConfig = engine::PostprocessParams;
 struct SessionResult {
   bool success = false;
   std::string abort_reason;
+  /// Set when the block died to a transport/authentication fault rather
+  /// than a protocol decision: the ErrorCode the channel stack surfaced
+  /// (kTimeout, kChannelClosed, kAuthentication, ...). Empty for protocol
+  /// aborts (high QBER, verification mismatch, short key).
+  std::optional<ErrorCode> fault_code;
 
   BitVec final_key;
   std::uint64_t key_id = 0;  ///< shared id (block id based)

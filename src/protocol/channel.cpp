@@ -46,14 +46,18 @@ class InProcessEndpoint final : public ClassicalChannel {
       return !state_->queue[side_].empty() || state_->closed[1 - side_] ||
              state_->closed[side_];
     });
-    if (state_->queue[side_].empty()) {
-      throw_error(ErrorCode::kChannelClosed, "channel closed");
-    }
-    auto frame = std::move(state_->queue[side_].front());
-    state_->queue[side_].pop_front();
-    counters_.messages_received += 1;
-    counters_.bytes_received += frame.size();
-    return frame;
+    return take_front_locked();
+  }
+
+  std::optional<std::vector<std::uint8_t>> receive_for(
+      std::chrono::microseconds timeout) override {
+    std::unique_lock lock(state_->mutex);
+    const bool ready = state_->cv.wait_for(lock, timeout, [this] {
+      return !state_->queue[side_].empty() || state_->closed[1 - side_] ||
+             state_->closed[side_];
+    });
+    if (!ready) return std::nullopt;
+    return take_front_locked();
   }
 
   void close() override {
@@ -70,6 +74,18 @@ class InProcessEndpoint final : public ClassicalChannel {
   }
 
  private:
+  /// Pop the head frame (or throw on closed-and-drained); mutex held.
+  std::vector<std::uint8_t> take_front_locked() {
+    if (state_->queue[side_].empty()) {
+      throw_error(ErrorCode::kChannelClosed, "channel closed");
+    }
+    auto frame = std::move(state_->queue[side_].front());
+    state_->queue[side_].pop_front();
+    counters_.messages_received += 1;
+    counters_.bytes_received += frame.size();
+    return frame;
+  }
+
   double cost_of(std::size_t bytes) const noexcept {
     double t = state_->model.latency_s;
     if (state_->model.bandwidth_bps > 0) {
@@ -98,6 +114,10 @@ class TamperingChannel final : public ClassicalChannel {
   }
 
   std::vector<std::uint8_t> receive() override { return inner_->receive(); }
+  std::optional<std::vector<std::uint8_t>> receive_for(
+      std::chrono::microseconds timeout) override {
+    return inner_->receive_for(timeout);
+  }
   void close() override { inner_->close(); }
   ChannelCounters counters() const override { return inner_->counters(); }
 

@@ -1,0 +1,137 @@
+#include "protocol/faulty_channel.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace qkdpp::protocol {
+
+namespace {
+
+void check_probability(double p, const char* name) {
+  if (!(p >= 0.0 && p <= 1.0)) {
+    throw_error(ErrorCode::kConfig,
+                std::string("fault probability out of [0,1]: ") + name);
+  }
+}
+
+}  // namespace
+
+void FaultProfile::validate() const {
+  check_probability(drop, "drop");
+  check_probability(corrupt, "corrupt");
+  check_probability(duplicate, "duplicate");
+  check_probability(reorder, "reorder");
+  check_probability(delay, "delay");
+  for (const OutageWindow& w : outages) {
+    if (w.end_frame < w.begin_frame) {
+      throw_error(ErrorCode::kConfig, "outage window ends before it begins");
+    }
+  }
+}
+
+FaultyChannel::FaultyChannel(std::unique_ptr<ClassicalChannel> inner,
+                             FaultProfile profile, std::uint64_t seed)
+    : inner_(std::move(inner)), profile_(std::move(profile)), rng_(seed) {
+  profile_.validate();
+}
+
+bool FaultyChannel::in_outage(std::uint64_t frame_index) const noexcept {
+  for (const OutageWindow& w : profile_.outages) {
+    if (frame_index >= w.begin_frame && frame_index < w.end_frame) return true;
+  }
+  return false;
+}
+
+void FaultyChannel::flush_held(bool force) {
+  while (!held_.empty() &&
+         (force || held_.front().release_at <= sent_)) {
+    auto frame = std::move(held_.front().frame);
+    held_.pop_front();
+    inner_->send(std::move(frame));
+  }
+}
+
+void FaultyChannel::send(std::vector<std::uint8_t> frame) {
+  const std::uint64_t index = sent_++;
+
+  if (in_outage(index)) {
+    ++faults_.outage_dropped;
+    flush_held(false);
+    return;
+  }
+  if (profile_.drop > 0.0 && rng_.bernoulli(profile_.drop)) {
+    ++faults_.dropped;
+    flush_held(false);
+    return;
+  }
+  if (profile_.corrupt > 0.0 && rng_.bernoulli(profile_.corrupt) &&
+      !frame.empty()) {
+    const std::uint64_t bit = rng_.next_u64() % (frame.size() * 8);
+    frame[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    ++faults_.corrupted;
+  }
+
+  bool duplicated = false;
+  if (profile_.duplicate > 0.0 && rng_.bernoulli(profile_.duplicate)) {
+    ++faults_.duplicated;
+    duplicated = true;
+  }
+
+  // Reorder/delay hold the frame back and release it after later sends pass
+  // it on the wire; the hold is bounded by max_delay_frames so a quiescent
+  // sender never strands a frame past close().
+  const std::uint32_t span = profile_.max_delay_frames == 0
+                                 ? 1
+                                 : profile_.max_delay_frames;
+  if (profile_.reorder > 0.0 && rng_.bernoulli(profile_.reorder)) {
+    ++faults_.reordered;
+    held_.push_back({std::move(frame), index + 2});
+    if (duplicated) {
+      held_.push_back({held_.back().frame, index + 2});
+    }
+    flush_held(false);
+    return;
+  }
+  if (profile_.delay > 0.0 && rng_.bernoulli(profile_.delay)) {
+    ++faults_.delayed;
+    const std::uint64_t hold = 1 + rng_.next_u64() % span;
+    held_.push_back({std::move(frame), index + 1 + hold});
+    if (duplicated) {
+      held_.push_back({held_.back().frame, index + 1 + hold});
+    }
+    flush_held(false);
+    return;
+  }
+
+  if (duplicated) inner_->send(frame);
+  inner_->send(std::move(frame));
+  flush_held(false);
+}
+
+void FaultyChannel::close() {
+  // Release anything still held so a delayed frame is late, not lost —
+  // losing it would turn a "bounded delay" fault into a silent drop.
+  try {
+    flush_held(true);
+  } catch (const Error&) {
+    // Peer already gone: held frames become drops, which ARQ above already
+    // accounted as timeouts.
+  }
+  inner_->close();
+}
+
+ChannelCounters FaultyChannel::counters() const {
+  ChannelCounters c = inner_->counters();
+  c.faults_injected += faults_.total();
+  return c;
+}
+
+std::unique_ptr<FaultyChannel> make_faulty_channel(
+    std::unique_ptr<ClassicalChannel> inner, FaultProfile profile,
+    std::uint64_t seed) {
+  return std::make_unique<FaultyChannel>(std::move(inner), std::move(profile),
+                                         seed);
+}
+
+}  // namespace qkdpp::protocol

@@ -10,6 +10,8 @@
 #include "common/stats.hpp"
 #include "common/threadpool.hpp"
 #include "engine/sim_adapter.hpp"
+#include "pipeline/session.hpp"
+#include "protocol/channel.hpp"
 
 namespace qkdpp::service {
 
@@ -50,6 +52,19 @@ double mean(const std::deque<double>& window) {
          static_cast<double>(window.size());
 }
 
+/// SplitMix64-style per-block seed derivation: the session transport gives
+/// every block its own RNG and fault streams, so a fault-timing-dependent
+/// abort in block k cannot shift the randomness (and hence the keys) of
+/// block k+1 — the byte-identical same-seed guarantee rests on this.
+std::uint64_t block_seed(std::uint64_t link_seed, std::uint64_t block_id,
+                         std::uint64_t salt) noexcept {
+  std::uint64_t z =
+      link_seed + 0x9e3779b97f4a7c15ULL * (block_id + 1) + (salt << 32);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
 void push_window(std::deque<double>& window, double value,
                  std::size_t capacity) {
   window.push_back(value);
@@ -59,6 +74,24 @@ void push_window(std::deque<double>& window, double value,
 }
 
 }  // namespace
+
+CircuitBreakerPolicy CircuitBreakerPolicy::standard() {
+  CircuitBreakerPolicy policy;
+  policy.open_after_aborts = 3;
+  policy.cooldown_blocks = 4;
+  policy.cooldown_backoff = 2.0;
+  policy.max_cooldown_blocks = 32;
+  return policy;
+}
+
+const char* to_string(BreakerState state) noexcept {
+  switch (state) {
+    case BreakerState::kClosed: return "closed";
+    case BreakerState::kOpen: return "open";
+    case BreakerState::kHalfOpen: return "half-open";
+  }
+  return "unknown";
+}
 
 ReplanPolicy ReplanPolicy::adaptive() {
   ReplanPolicy policy;
@@ -126,6 +159,8 @@ LinkHealth LinkOrchestrator::link_health(std::size_t i) const {
   health.consecutive_aborts =
       state.live_abort_streak.load(std::memory_order_relaxed);
   health.distilling = state.live_distilling.load(std::memory_order_relaxed);
+  health.breaker_open =
+      state.live_breaker_open.load(std::memory_order_relaxed);
   return health;
 }
 
@@ -142,6 +177,101 @@ void LinkOrchestrator::apply_device_events(std::uint64_t block_index) {
       devices_->set_online(event.device_index, true);
     }
   }
+}
+
+engine::BlockOutcome LinkOrchestrator::run_session_block(
+    LinkState& state, std::uint64_t block_id, std::uint64_t block_index,
+    const sim::DetectionRecord& record, LinkReport& report) {
+  const LinkSpec& spec = state.spec;
+  const protocol::FaultProfile profile = spec.schedule.fault_profile_at(
+      spec.channel_faults, block_index);
+  const std::uint64_t seed = spec.rng_seed;
+
+  auto [raw_alice, raw_bob] = protocol::make_channel_pair();
+  auto faulty_alice = protocol::make_faulty_channel(
+      std::move(raw_alice), profile, block_seed(seed, block_id, 1));
+  auto faulty_bob = protocol::make_faulty_channel(
+      std::move(raw_bob), profile, block_seed(seed, block_id, 2));
+  // Keep injector handles: the ARQ layer owns them, but their per-kind
+  // fault tallies outlive the sessions and feed the report.
+  protocol::FaultyChannel* alice_faults = faulty_alice.get();
+  protocol::FaultyChannel* bob_faults = faulty_bob.get();
+  protocol::ReliableChannel alice_channel(std::move(faulty_alice),
+                                          spec.channel_retry,
+                                          block_seed(seed, block_id, 3));
+  protocol::ReliableChannel bob_channel(std::move(faulty_bob),
+                                        spec.channel_retry,
+                                        block_seed(seed, block_id, 4));
+
+  const engine::BlockInput input = engine::make_block_input(record, block_id);
+  pipeline::BobDetections detections;
+  detections.block_id = block_id;
+  detections.n_pulses = input.report.n_pulses;
+  detections.detected_idx = input.report.detected_idx;
+  detections.bits = input.bob_bits;
+  detections.bases = input.report.bob_bases;
+
+  auto bob_future = std::async(std::launch::async, [&] {
+    auto r = pipeline::run_bob_session(bob_channel, detections, spec.params);
+    // Close inside the task: close() lingers to pump retransmissions of
+    // Bob's final frame, which only helps while Alice is still listening.
+    bob_channel.close();
+    return r;
+  });
+  // Per-block session RNG (PE positions, frame seeds, verify/PA seeds):
+  // derived from (link seed, block id) so key material is identical across
+  // runs whatever the fault timing did to previous blocks.
+  Xoshiro256 session_rng(block_seed(seed, block_id, 0));
+  const pipeline::SessionResult alice = pipeline::run_alice_session(
+      alice_channel, input.log, block_id, spec.params, session_rng);
+  alice_channel.close();
+  const pipeline::SessionResult bob = bob_future.get();
+
+  report.channel += alice.channel;
+  report.channel += bob.channel;
+  report.faults += alice_faults->fault_counters();
+  report.faults += bob_faults->fault_counters();
+  for (const auto& side : {alice, bob}) {
+    if (!side.fault_code.has_value()) continue;
+    if (*side.fault_code == ErrorCode::kAuthentication) {
+      ++report.auth_aborts;
+    } else if (*side.fault_code == ErrorCode::kTimeout ||
+               *side.fault_code == ErrorCode::kChannelClosed) {
+      ++report.channel_aborts;
+    }
+  }
+
+  engine::BlockOutcome outcome;
+  outcome.block_id = block_id;
+  outcome.pulses = spec.pulses_per_block;
+  outcome.sifted_bits = alice.sifted_bits;
+  outcome.key_candidate_bits = alice.key_candidate_bits;
+  outcome.qber_estimate = alice.qber_estimate;
+  // Sentinel for the window feed: a session killed by a channel or auth
+  // fault may carry a partial estimate; only a fault-free one (PE always
+  // floors a completed estimate above zero) is a channel measurement.
+  const bool channel_fault =
+      alice.fault_code.has_value() || bob.fault_code.has_value();
+  outcome.pe_sample_bits =
+      (!channel_fault && alice.qber_estimate > 0.0) ? 1 : 0;
+  outcome.leak_ec_bits = alice.leak_ec_bits;
+  outcome.reconciled_bits = alice.reconciled_bits;
+  if (alice.success && bob.success) {
+    if (alice.final_key == bob.final_key) {
+      outcome.success = true;
+      outcome.final_key = alice.final_key;
+      outcome.final_key_bits = alice.final_key.size();
+    } else {
+      // Verification and the PA-parameter checksum make this unreachable
+      // short of a protocol bug; count it loudly instead of delivering.
+      ++report.mismatched_keys;
+      outcome.abort_reason = "endpoint key mismatch";
+    }
+  } else {
+    outcome.abort_reason =
+        !alice.success ? alice.abort_reason : bob.abort_reason;
+  }
+  return outcome;
 }
 
 void LinkOrchestrator::run_link(std::size_t i, LinkReport& report) {
@@ -161,9 +291,26 @@ void LinkOrchestrator::run_link(std::size_t i, LinkReport& report) {
   double best_window_rate = 0.0;
   std::uint64_t last_plan_block = 0;
 
+  const CircuitBreakerPolicy& breaker = config_.breaker;
+  if (breaker.enabled() && state.breaker_state == BreakerState::kOpen) {
+    // A breaker left open by a previous run probes immediately: its pending
+    // cooldown was counted in the previous run's block indices.
+    state.breaker_probe_block = 0;
+  }
+
   Stopwatch link_clock;
   for (std::uint64_t b = 0; b < state.spec.blocks; ++b) {
     apply_device_events(b);
+
+    if (breaker.enabled() && state.breaker_state == BreakerState::kOpen) {
+      if (b < state.breaker_probe_block) {
+        // Shed the block instead of burning a full retransmission budget
+        // against a channel we already know is dark.
+        ++report.breaker_skipped_blocks;
+        continue;
+      }
+      state.breaker_state = BreakerState::kHalfOpen;
+    }
 
     // A roster change invalidates the placement outright: replan before
     // committing the next block to a device that is no longer there.
@@ -192,10 +339,14 @@ void LinkOrchestrator::run_link(std::size_t i, LinkReport& report) {
           state.spec.schedule.config_at(state.spec.link, b));
       record = simulator.run(state.spec.pulses_per_block, state.rng);
     }
-    const engine::BlockInput input =
-        engine::make_block_input(record, block_id);
-    const engine::BlockOutcome outcome =
-        state.engine->process_block(input, block_id, state.rng);
+    engine::BlockOutcome outcome;
+    if (state.spec.session_transport) {
+      outcome = run_session_block(state, block_id, b, record, report);
+    } else {
+      const engine::BlockInput input =
+          engine::make_block_input(record, block_id);
+      outcome = state.engine->process_block(input, block_id, state.rng);
+    }
     if (outcome.success) {
       ++report.blocks_ok;
       state.live_blocks_ok.fetch_add(1, std::memory_order_relaxed);
@@ -221,9 +372,47 @@ void LinkOrchestrator::run_link(std::size_t i, LinkReport& report) {
       }
     }
 
+    if (breaker.enabled()) {
+      if (outcome.success) {
+        state.breaker_state = BreakerState::kClosed;
+        state.breaker_cooldown = static_cast<double>(breaker.cooldown_blocks);
+      } else {
+        const bool probe_failed =
+            state.breaker_state == BreakerState::kHalfOpen;
+        const std::uint64_t streak =
+            state.live_abort_streak.load(std::memory_order_relaxed);
+        if (probe_failed || streak >= breaker.open_after_aborts) {
+          // A failed half-open probe backs the cooldown off geometrically;
+          // a fresh abort streak starts from the base cooldown.
+          state.breaker_cooldown =
+              probe_failed
+                  ? std::min(static_cast<double>(breaker.max_cooldown_blocks),
+                             state.breaker_cooldown * breaker.cooldown_backoff)
+                  : static_cast<double>(breaker.cooldown_blocks);
+          state.breaker_state = BreakerState::kOpen;
+          ++report.breaker_opens;
+          state.breaker_probe_block =
+              b + 1 + static_cast<std::uint64_t>(state.breaker_cooldown);
+        }
+      }
+      state.live_breaker_open.store(
+          state.breaker_state != BreakerState::kClosed,
+          std::memory_order_relaxed);
+    }
+
     // Feed the windows and evaluate the remaining triggers at the block
-    // boundary; in-flight blocks of other links are never drained.
-    if (outcome.pe_sample_bits > 0) {
+    // boundary; in-flight blocks of other links are never drained. An
+    // aborted block feeds the QBER window only while its estimate sits
+    // below the abort ceiling: a reconcile failure at 8% is a real
+    // operating point the adaptation must react to (the LDPC->Cascade
+    // switch on a QBER burst depends on exactly those blocks), but an
+    // outage block estimated at ~50% — or a session killed by a channel
+    // fault, which never produced a trustworthy estimate — says nothing
+    // about the channel the *next* block will see, and mixing those in
+    // skewed replan triggers and relay routing costs long after recovery.
+    if (outcome.pe_sample_bits > 0 &&
+        (outcome.success ||
+         outcome.qber_estimate <= state.spec.params.qber_abort)) {
       push_window(qber_window, outcome.qber_estimate, policy.window);
     }
     push_window(seconds_window, block_clock.seconds(), policy.window);
@@ -269,6 +458,7 @@ void LinkOrchestrator::run_link(std::size_t i, LinkReport& report) {
     }
   }
   report.wall_seconds = link_clock.seconds();
+  report.breaker_state = state.breaker_state;
   state.live_distilling.store(false, std::memory_order_relaxed);
 
   const auto placement = state.engine->placement();

@@ -33,6 +33,8 @@
 #include "engine/params.hpp"
 #include "hetero/device_set.hpp"
 #include "pipeline/kms.hpp"
+#include "protocol/faulty_channel.hpp"
+#include "protocol/reliable_channel.hpp"
 #include "sim/bb84.hpp"
 #include "sim/link_config.hpp"
 #include "sim/scenario.hpp"
@@ -50,7 +52,50 @@ struct LinkSpec {
   /// Time-varying channel: perturbations applied to `link` per block index
   /// within a run (empty = stationary channel, the pre-scenario behaviour).
   sim::LinkSchedule schedule;
+  /// Distill through the two-party session choreography over an in-process
+  /// classical channel (ARQ over the fault injector) instead of the
+  /// single-process engine fast path. This is the deployment shape whose
+  /// retry/timeout/degradation behaviour the fault timeline exercises; the
+  /// engine path exchanges no classical messages, so faults cannot touch it.
+  bool session_transport = false;
+  /// Standing egress fault profile of the classical channel (session
+  /// transport only; the schedule's channel_faults phases overlay it per
+  /// block).
+  protocol::FaultProfile channel_faults;
+  /// ARQ posture of the session transport (retries, backoff, deadlines).
+  protocol::RetryPolicy channel_retry;
 };
+
+/// Per-link circuit breaker: an unbroken abort streak opens the circuit,
+/// the link skips (rather than burns retry budgets on) the cooldown window,
+/// then a single half-open probe block decides between re-closing and
+/// re-opening with a multiplied cooldown. Disabled by default — aborts are
+/// cheap on the engine fast path; arm it for session-transport links where
+/// every channel-fault abort costs a full retransmission budget.
+struct CircuitBreakerPolicy {
+  /// Consecutive aborts that open the circuit (0 = breaker disabled).
+  std::uint64_t open_after_aborts = 0;
+  /// Blocks skipped after the first open before the half-open probe.
+  std::uint64_t cooldown_blocks = 4;
+  /// Cooldown multiplier applied on every failed half-open probe.
+  double cooldown_backoff = 2.0;
+  /// Cooldown growth cap.
+  std::uint64_t max_cooldown_blocks = 64;
+
+  bool enabled() const noexcept { return open_after_aborts > 0; }
+
+  /// The posture the chaos bench and the examples run: open after 3
+  /// consecutive aborts, 4-block cooldown doubling up to 32.
+  static CircuitBreakerPolicy standard();
+};
+
+enum class BreakerState : std::uint8_t {
+  kClosed = 0,    ///< normal operation
+  kOpen = 1,      ///< cooling down, blocks are skipped
+  kHalfOpen = 2,  ///< one probe block in flight
+};
+
+const char* to_string(BreakerState state) noexcept;
 
 /// When and why a link re-runs its engine's placement search mid-run. All
 /// triggers are evaluated at block boundaries; in-flight blocks are never
@@ -112,6 +157,8 @@ struct OrchestratorConfig {
   /// any link reaches online_at_block. Asynchronous with respect to
   /// in-flight blocks, exactly like pulling a real accelerator.
   std::vector<sim::DeviceEvent> device_events;
+  /// Fleet-wide circuit-breaker posture (default disabled).
+  CircuitBreakerPolicy breaker;
 };
 
 /// Per-link outcome of one run().
@@ -130,6 +177,20 @@ struct LinkReport {
   std::uint64_t replans = 0;               ///< mid-run placement refreshes
   std::uint64_t offline_aborts = 0;  ///< blocks lost to a hot-removed device
   double windowed_qber = 0.0;        ///< last sliding-window QBER estimate
+
+  // Degradation observability (ISSUE 7): the session transport's channel
+  // accounting and the breaker's behaviour, so a chaotic run is measured,
+  // not inferred. Engine-path links leave the channel/fault counters zero.
+  std::uint64_t channel_aborts = 0;  ///< blocks lost to kTimeout/kChannelClosed
+  std::uint64_t auth_aborts = 0;     ///< blocks lost to a MAC failure
+  /// Both sides succeeded but produced different keys: must stay zero —
+  /// verification gates delivery, so a nonzero count is a protocol bug.
+  std::uint64_t mismatched_keys = 0;
+  std::uint64_t breaker_opens = 0;           ///< closed/half-open -> open
+  std::uint64_t breaker_skipped_blocks = 0;  ///< blocks not attempted
+  BreakerState breaker_state = BreakerState::kClosed;  ///< at end of run
+  protocol::ChannelCounters channel;  ///< both session endpoints, summed
+  protocol::FaultCounters faults;     ///< injected on this link's channel
 };
 
 /// Live per-link channel health, readable while run() is in flight (the
@@ -145,6 +206,9 @@ struct LinkHealth {
   /// which is the router's "edge is down" signal.
   std::uint64_t consecutive_aborts = 0;
   bool distilling = false;  ///< a run() is currently driving this link
+  /// The link's circuit is open or half-open: the router treats the edge
+  /// like admin-down and the delivery facade answers 503 for starved pairs.
+  bool breaker_open = false;
 };
 
 struct OrchestratorReport {
@@ -206,6 +270,12 @@ class LinkOrchestrator {
     std::atomic<std::uint64_t> live_blocks_aborted{0};
     std::atomic<std::uint64_t> live_abort_streak{0};
     std::atomic<bool> live_distilling{false};
+    std::atomic<bool> live_breaker_open{false};
+
+    /// Breaker bookkeeping (link thread only; mirrored to the atomic).
+    BreakerState breaker_state = BreakerState::kClosed;
+    std::uint64_t breaker_probe_block = 0;  ///< per-run block index of probe
+    double breaker_cooldown = 0.0;          ///< current cooldown, in blocks
 
     LinkState(LinkSpec s, pipeline::KeyStoreConfig store_config)
         : spec(std::move(s)),
@@ -235,6 +305,16 @@ class LinkOrchestrator {
 
   void apply_device_events(std::uint64_t block_index);
   void run_link(std::size_t i, LinkReport& report);
+  /// One block over the session transport: Alice and Bob distill the
+  /// simulated detections across an in-process classical channel wearing
+  /// the block's fault profile under the ARQ layer. Returns an
+  /// engine-shaped outcome so downstream accounting is path-agnostic;
+  /// channel/fault counters accumulate onto `report`.
+  engine::BlockOutcome run_session_block(LinkState& state,
+                                         std::uint64_t block_id,
+                                         std::uint64_t block_index,
+                                         const sim::DetectionRecord& record,
+                                         LinkReport& report);
 
   OrchestratorConfig config_;
   std::shared_ptr<hetero::DeviceSet> devices_;

@@ -92,6 +92,25 @@ LinkConfig LinkSchedule::config_at(const LinkConfig& base,
   return config;
 }
 
+protocol::FaultProfile LinkSchedule::fault_profile_at(
+    const protocol::FaultProfile& base, std::uint64_t block) const {
+  protocol::FaultProfile profile = base;
+  for (const auto& phase : channel_faults) {
+    if (block < phase.begin_block || block >= phase.end_block) continue;
+    const auto& p = phase.profile;
+    profile.drop = std::max(profile.drop, p.drop);
+    profile.corrupt = std::max(profile.corrupt, p.corrupt);
+    profile.duplicate = std::max(profile.duplicate, p.duplicate);
+    profile.reorder = std::max(profile.reorder, p.reorder);
+    profile.delay = std::max(profile.delay, p.delay);
+    profile.max_delay_frames =
+        std::max(profile.max_delay_frames, p.max_delay_frames);
+    profile.outages.insert(profile.outages.end(), p.outages.begin(),
+                           p.outages.end());
+  }
+  return profile;
+}
+
 void ScenarioConfig::validate() const {
   auto check = [](bool ok, const char* what) {
     if (!ok) throw_error(ErrorCode::kConfig, what);
@@ -119,6 +138,11 @@ void ScenarioConfig::validate() const {
       case PerturbationKind::kLinkOutage:
         break;  // magnitude unused: an outage has no strength knob
     }
+  }
+  for (const auto& phase : schedule.channel_faults) {
+    check(phase.end_block >= phase.begin_block,
+          "inverted channel fault phase");
+    phase.profile.validate();  // throws its own kConfig on bad rates
   }
   for (const auto& event : device_events) {
     check(event.offline_at_block < blocks, "device event past scenario end");
@@ -228,6 +252,40 @@ ScenarioConfig link_outage_scenario(std::uint64_t blocks) {
   outage.begin_block = at(6, 18, blocks);
   outage.end_block = at(12, 18, blocks);
   scenario.schedule.perturbations.push_back(outage);
+  return scenario;
+}
+
+ScenarioConfig loss_burst_scenario(std::uint64_t blocks) {
+  // The classical service channel degrades for the middle third: 5% of
+  // frames vanish and 1% take a bit flip. The ARQ layer heals all of it;
+  // the cost is retransmission latency, which the chaos bench gates at
+  // >= 0.7x clean goodput.
+  ScenarioConfig scenario;
+  scenario.name = "loss-burst";
+  scenario.blocks = blocks;
+  ChannelFaultPhase burst;
+  burst.begin_block = at(6, 18, blocks);
+  burst.end_block = at(12, 18, blocks);
+  burst.profile.drop = 0.05;
+  burst.profile.corrupt = 0.01;
+  scenario.schedule.channel_faults.push_back(burst);
+  return scenario;
+}
+
+ScenarioConfig channel_outage_scenario(std::uint64_t blocks) {
+  // The service channel goes fully dark for the middle third while the
+  // quantum layer keeps producing detections: every block in the window
+  // exhausts its retransmission budget and aborts with kTimeout. The
+  // breaker opens on the abort streak and half-open probes rediscover the
+  // channel once the outage lifts.
+  ScenarioConfig scenario;
+  scenario.name = "channel-outage";
+  scenario.blocks = blocks;
+  ChannelFaultPhase outage;
+  outage.begin_block = at(6, 18, blocks);
+  outage.end_block = at(12, 18, blocks);
+  outage.profile.drop = 1.0;
+  scenario.schedule.channel_faults.push_back(outage);
   return scenario;
 }
 

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "protocol/faulty_channel.hpp"
 #include "sim/link_config.hpp"
 
 namespace qkdpp::sim {
@@ -70,15 +71,39 @@ struct DeviceEvent {
   std::uint64_t online_at_block = 0;
 };
 
+/// A classical-channel fault phase: over per-link block indices
+/// [begin_block, end_block) the session transport overlays `profile` on the
+/// link's standing fault profile. This is the *service* channel failing
+/// (the quantum channel keeps producing detections) — the complement of
+/// kLinkOutage, which kills the physics while the classical network stays
+/// healthy.
+struct ChannelFaultPhase {
+  std::uint64_t begin_block = 0;
+  std::uint64_t end_block = 0;  ///< half-open; <= begin means "never active"
+  protocol::FaultProfile profile;
+};
+
 /// Piecewise timeline of perturbations applied to one link's base config.
 struct LinkSchedule {
   std::vector<Perturbation> perturbations;
+  /// Classical-channel fault timeline, sampled per block by links running
+  /// the session transport (ignored on the in-process engine fast path,
+  /// which exchanges no classical messages).
+  std::vector<ChannelFaultPhase> channel_faults;
 
-  bool empty() const noexcept { return perturbations.empty(); }
+  bool empty() const noexcept {
+    return perturbations.empty() && channel_faults.empty();
+  }
 
   /// The link as block `block` sees it: every active perturbation applied
   /// to `base`, with results clamped into LinkConfig::validate() range.
   LinkConfig config_at(const LinkConfig& base, std::uint64_t block) const;
+
+  /// The classical-channel fault profile block `block` distills under:
+  /// `base` (the link's standing profile) overlaid with every active
+  /// phase. Probabilities combine by max; outage windows accumulate.
+  protocol::FaultProfile fault_profile_at(const protocol::FaultProfile& base,
+                                          std::uint64_t block) const;
 };
 
 /// A named dynamic-link workload: the schedule, the fault events against
@@ -111,6 +136,17 @@ ScenarioConfig device_hot_remove_scenario(std::uint64_t blocks = 18);
 /// of shipped_scenarios() - a dead link has no adaptive-vs-static story for
 /// bench_scenarios; it exists to take a topology *edge* down.
 ScenarioConfig link_outage_scenario(std::uint64_t blocks = 18);
+
+/// Classical-channel loss burst over the middle third: 5% frame drop + 1%
+/// bit corruption, the ARQ layer's bread-and-butter degradation case (and
+/// the chaos bench's goodput-gated profile). Session-transport links only.
+ScenarioConfig loss_burst_scenario(std::uint64_t blocks = 18);
+
+/// Classical-channel outage over the middle third: every service-channel
+/// frame lost while the quantum layer keeps clicking. Blocks in the window
+/// abort on retransmission timeout; the orchestrator's circuit breaker is
+/// what keeps the link from burning full retry budgets on every one.
+ScenarioConfig channel_outage_scenario(std::uint64_t blocks = 18);
 
 /// All shipped scenarios, scaled to `blocks` timeline steps each.
 std::vector<ScenarioConfig> shipped_scenarios(std::uint64_t blocks = 0);

@@ -1,0 +1,172 @@
+// Session-over-chaos integration tests: the two-party choreography runs on
+// top of the ARQ layer (ReliableChannel) over a seeded fault injector
+// (FaultyChannel). A lossy-but-alive channel must heal to the *same* keys a
+// clean channel produces (exactly-once in-order delivery means the fault
+// pattern never reaches the protocol); a dead channel must end in typed
+// aborts on both sides instead of a hang or an unwind.
+#include "pipeline/session.hpp"
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <utility>
+
+#include "common/error.hpp"
+#include "protocol/faulty_channel.hpp"
+#include "protocol/reliable_channel.hpp"
+#include "sim/bb84.hpp"
+
+namespace qkdpp::pipeline {
+namespace {
+
+struct LinkData {
+  protocol::AliceTransmitLog alice_log;
+  BobDetections bob;
+};
+
+LinkData simulate_link(double km, std::uint64_t seed, std::size_t pulses) {
+  sim::LinkConfig link;
+  link.channel.length_km = km;
+  Xoshiro256 rng(seed);
+  const auto record = sim::Bb84Simulator(link).run(pulses, rng);
+  LinkData data;
+  data.alice_log = {record.alice_bits, record.alice_bases,
+                    record.alice_class};
+  data.bob.block_id = 1;
+  data.bob.n_pulses = record.n_pulses;
+  data.bob.detected_idx = record.detected_idx;
+  data.bob.bits = record.bob_bits;
+  data.bob.bases = record.bob_bases;
+  return data;
+}
+
+SessionConfig metro_session_config() {
+  SessionConfig config;
+  config.ldpc.min_frame = 4096;
+  return config;
+}
+
+struct ChaosRun {
+  SessionResult alice;
+  SessionResult bob;
+};
+
+/// Run one session with `profile` injected under the ARQ layer on both
+/// directions. The fault and jitter seeds are fixed per run index so a
+/// repeat with the same arguments replays the same injected pattern.
+ChaosRun run_chaos_session(const LinkData& data, const SessionConfig& config,
+                           const protocol::FaultProfile& profile,
+                           const protocol::RetryPolicy& retry,
+                           std::uint64_t fault_seed) {
+  auto [raw_alice, raw_bob] = protocol::make_channel_pair();
+  auto faulty_alice = protocol::make_faulty_channel(std::move(raw_alice),
+                                                    profile, fault_seed);
+  auto faulty_bob = protocol::make_faulty_channel(std::move(raw_bob), profile,
+                                                  fault_seed + 1);
+  protocol::ReliableChannel alice_channel(std::move(faulty_alice), retry,
+                                          fault_seed + 2);
+  protocol::ReliableChannel bob_channel(std::move(faulty_bob), retry,
+                                        fault_seed + 3);
+
+  auto alice_future = std::async(std::launch::async, [&] {
+    Xoshiro256 rng(777);
+    auto r = run_alice_session(alice_channel, data.alice_log, 1, config, rng);
+    // Close inside the task: close() lingers to retransmit an unacked
+    // final frame while the peer is still listening.
+    alice_channel.close();
+    return r;
+  });
+  ChaosRun run;
+  run.bob = run_bob_session(bob_channel, data.bob, config);
+  bob_channel.close();
+  run.alice = alice_future.get();
+  return run;
+}
+
+TEST(SessionChaos, LossyChannelHealsToCleanChannelKeys) {
+  const auto data = simulate_link(25.0, 300, 1 << 19);
+  // Cascade: hundreds of parity round-trips, so the lossy profile is
+  // statistically guaranteed to hit the wire many times (an LDPC session
+  // is ~a dozen frames — a zero-fault run would be a coin flip away).
+  SessionConfig config = metro_session_config();
+  config.method = protocol::ReconcileMethod::kCascade;
+  const protocol::RetryPolicy retry;
+
+  // Reference: the same block over a fault-free stack (ARQ still in the
+  // path, so framing overhead is identical — only the faults differ).
+  const ChaosRun clean =
+      run_chaos_session(data, config, protocol::FaultProfile{}, retry, 40);
+  ASSERT_TRUE(clean.alice.success) << clean.alice.abort_reason;
+  ASSERT_TRUE(clean.bob.success) << clean.bob.abort_reason;
+  ASSERT_EQ(clean.alice.final_key, clean.bob.final_key);
+  EXPECT_EQ(clean.alice.channel.retransmits, 0u);
+
+  protocol::FaultProfile lossy;
+  lossy.drop = 0.05;
+  lossy.corrupt = 0.01;
+  lossy.duplicate = 0.02;
+  lossy.reorder = 0.02;
+  const ChaosRun chaotic = run_chaos_session(data, config, lossy, retry, 41);
+  ASSERT_TRUE(chaotic.alice.success) << chaotic.alice.abort_reason;
+  ASSERT_TRUE(chaotic.bob.success) << chaotic.bob.abort_reason;
+
+  // The ARQ layer healed every injected fault: the protocol transcript —
+  // and with the same Alice seed, the final key — is byte-identical to the
+  // clean run's. Retransmission shows up only in the counters.
+  EXPECT_EQ(chaotic.alice.final_key, clean.alice.final_key);
+  EXPECT_EQ(chaotic.bob.final_key, clean.bob.final_key);
+  const auto chaos_counters = chaotic.alice.channel;  // already folded
+  EXPECT_GT(chaos_counters.retransmits + chaotic.bob.channel.retransmits, 0u);
+  EXPECT_GT(chaos_counters.faults_injected +
+                chaotic.bob.channel.faults_injected,
+            0u);
+}
+
+TEST(SessionChaos, SameSeedFaultRunsProduceIdenticalKeys) {
+  const auto data = simulate_link(25.0, 301, 1 << 19);
+  const SessionConfig config = metro_session_config();
+  const protocol::RetryPolicy retry;
+  protocol::FaultProfile lossy;
+  lossy.drop = 0.08;
+  lossy.corrupt = 0.02;
+  lossy.reorder = 0.03;
+
+  const ChaosRun first = run_chaos_session(data, config, lossy, retry, 70);
+  const ChaosRun second = run_chaos_session(data, config, lossy, retry, 70);
+  ASSERT_TRUE(first.alice.success) << first.alice.abort_reason;
+  ASSERT_TRUE(second.alice.success) << second.alice.abort_reason;
+  EXPECT_EQ(first.alice.final_key, second.alice.final_key);
+  EXPECT_EQ(first.bob.final_key, second.bob.final_key);
+  EXPECT_EQ(first.alice.key_id, second.alice.key_id);
+}
+
+TEST(SessionChaos, ChannelOutageIsTypedAbortOnBothSides) {
+  const auto data = simulate_link(25.0, 302, 1 << 18);
+  const SessionConfig config = metro_session_config();
+  protocol::FaultProfile dead;
+  dead.drop = 1.0;  // nothing crosses, in either direction
+  protocol::RetryPolicy retry;
+  retry.max_retries = 3;
+  retry.base_timeout = std::chrono::microseconds{500};
+  retry.exchange_deadline = std::chrono::milliseconds{300};
+
+  const ChaosRun run = run_chaos_session(data, config, dead, retry, 90);
+  // Both sides abort with a *typed* fault — no hang, no unwound exception,
+  // no key material on either end.
+  EXPECT_FALSE(run.alice.success);
+  EXPECT_FALSE(run.bob.success);
+  ASSERT_TRUE(run.alice.fault_code.has_value());
+  ASSERT_TRUE(run.bob.fault_code.has_value());
+  for (const auto code : {*run.alice.fault_code, *run.bob.fault_code}) {
+    EXPECT_TRUE(code == ErrorCode::kTimeout ||
+                code == ErrorCode::kChannelClosed)
+        << to_string(code);
+  }
+  EXPECT_TRUE(run.alice.final_key.empty());
+  EXPECT_TRUE(run.bob.final_key.empty());
+  EXPECT_GT(run.alice.channel.retry_timeouts + run.bob.channel.retry_timeouts,
+            0u);
+}
+
+}  // namespace
+}  // namespace qkdpp::pipeline

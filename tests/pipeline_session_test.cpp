@@ -143,22 +143,39 @@ TEST(Session, TamperedChannelDetectedByAuthentication) {
 
   auto alice_future = std::async(std::launch::async, [&] {
     Xoshiro256 rng(777);
-    try {
-      (void)run_alice_session(alice_channel, data.alice_log, 1,
-                              metro_session_config(), rng);
-    } catch (const Error&) {
-      // Alice may see the channel die when Bob bails out.
-    }
+    auto r = run_alice_session(alice_channel, data.alice_log, 1,
+                               metro_session_config(), rng);
     alice_channel.close();
+    return r;
   });
-  try {
-    (void)run_bob_session(bob_channel, data.bob, metro_session_config());
-    FAIL() << "expected authentication failure";
-  } catch (const Error& e) {
-    EXPECT_EQ(e.code(), ErrorCode::kAuthentication);
-  }
+  const auto bob =
+      run_bob_session(bob_channel, data.bob, metro_session_config());
   bob_channel.close();
-  alice_future.wait();
+  const auto alice = alice_future.get();
+
+  // Bob rejects the tampered frame with a *typed* abort, not an unwind.
+  EXPECT_FALSE(bob.success);
+  ASSERT_TRUE(bob.fault_code.has_value());
+  EXPECT_EQ(*bob.fault_code, ErrorCode::kAuthentication);
+  // Bob's Abort notification reaches Alice, so she aborts too instead of
+  // hanging; neither side holds key material.
+  EXPECT_FALSE(alice.success);
+  EXPECT_TRUE(alice.final_key.empty());
+  EXPECT_TRUE(bob.final_key.empty());
+
+  // One-time-pad discipline: every frame Bob verified — including the
+  // tampered one that failed — consumed exactly one tag's worth of key.
+  // A failed verify must not refund its bits (that would reuse a one-time
+  // key), and Alice's sign pool must track her sent frames the same way.
+  EXPECT_GT(bob_recv.total_consumed(), 0u);
+  EXPECT_EQ(bob_recv.total_consumed(),
+            bob.channel.messages_received * auth::kTagKeyBits);
+  // Send pools may run one tag ahead of the wire: signing consumes key
+  // even when the transmit then fails on a closed peer (never refunded).
+  EXPECT_GE(alice_send.total_consumed(),
+            alice.channel.messages_sent * auth::kTagKeyBits);
+  EXPECT_GE(bob_send.total_consumed(),
+            bob.channel.messages_sent * auth::kTagKeyBits);
 }
 
 TEST(Session, ShortBlockAbortsGracefully) {

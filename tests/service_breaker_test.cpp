@@ -1,0 +1,194 @@
+// Circuit-breaker + degradation-upward tests: a session-transport link
+// under a classical-channel outage opens its breaker after the abort
+// streak, sheds the cooldown window instead of burning retransmission
+// budgets, half-open probes back off geometrically while the outage holds,
+// and the open state propagates upward — the router treats the edge like
+// admin-down, the delivery facade answers 503 with breaker detail. Plus
+// the windowed-QBER regression: aborted blocks stay out of the health
+// window.
+#include "service/link_orchestrator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+#include <utility>
+
+#include "api/key_delivery.hpp"
+#include "network/router.hpp"
+#include "network/topology.hpp"
+#include "sim/scenario.hpp"
+
+namespace qkdpp::service {
+namespace {
+
+/// Fast-abort ARQ posture: an outage block should cost tens of
+/// milliseconds, not the deployment-tuned retry budget. The base timeout
+/// stays at 2 ms so a CI scheduling hiccup cannot burn the whole budget
+/// on a healthy channel.
+protocol::RetryPolicy fast_retry() {
+  protocol::RetryPolicy retry;
+  retry.max_retries = 5;
+  retry.base_timeout = std::chrono::milliseconds{2};
+  retry.exchange_deadline = std::chrono::milliseconds{5000};
+  retry.close_linger = std::chrono::milliseconds{50};
+  return retry;
+}
+
+/// Breaker arithmetic needs every clean block to succeed, so these links
+/// reconcile with Cascade: interactive parity converges deterministically,
+/// where LDPC at this block size sporadically sheds a clean block when the
+/// PE estimate low-balls the frame's true error rate.
+LinkSpec session_link(std::string name, std::uint64_t blocks,
+                      std::uint64_t seed) {
+  LinkSpec spec;
+  spec.name = std::move(name);
+  spec.link.channel.length_km = 10.0;
+  spec.pulses_per_block = std::size_t{1} << 18;
+  spec.blocks = blocks;
+  spec.rng_seed = seed;
+  spec.params.method = protocol::ReconcileMethod::kCascade;
+  spec.session_transport = true;
+  spec.channel_retry = fast_retry();
+  return spec;
+}
+
+bool has_detail(const std::vector<std::string>& details,
+                std::string_view needle) {
+  return std::any_of(details.begin(), details.end(),
+                     [&](const std::string& d) { return d == needle; });
+}
+
+TEST(ServiceBreaker, OpensOnChannelOutageAndReclosesAfterProbe) {
+  // channel_outage over blocks [6, 12): the quantum layer keeps producing,
+  // the service channel drops every frame. Streak of 3 opens the breaker
+  // at block 8; blocks 9-12 are shed; the half-open probe at 13 lands
+  // after the outage and re-closes the circuit.
+  OrchestratorConfig config;
+  LinkSpec spec = session_link("chaotic", 18, 7);
+  spec.schedule = sim::channel_outage_scenario(18).schedule;
+  config.links.push_back(std::move(spec));
+  config.breaker = CircuitBreakerPolicy::standard();
+
+  LinkOrchestrator orchestrator(std::move(config));
+  const auto report = orchestrator.run();
+  const LinkReport& link = report.links[0];
+
+  EXPECT_EQ(link.blocks_aborted, 3u) << "blocks 6,7,8 time out";
+  EXPECT_EQ(link.breaker_opens, 1u);
+  EXPECT_EQ(link.breaker_skipped_blocks, 4u) << "blocks 9-12 shed";
+  EXPECT_EQ(link.blocks_ok, 11u) << "6 before + probe 13 + 14-17";
+  EXPECT_EQ(link.breaker_state, BreakerState::kClosed);
+  EXPECT_FALSE(orchestrator.link_health(0).breaker_open);
+
+  // Degradation observability: the aborts are channel aborts, the injector
+  // counted its outage drops, the ARQ layer retried before giving up — and
+  // not one delivered key failed verification.
+  EXPECT_EQ(link.channel_aborts, link.blocks_aborted * 2)
+      << "both endpoints of each dead block report a typed channel fault";
+  EXPECT_EQ(link.mismatched_keys, 0u);
+  EXPECT_GT(link.faults.dropped, 0u);
+  EXPECT_GT(link.channel.retransmits, 0u);
+  EXPECT_GT(link.secret_bits, 0u);
+  EXPECT_EQ(orchestrator.key_store(0).bits_available(), link.secret_bits);
+}
+
+TEST(ServiceBreaker, FailedProbeBacksOffAndStatePropagatesUpward) {
+  // Permanent outage from block 3 onward: the breaker opens at block 5,
+  // probes at 10, fails, doubles the cooldown and stays open to the end of
+  // the run. The open state must surface everywhere a consumer looks:
+  // LinkHealth, the topology edge, the router, and the 503 detail.
+  OrchestratorConfig config;
+  config.links.push_back(session_link("ab", 2, 11));
+  config.links.push_back(session_link("bc", 2, 12));
+  LinkSpec dark = session_link("ac", 14, 13);
+  sim::ChannelFaultPhase outage;
+  outage.begin_block = 3;
+  outage.end_block = 1000;  // never lifts within this run
+  outage.profile.drop = 1.0;
+  dark.schedule.channel_faults.push_back(outage);
+  config.links.push_back(std::move(dark));
+  config.breaker = CircuitBreakerPolicy::standard();
+
+  LinkOrchestrator orchestrator(std::move(config));
+  const auto report = orchestrator.run();
+  const LinkReport& ac = report.links[2];
+
+  EXPECT_EQ(ac.blocks_ok, 3u);
+  EXPECT_EQ(ac.blocks_aborted, 4u) << "3,4,5 then the failed probe at 10";
+  EXPECT_EQ(ac.breaker_opens, 2u);
+  EXPECT_EQ(ac.breaker_skipped_blocks, 7u) << "6-9 then 11-13";
+  EXPECT_EQ(ac.breaker_state, BreakerState::kOpen);
+  EXPECT_TRUE(orchestrator.link_health(2).breaker_open);
+
+  network::Topology topology(orchestrator);
+  for (const char* node : {"a", "b", "c"}) topology.add_node(node);
+  topology.add_edge("a", "b", "ab");
+  topology.add_edge("b", "c", "bc");
+  const std::size_t ac_edge = topology.add_edge("a", "c", "ac");
+  EXPECT_TRUE(topology.edge_status(ac_edge).breaker_open);
+
+  // down_after_aborts off: the direct edge must fall out of routing on the
+  // breaker bit alone, not on the abort-streak heuristic.
+  network::RouterPolicy policy;
+  policy.down_after_aborts = 0;
+  network::Router router(topology, policy);
+  const auto route = router.find_route(0, 2, {});
+  ASSERT_TRUE(route.has_value());
+  EXPECT_EQ(route->hops(), 2u) << "a-b-c around the open direct edge";
+
+  // The delivery facade turns the same state into an actionable 503: the
+  // dark link banked 3 blocks; drain them, then the next request must name
+  // the open breaker and a Retry-After-style hint.
+  api::KeyDeliveryService service(orchestrator);
+  api::SaePair pair;
+  pair.master_sae_id = "sae-a";
+  pair.slave_sae_id = "sae-c";
+  pair.link_name = "ac";
+  pair.max_key_per_request = 4096;
+  service.register_pair(pair);
+  api::KeyRequest drain;
+  drain.number = 4096;
+  drain.size = 64;
+  while (service.get_key("sae-a", "sae-c", drain).ok()) {
+  }
+  const auto starved = service.get_key("sae-a", "sae-c", drain);
+  ASSERT_FALSE(starved.ok());
+  EXPECT_EQ(starved.error.status, api::kStatusUnavailable);
+  EXPECT_TRUE(has_detail(starved.error.details, "link_breaker=open"))
+      << starved.error.to_json().dump();
+  EXPECT_TRUE(has_detail(starved.error.details, "retry_after_ms=2000"))
+      << starved.error.to_json().dump();
+}
+
+TEST(ServiceBreaker, WindowedQberExcludesAbortedBlocks) {
+  // Regression (engine fast path): a link-outage window drives per-block
+  // QBER estimates to ~50% — far above the abort ceiling; those blocks
+  // abort and must NOT contaminate the sliding health window, or the
+  // post-outage windowed QBER reads as half-broken long after the channel
+  // recovered. (Aborts estimated *below* the ceiling still feed the
+  // window: they are the adaptation signal.)
+  OrchestratorConfig config;
+  LinkSpec spec;
+  spec.name = "bursty";
+  spec.link.channel.length_km = 10.0;
+  spec.pulses_per_block = std::size_t{1} << 18;
+  spec.blocks = 12;
+  spec.rng_seed = 21;
+  spec.params.method = protocol::ReconcileMethod::kCascade;
+  spec.schedule = sim::link_outage_scenario(12).schedule;  // outage [4, 8)
+  config.links.push_back(std::move(spec));
+
+  LinkOrchestrator orchestrator(std::move(config));
+  const auto report = orchestrator.run();
+  const LinkReport& link = report.links[0];
+  EXPECT_EQ(link.blocks_aborted, 4u);
+  // Default window = 6 > the 4 clean closing blocks: an aborted ~0.5
+  // estimate leaking in would push the mean above ~0.1.
+  EXPECT_LT(link.windowed_qber, 0.05);
+  EXPECT_LT(orchestrator.link_health(0).windowed_qber, 0.05);
+}
+
+}  // namespace
+}  // namespace qkdpp::service

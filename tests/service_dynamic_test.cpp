@@ -127,16 +127,22 @@ TEST(DynamicOrchestrator, QberBurstRaisesWindowedEstimateAndAdapts) {
   // The burst blocks must show up in the windowed QBER the service reports
   // (scheduling reached the right blocks through sim -> engine -> window).
   sim::ScenarioConfig burst = sim::qber_burst_scenario(9);
-  // Park the burst at the tail so the final window still holds it.
+  // Park the burst at the tail so the final window still holds it, and
+  // soften it to +1.5 points so the burst blocks stay below the
+  // privacy-amplification wall (~4% at this block size) and actually
+  // distill key: the burst should be *survivable*, not merely observed
+  // through its aborts.
   burst.schedule.perturbations[0].begin_block = 5;
   burst.schedule.perturbations[0].end_block = 9;
+  burst.schedule.perturbations[0].magnitude = 0.015;
 
   OrchestratorConfig config = one_link(burst);
   config.replan = deterministic_adaptive();
   LinkOrchestrator orchestrator(std::move(config));
   const auto report = orchestrator.run();
-  // Base QBER is ~1.6%; the burst adds 6.5 points.
-  EXPECT_GT(report.links[0].windowed_qber, 0.05);
+  // Base QBER is ~1.3-1.7%; the burst adds 1.5 points, so the final
+  // window (all burst blocks) sits near 2.8%.
+  EXPECT_GT(report.links[0].windowed_qber, 0.02);
   EXPECT_GT(report.links[0].replans, 0u);
 
   // Without the burst the windowed estimate stays quiet.
