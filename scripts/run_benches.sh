@@ -1,7 +1,8 @@
 #!/usr/bin/env sh
 # Perf trajectory plumbing: run bench_pipeline_e2e + bench_multilink +
 # bench_scenarios + bench_key_delivery + bench_network + bench_chaos +
-# bench_toeplitz and write BENCH_pipeline.json at the repo root, so
+# bench_orchestrator_scale + bench_toeplitz and write BENCH_pipeline.json
+# at the repo root, so
 # subsequent PRs can compare end-to-end blocks/s, multi-link aggregate
 # secret bits/s, static-vs-adaptive scenario throughput, concurrent-SAE
 # key-delivery throughput, relay-network end-to-end delivery (clean vs
@@ -33,7 +34,8 @@ done
 
 cmake -B "$BUILD" -S . >/dev/null
 cmake --build "$BUILD" -j --target bench_pipeline_e2e bench_multilink \
-  bench_scenarios bench_key_delivery bench_network bench_chaos >/dev/null
+  bench_scenarios bench_key_delivery bench_network bench_chaos \
+  bench_orchestrator_scale >/dev/null
 
 echo "== bench_pipeline_e2e =="
 # No pipe here: under `set -e` a pipeline would mask a crashing bench with
@@ -102,6 +104,19 @@ case "$CHAOS_JSON" in
   *) echo "error: bench_chaos summary line is not JSON" >&2; exit 1 ;;
 esac
 
+echo "== bench_orchestrator_scale =="
+# Self-gates: 1 -> 128 link sweep with core-count-normalized scaling
+# (>= 8x the 8-link aggregate on wide hosts), exact store conservation
+# (zero lost/duplicate bits), and same-seed byte-identical reruns; a
+# violation exits non-zero and fails here.
+"$BUILD"/bench_orchestrator_scale > "$BUILD"/bench_orchestrator_scale.out
+cat "$BUILD"/bench_orchestrator_scale.out
+SCALE_JSON=$(tail -n 1 "$BUILD"/bench_orchestrator_scale.out)
+case "$SCALE_JSON" in
+  '{'*'}') ;;
+  *) echo "error: bench_orchestrator_scale summary line is not JSON" >&2; exit 1 ;;
+esac
+
 # bench_toeplitz needs google-benchmark; degrade gracefully without it.
 TOEPLITZ_JSON=null
 if cmake --build "$BUILD" -j --target bench_toeplitz >/dev/null 2>&1 \
@@ -120,6 +135,7 @@ fi
   printf '"key_delivery":%s,' "$KEY_DELIVERY_JSON"
   printf '"network":%s,' "$NETWORK_JSON"
   printf '"chaos":%s,' "$CHAOS_JSON"
+  printf '"orchestrator_scale":%s,' "$SCALE_JSON"
   printf '"toeplitz":%s}\n' "$TOEPLITZ_JSON"
 } > BENCH_pipeline.json
 echo "wrote BENCH_pipeline.json"

@@ -1,0 +1,88 @@
+#include "common/arena.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace qkdpp {
+
+BlockArena::BlockArena(std::size_t initial_bytes) {
+  const std::size_t words = std::max<std::size_t>(1, (initial_bytes + 7) / 8);
+  slabs_.push_back(
+      {std::make_unique<std::uint64_t[]>(words), words});
+}
+
+std::uint64_t* BlockArena::words(std::size_t n) {
+  if (n == 0) n = 1;  // keep returned pointers distinct and dereferenceable
+  Slab* active = &slabs_.back();
+  if (offset_words_ + n > active->capacity_words) {
+    grow(n);
+    active = &slabs_.back();
+  }
+  std::uint64_t* p = active->words.get() + offset_words_;
+  offset_words_ += n;
+  high_water_bytes_ =
+      std::max(high_water_bytes_, (retired_words_ + offset_words_) * 8);
+  return p;
+}
+
+void BlockArena::grow(std::size_t min_words) {
+  // Geometric growth so a block that outgrows the slab converges in a few
+  // overflows; the remainder of the old slab is abandoned until reset().
+  retired_words_ += offset_words_;
+  const std::size_t next =
+      std::max(min_words, slabs_.back().capacity_words * 2);
+  slabs_.push_back({std::make_unique<std::uint64_t[]>(next), next});
+  offset_words_ = 0;
+  ++overflow_slabs_;
+}
+
+BitVec& BlockArena::scratch_bits() {
+  if (bits_borrowed_ == bit_pool_.size()) {
+    bit_pool_.push_back(std::make_unique<BitVec>());
+  }
+  BitVec& v = *bit_pool_[bits_borrowed_++];
+  v.clear();
+  return v;
+}
+
+ByteWriter& BlockArena::scratch_writer() {
+  if (writers_borrowed_ == writer_pool_.size()) {
+    writer_pool_.push_back(std::make_unique<ByteWriter>());
+  }
+  ByteWriter& w = *writer_pool_[writers_borrowed_++];
+  w.clear();
+  return w;
+}
+
+void BlockArena::reset() {
+  if (slabs_.size() > 1) {
+    // Keep only the largest slab (always the most recently grown one, by
+    // construction) so the next block fits without overflowing again.
+    Slab biggest = std::move(slabs_.back());
+    slabs_.clear();
+    slabs_.push_back(std::move(biggest));
+  }
+  offset_words_ = 0;
+  retired_words_ = 0;
+  bits_borrowed_ = 0;
+  writers_borrowed_ = 0;
+}
+
+ArenaStats BlockArena::stats() const {
+  ArenaStats s;
+  s.used_bytes = (retired_words_ + offset_words_) * 8;
+  for (const Slab& slab : slabs_) s.capacity_bytes += slab.capacity_words * 8;
+  s.high_water_bytes = high_water_bytes_;
+  s.slab_count = slabs_.size();
+  s.overflow_slabs = overflow_slabs_;
+  s.scratch_bitvecs = bit_pool_.size();
+  s.scratch_writers = writer_pool_.size();
+  return s;
+}
+
+BlockArena& thread_arena() {
+  thread_local BlockArena arena;
+  return arena;
+}
+
+}  // namespace qkdpp

@@ -1,0 +1,102 @@
+// Per-block scratch arena: bump allocation plus pooled scratch objects.
+//
+// Post-processing a block walks five stages, each of which used to make
+// its own short-lived BitVec/ByteWriter allocations — at 128 links that
+// churn serializes on the global allocator. A BlockArena gives every
+// block a private scratch space with two complementary shapes:
+//
+//   * words(n)/bytes(n): raw bump allocation out of a slab chain. O(1)
+//     per allocation, no per-object free; reset() rewinds everything at
+//     once and keeps the largest slab so a steady-state block allocates
+//     no memory at all.
+//   * scratch_bits()/scratch_writer(): pooled BitVec/ByteWriter objects
+//     (vector-backed types cannot live inside the slab without allocator
+//     plumbing). Borrowed objects come back cleared but with their heap
+//     capacity intact; reset() returns them to the pool, so steady state
+//     is equally allocation-free.
+//
+// A BlockArena is single-threaded by design — one arena per worker via
+// thread_arena(), reset at block boundaries. No internal locking.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/bitvec.hpp"
+#include "common/buffer.hpp"
+
+namespace qkdpp {
+
+/// Snapshot of an arena's footprint (bytes are slab bytes, not pooled
+/// object capacity).
+struct ArenaStats {
+  std::size_t used_bytes = 0;       ///< bump-allocated since last reset()
+  std::size_t capacity_bytes = 0;   ///< total slab bytes currently held
+  std::size_t high_water_bytes = 0; ///< max used_bytes over the lifetime
+  std::size_t slab_count = 0;       ///< slabs in the current chain
+  std::uint64_t overflow_slabs = 0; ///< lifetime count of slab overflows
+  std::size_t scratch_bitvecs = 0;  ///< pooled BitVec objects held
+  std::size_t scratch_writers = 0;  ///< pooled ByteWriter objects held
+};
+
+class BlockArena {
+ public:
+  /// `initial_bytes` sizes the first slab (rounded up to whole words).
+  explicit BlockArena(std::size_t initial_bytes = kDefaultSlabBytes);
+
+  BlockArena(const BlockArena&) = delete;
+  BlockArena& operator=(const BlockArena&) = delete;
+
+  /// `n` 64-bit words of uninitialized scratch, valid until reset().
+  std::uint64_t* words(std::size_t n);
+
+  /// `n` bytes of uninitialized scratch (8-byte aligned), valid until
+  /// reset().
+  std::uint8_t* bytes(std::size_t n) {
+    return reinterpret_cast<std::uint8_t*>(words((n + 7) / 8));
+  }
+
+  /// Borrow a cleared BitVec whose heap capacity persists across blocks.
+  /// Valid until reset().
+  BitVec& scratch_bits();
+
+  /// Borrow a cleared ByteWriter, same lifetime rules as scratch_bits().
+  ByteWriter& scratch_writer();
+
+  /// O(1) rewind: every words()/bytes() pointer and borrowed scratch
+  /// object is invalidated; the largest slab and all pooled objects are
+  /// kept so the next block reuses their capacity.
+  void reset();
+
+  ArenaStats stats() const;
+
+ private:
+  static constexpr std::size_t kDefaultSlabBytes = 64 * 1024;
+
+  struct Slab {
+    std::unique_ptr<std::uint64_t[]> words;
+    std::size_t capacity_words = 0;
+  };
+
+  void grow(std::size_t min_words);
+
+  std::vector<Slab> slabs_;        // slabs_.back() is the active slab
+  std::size_t offset_words_ = 0;   // bump cursor within the active slab
+  std::size_t retired_words_ = 0;  // words used up in non-active slabs
+  std::size_t high_water_bytes_ = 0;
+  std::uint64_t overflow_slabs_ = 0;
+
+  std::vector<std::unique_ptr<BitVec>> bit_pool_;
+  std::size_t bits_borrowed_ = 0;
+  std::vector<std::unique_ptr<ByteWriter>> writer_pool_;
+  std::size_t writers_borrowed_ = 0;
+};
+
+/// The calling thread's arena (created on first use). Engine workers
+/// reset it at each block boundary; anything that runs inside a block may
+/// borrow from it freely.
+BlockArena& thread_arena();
+
+}  // namespace qkdpp

@@ -188,8 +188,15 @@ std::size_t BitVec::hamming_distance(const BitVec& a, const BitVec& b) {
 }
 
 BitVec BitVec::subvec(std::size_t pos, std::size_t len) const {
+  BitVec out;
+  subvec_into(pos, len, out);
+  return out;
+}
+
+void BitVec::subvec_into(std::size_t pos, std::size_t len, BitVec& out) const {
   QKDPP_REQUIRE(pos + len <= nbits_, "subvec out of range");
-  BitVec out(len);
+  out.nbits_ = len;
+  out.words_.resize(words_for(len));
   const std::size_t shift = pos & 63;
   const std::size_t first = pos >> 6;
   if (shift == 0) {
@@ -205,7 +212,6 @@ BitVec BitVec::subvec(std::size_t pos, std::size_t len) const {
     }
   }
   out.mask_tail();
-  return out;
 }
 
 void BitVec::append(const BitVec& other) {

@@ -76,6 +76,10 @@ class BitVec {
 
   /// Copy of bits [pos, pos+len).
   BitVec subvec(std::size_t pos, std::size_t len) const;
+  /// subvec() into an existing vector, reusing its capacity — the
+  /// allocation-free form for per-frame scratch. `out` must not alias
+  /// *this.
+  void subvec_into(std::size_t pos, std::size_t len, BitVec& out) const;
   /// Append all of `other` after the current bits.
   void append(const BitVec& other);
 

@@ -35,6 +35,8 @@ class ByteWriter {
   std::span<const std::uint8_t> data() const noexcept { return bytes_; }
   std::vector<std::uint8_t> take() noexcept { return std::move(bytes_); }
   std::size_t size() const noexcept { return bytes_.size(); }
+  /// Drop the contents but keep the capacity (scratch-buffer reuse).
+  void clear() noexcept { bytes_.clear(); }
 
  private:
   std::vector<std::uint8_t> bytes_;

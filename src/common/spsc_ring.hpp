@@ -1,0 +1,218 @@
+// Lock-free single-producer / single-consumer bounded ring.
+//
+// The contention-free handoff primitive for streaming pipelines: exactly
+// one thread pushes, exactly one thread pops, and the fast path is two
+// cache lines of acquire/release atomics - no mutex, no syscall, no shared
+// line bounced between the endpoints while both stay inside the ring
+// (each side caches the other's index and refreshes it only when its
+// cached view says the ring is full/empty).
+//
+// Blocking semantics ride on C++20 atomic wait/notify through two
+// monotonically increasing event counters (an eventcount): a blocked side
+// loads the counter *before* re-checking state, so an event published
+// after the check always changes the counter and wakes the waiter - the
+// classic lost-wakeup race cannot happen. Close and poison bump both
+// counters, which is what lets a blocked endpoint observe shutdown.
+//
+// Lifecycle verbs:
+//   * close()  - producer-side end-of-stream: push() refuses new items,
+//                pop() drains what is queued, then returns nullopt.
+//   * poison() - abort from either side (or a third thread): both push()
+//                and pop() return immediately; queued items are abandoned
+//                and destroyed with the ring.
+//
+// Thread contract: push/try_push/close from the producer thread,
+// pop/try_pop from the consumer thread; poison() and the observers are
+// safe from any thread.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <optional>
+#include <thread>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace qkdpp {
+
+/// Destructive-interference padding: keep the producer's and the
+/// consumer's hot fields on distinct cache lines so the SPSC fast path
+/// never false-shares. 64 covers x86/ARM server parts; the value is a
+/// layout constant, not a correctness requirement.
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+template <typename T>
+class SpscRing {
+ public:
+  /// Capacity is rounded up to a power of two (index masking keeps the
+  /// hot path branch-free); `capacity()` reports the effective value.
+  explicit SpscRing(std::size_t capacity) {
+    QKDPP_REQUIRE(capacity >= 1, "ring capacity must be positive");
+    std::size_t pow2 = 1;
+    while (pow2 < capacity) pow2 <<= 1;
+    mask_ = pow2 - 1;
+    slots_ = std::make_unique<Slot[]>(pow2);
+  }
+
+  ~SpscRing() {
+    // Destroy whatever was pushed but never popped (poisoned rings
+    // abandon items by design; closed rings may be dropped mid-drain).
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    for (std::uint64_t i = head; i != tail; ++i) slots_[i & mask_].destroy();
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  std::size_t capacity() const noexcept { return mask_ + 1; }
+
+  /// Approximate occupancy (exact when neither endpoint is mid-call).
+  std::size_t size() const noexcept {
+    const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    return static_cast<std::size_t>(tail - head);
+  }
+
+  bool closed() const noexcept {
+    return state_.load(std::memory_order_acquire) & kClosed;
+  }
+  bool poisoned() const noexcept {
+    return state_.load(std::memory_order_acquire) & kPoisoned;
+  }
+
+  /// Non-blocking push. False when full, closed, or poisoned; the item is
+  /// untouched on failure so the caller can retry or drop it.
+  bool try_push(T& item) {
+    if (state_.load(std::memory_order_acquire) != 0) return false;
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - cached_head_ > mask_) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      if (tail - cached_head_ > mask_) return false;  // genuinely full
+    }
+    slots_[tail & mask_].construct(std::move(item));
+    tail_.store(tail + 1, std::memory_order_release);
+    push_events_.fetch_add(1, std::memory_order_release);
+    push_events_.notify_one();
+    return true;
+  }
+
+  /// Blocking push: waits while the ring is full (backpressure). False iff
+  /// the ring was closed or poisoned, in which case the item was dropped.
+  bool push(T item) {
+    for (int spins = 0;;) {
+      const std::uint64_t seen = pop_events_.load(std::memory_order_acquire);
+      if (try_push(item)) return true;
+      if (state_.load(std::memory_order_acquire) != 0) return false;
+      if (spins < kSpinLimit) {
+        ++spins;
+        std::this_thread::yield();
+        continue;
+      }
+      // Full: sleep until the consumer pops (or close/poison). `seen` was
+      // read before try_push, so a pop landing after the failed attempt
+      // has already changed the counter and wait() returns immediately.
+      pop_events_.wait(seen, std::memory_order_acquire);
+    }
+  }
+
+  /// Non-blocking pop. Empty, or poisoned, yields nullopt.
+  std::optional<T> try_pop() {
+    if (state_.load(std::memory_order_acquire) & kPoisoned) return std::nullopt;
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    if (head == cached_tail_) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      if (head == cached_tail_) return std::nullopt;  // genuinely empty
+    }
+    Slot& slot = slots_[head & mask_];
+    std::optional<T> out(std::move(*slot.get()));
+    slot.destroy();
+    head_.store(head + 1, std::memory_order_release);
+    pop_events_.fetch_add(1, std::memory_order_release);
+    pop_events_.notify_one();
+    return out;
+  }
+
+  /// Blocking pop: waits while the ring is empty. nullopt means
+  /// end-of-stream - closed and fully drained - or poisoned.
+  std::optional<T> pop() {
+    for (int spins = 0;;) {
+      const std::uint64_t seen = push_events_.load(std::memory_order_acquire);
+      if (std::optional<T> item = try_pop()) return item;
+      const std::uint32_t state = state_.load(std::memory_order_acquire);
+      if (state & kPoisoned) return std::nullopt;
+      if ((state & kClosed) && empty_for_consumer()) return std::nullopt;
+      if (spins < kSpinLimit) {
+        ++spins;
+        std::this_thread::yield();
+        continue;
+      }
+      push_events_.wait(seen, std::memory_order_acquire);
+    }
+  }
+
+  /// End-of-stream: no further push() succeeds; pop() drains then stops.
+  void close() {
+    state_.fetch_or(kClosed, std::memory_order_release);
+    wake_both();
+  }
+
+  /// Abort: both endpoints return immediately; queued items are abandoned.
+  void poison() {
+    state_.fetch_or(kPoisoned, std::memory_order_release);
+    wake_both();
+  }
+
+ private:
+  static constexpr std::uint32_t kClosed = 1u;
+  static constexpr std::uint32_t kPoisoned = 2u;
+  /// Brief pre-sleep spin: a streaming neighbour usually produces or
+  /// consumes within a few yields, and the futex round-trip costs more.
+  static constexpr int kSpinLimit = 64;
+
+  struct Slot {
+    alignas(T) unsigned char storage[sizeof(T)];
+
+    T* get() noexcept { return std::launder(reinterpret_cast<T*>(storage)); }
+    void construct(T&& value) { ::new (static_cast<void*>(storage)) T(std::move(value)); }
+    void destroy() noexcept { get()->~T(); }
+  };
+
+  bool empty_for_consumer() const noexcept {
+    return head_.load(std::memory_order_relaxed) ==
+           tail_.load(std::memory_order_acquire);
+  }
+
+  void wake_both() noexcept {
+    push_events_.fetch_add(1, std::memory_order_release);
+    pop_events_.fetch_add(1, std::memory_order_release);
+    push_events_.notify_all();
+    pop_events_.notify_all();
+  }
+
+  std::unique_ptr<Slot[]> slots_;
+  std::uint64_t mask_ = 0;
+
+  /// Consumer-owned line: next index to pop, plus the consumer's cached
+  /// view of tail (refreshed only when the cache says empty).
+  alignas(kCacheLineBytes) std::atomic<std::uint64_t> head_{0};
+  std::uint64_t cached_tail_ = 0;
+
+  /// Producer-owned line: next index to push, plus the producer's cached
+  /// view of head (refreshed only when the cache says full).
+  alignas(kCacheLineBytes) std::atomic<std::uint64_t> tail_{0};
+  std::uint64_t cached_head_ = 0;
+
+  /// Eventcounts for the blocking paths; bumped on every push/pop and on
+  /// close/poison so a sleeping endpoint always observes the event.
+  alignas(kCacheLineBytes) std::atomic<std::uint64_t> push_events_{0};
+  alignas(kCacheLineBytes) std::atomic<std::uint64_t> pop_events_{0};
+
+  alignas(kCacheLineBytes) std::atomic<std::uint32_t> state_{0};
+};
+
+}  // namespace qkdpp

@@ -1,6 +1,9 @@
 #include "common/threadpool.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <optional>
+#include <utility>
 
 #include "common/error.hpp"
 
@@ -10,31 +13,105 @@ ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
+  queues_ = std::make_unique<WorkerQueue[]>(threads);
+  queue_count_ = threads;
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
 ThreadPool::~ThreadPool() {
   {
-    std::scoped_lock lock(mutex_);
-    stopping_ = true;
+    std::scoped_lock lock(idle_mutex_);
+    stopping_.store(true, std::memory_order_seq_cst);
   }
-  cv_.notify_all();
+  idle_cv_.notify_all();
   for (auto& w : workers_) w.join();
 }
 
 std::future<void> ThreadPool::submit(std::function<void()> task) {
+  QKDPP_REQUIRE(!stopping_.load(std::memory_order_acquire),
+                "submit on a stopping ThreadPool");
   std::packaged_task<void()> packaged(std::move(task));
   auto future = packaged.get_future();
+
+  // Raise pending_ before the push so a claimer can never decrement below
+  // zero, and before reading idle_count_ (Dekker with the parking path): a
+  // worker that missed this task has already raised idle_count_, so we
+  // notify; a worker that hasn't yet will see pending_ > 0 and not sleep.
+  pending_.fetch_add(1, std::memory_order_seq_cst);
+  const std::size_t target =
+      next_queue_.fetch_add(1, std::memory_order_relaxed) % queue_count_;
   {
-    std::scoped_lock lock(mutex_);
-    QKDPP_REQUIRE(!stopping_, "submit on a stopping ThreadPool");
-    queue_.push_back(std::move(packaged));
+    std::scoped_lock lock(queues_[target].mutex);
+    queues_[target].tasks.push_back(std::move(packaged));
   }
-  cv_.notify_one();
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+
+  if (idle_count_.load(std::memory_order_seq_cst) > 0) {
+    // Take the mutex so the notify can't fall between a parking worker's
+    // predicate check and its actual sleep.
+    std::scoped_lock lock(idle_mutex_);
+    idle_cv_.notify_one();
+  }
   return future;
+}
+
+bool ThreadPool::claim_and_run(std::size_t my_index) {
+  const std::size_t n = queue_count_;
+  std::optional<std::packaged_task<void()>> task;
+  bool was_steal = false;
+
+  if (my_index != kNoOwner) {
+    WorkerQueue& own = queues_[my_index];
+    std::scoped_lock lock(own.mutex);
+    if (!own.tasks.empty()) {
+      task.emplace(std::move(own.tasks.front()));
+      own.tasks.pop_front();
+    }
+  }
+  if (!task) {
+    const std::size_t start = my_index == kNoOwner ? 0 : my_index + 1;
+    for (std::size_t j = 0; j < n && !task; ++j) {
+      WorkerQueue& victim = queues_[(start + j) % n];
+      std::scoped_lock lock(victim.mutex);
+      if (!victim.tasks.empty()) {
+        task.emplace(std::move(victim.tasks.back()));
+        victim.tasks.pop_back();
+        was_steal = true;
+      }
+    }
+  }
+  if (!task) return false;
+
+  pending_.fetch_sub(1, std::memory_order_seq_cst);
+  if (was_steal) stolen_.fetch_add(1, std::memory_order_relaxed);
+  busy_workers_.fetch_add(1, std::memory_order_relaxed);
+  (*task)();
+  busy_workers_.fetch_sub(1, std::memory_order_relaxed);
+  executed_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void ThreadPool::worker_loop(std::size_t my_index) {
+  for (;;) {
+    if (claim_and_run(my_index)) continue;
+
+    std::unique_lock lock(idle_mutex_);
+    // Raise idle_count_ before re-checking pending_ (the other half of
+    // the Dekker protocol in submit()).
+    idle_count_.fetch_add(1, std::memory_order_seq_cst);
+    idle_cv_.wait(lock, [this] {
+      return stopping_.load(std::memory_order_seq_cst) ||
+             pending_.load(std::memory_order_seq_cst) > 0;
+    });
+    idle_count_.fetch_sub(1, std::memory_order_seq_cst);
+    if (stopping_.load(std::memory_order_seq_cst) &&
+        pending_.load(std::memory_order_seq_cst) == 0) {
+      return;  // stopping and drained
+    }
+  }
 }
 
 void ThreadPool::parallel_for(
@@ -55,21 +132,26 @@ void ThreadPool::parallel_for(
     lo = hi;
   }
   body(begin, begin + std::min(total, chunk));
-  for (auto& f : futures) f.get();
+  for (auto& f : futures) {
+    // Help drain the pool while waiting so a worker blocked here (nested
+    // parallel_for) still makes progress even when every thread is busy.
+    using namespace std::chrono_literals;
+    while (f.wait_for(0s) != std::future_status::ready) {
+      if (!claim_and_run(kNoOwner)) f.wait_for(100us);
+    }
+    f.get();
+  }
 }
 
-void ThreadPool::worker_loop() {
-  for (;;) {
-    std::packaged_task<void()> task;
-    {
-      std::unique_lock lock(mutex_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stopping_ and drained
-      task = std::move(queue_.front());
-      queue_.pop_front();
-    }
-    task();
-  }
+ThreadPool::Stats ThreadPool::stats() const {
+  Stats s;
+  s.threads = queue_count_;
+  s.queue_depth = pending_.load(std::memory_order_relaxed);
+  s.busy_workers = busy_workers_.load(std::memory_order_relaxed);
+  s.submitted = submitted_.load(std::memory_order_relaxed);
+  s.executed = executed_.load(std::memory_order_relaxed);
+  s.stolen = stolen_.load(std::memory_order_relaxed);
+  return s;
 }
 
 ThreadPool& global_pool() {

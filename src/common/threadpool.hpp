@@ -1,13 +1,26 @@
-// Fixed-size thread pool with a blocking parallel_for, used by the
-// CpuParallel backend. Task-based (CP.4): callers submit work items, never
-// manage threads. Destruction joins all workers after draining.
+// Work-stealing thread pool with a blocking parallel_for, used by the
+// CpuParallel backend and the link orchestrator. Task-based (CP.4): callers
+// submit work items, never manage threads. Destruction joins all workers
+// after draining.
+//
+// Internally each worker owns a cache-line-padded deque: external submits
+// round-robin across the deques, a worker pops its own queue from the
+// front and steals from the back of its neighbours' when empty, so N
+// submitters never serialize on one global lock. Idle workers park on a
+// shared condition variable guarded by a seq_cst pending-task counter
+// (submit publishes the task before reading the idle count; a parking
+// worker publishes its idle count before re-checking pending — at least
+// one side always observes the other, so no wakeup is lost).
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -16,6 +29,17 @@ namespace qkdpp {
 
 class ThreadPool {
  public:
+  /// Counter snapshot for observability; totals are monotonic over the
+  /// pool's lifetime, gauges (queue_depth, busy_workers) are instantaneous.
+  struct Stats {
+    std::size_t threads = 0;       ///< worker thread count
+    std::size_t queue_depth = 0;   ///< tasks submitted but not yet claimed
+    std::size_t busy_workers = 0;  ///< workers currently running a task
+    std::uint64_t submitted = 0;   ///< total tasks accepted by submit()
+    std::uint64_t executed = 0;    ///< total tasks that finished running
+    std::uint64_t stolen = 0;      ///< tasks claimed off another queue
+  };
+
   /// `threads == 0` means hardware_concurrency (at least 1).
   explicit ThreadPool(std::size_t threads = 0);
   ~ThreadPool();
@@ -23,7 +47,7 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  std::size_t thread_count() const noexcept { return workers_.size(); }
+  std::size_t thread_count() const noexcept { return queue_count_; }
 
   /// Enqueue a task; the future resolves when it has run (exceptions
   /// propagate through the future).
@@ -31,18 +55,48 @@ class ThreadPool {
 
   /// Split [begin, end) into chunks of at least `grain`, run `body(lo, hi)`
   /// on the pool, and block until every chunk finished. The calling thread
-  /// also works, so a pool of N threads yields N+1-way parallelism.
+  /// also works, so a pool of N threads yields N+1-way parallelism; while
+  /// waiting it keeps draining pool tasks, so nested parallel_for from a
+  /// worker cannot deadlock.
   void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
                     const std::function<void(std::size_t, std::size_t)>& body);
 
- private:
-  void worker_loop();
+  Stats stats() const;
 
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  std::deque<std::packaged_task<void()>> queue_;
+ private:
+  /// One per worker; padded so a submit landing on queue i never bounces
+  /// the line that worker j is popping from.
+  struct alignas(64) WorkerQueue {
+    mutable std::mutex mutex;
+    std::deque<std::packaged_task<void()>> tasks;
+  };
+
+  void worker_loop(std::size_t my_index);
+  /// Claim one task: `my_index`'s queue from the front, then steal from
+  /// the back of the others. kNoOwner (external caller) steals from all.
+  bool claim_and_run(std::size_t my_index);
+
+  static constexpr std::size_t kNoOwner = static_cast<std::size_t>(-1);
+
+  std::unique_ptr<WorkerQueue[]> queues_;
+  /// Fixed before any worker starts; the steal loops read this, never
+  /// workers_.size() (the vector is still growing while early workers run).
+  std::size_t queue_count_ = 0;
   std::vector<std::thread> workers_;
-  bool stopping_ = false;
+  std::atomic<std::size_t> next_queue_{0};
+
+  /// Idle-parking state; pending_ counts submitted-but-unclaimed tasks.
+  std::mutex idle_mutex_;
+  std::condition_variable idle_cv_;
+  std::atomic<std::size_t> pending_{0};
+  std::atomic<std::size_t> idle_count_{0};
+  std::atomic<bool> stopping_{false};
+
+  /// Observability counters (Stats snapshot).
+  std::atomic<std::size_t> busy_workers_{0};
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> executed_{0};
+  std::atomic<std::uint64_t> stolen_{0};
 };
 
 /// Process-wide pool for kernels that do not carry their own (sized from

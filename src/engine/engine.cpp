@@ -287,10 +287,16 @@ BlockOutcome PostprocessEngine::process_block(const BlockInput& input,
     }
   }
 
+  // Rewind this thread's scratch arena: per-stage short-lived allocations
+  // for the whole block borrow from it and die together here.
+  BlockArena& arena = thread_arena();
+  arena.reset();
+
   ExecutionContext ctx;
   ctx.params = &params_snapshot;
   ctx.rng = &rng;
   ctx.ledger = &state.ledger;
+  ctx.arena = &arena;
 
   for (std::size_t s = 0; s < executors_.size(); ++s) {
     ctx.device = devices_[assignment[s]];

@@ -15,6 +15,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/arena.hpp"
 #include "common/bitvec.hpp"
 #include "common/rng.hpp"
 #include "common/threadpool.hpp"
@@ -75,6 +76,10 @@ struct ExecutionContext {
   ThreadPool* pool = nullptr;  ///< == device->pool(), set per stage
   Xoshiro256* rng = nullptr;
   LeakageLedger* ledger = nullptr;
+  /// Per-block scratch arena (reset by the engine at block entry); stages
+  /// borrow short-lived BitVec/Buffer scratch here instead of allocating.
+  /// May be null (stand-alone executor tests) - stages must fall back.
+  BlockArena* arena = nullptr;
 };
 
 class StageExecutor {

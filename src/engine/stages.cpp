@@ -231,11 +231,19 @@ class ReconcileExecutor final : public StageExecutor {
     // never reallocate mid-block.
     state.alice_reconciled.reserve(frames * plan.payload_bits);
     state.bob_reconciled.reserve(frames * plan.payload_bits);
+    // Payload scratch borrowed from the block arena (heap fallback when a
+    // bare executor runs without one): subvec_into reuses the capacity, so
+    // the per-frame loop allocates nothing after the first frame.
+    BitVec local_alice;
+    BitVec local_bob;
+    BitVec& alice_payload =
+        ctx.arena ? ctx.arena->scratch_bits() : local_alice;
+    BitVec& bob_payload = ctx.arena ? ctx.arena->scratch_bits() : local_bob;
     for (std::size_t f = 0; f < frames; ++f) {
-      const BitVec alice_payload =
-          state.alice_key.subvec(f * plan.payload_bits, plan.payload_bits);
-      const BitVec bob_payload =
-          state.bob_key.subvec(f * plan.payload_bits, plan.payload_bits);
+      state.alice_key.subvec_into(f * plan.payload_bits, plan.payload_bits,
+                                  alice_payload);
+      state.bob_key.subvec_into(f * plan.payload_bits, plan.payload_bits,
+                                bob_payload);
       const std::uint64_t frame_seed =
           (state.block_id << 20) ^ (f * 0x9e3779b97f4a7c15ULL);
       const auto result = reconcile::ldpc_reconcile_local(

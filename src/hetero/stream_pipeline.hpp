@@ -4,32 +4,36 @@
 // mapping into sustained pipeline throughput - the object the mapping
 // optimizer (mapper.hpp) reasons about.
 //
-// Concurrency design: each stage owns its *input* queue, with its own
-// mutex + condition variables. Neighbouring stages only ever contend on
-// the single queue they share, so stages mapped to different devices run
-// lock-free with respect to each other - under one global lock (the old
-// design) every enqueue/dequeue serialized the whole pipeline. End-of-
-// stream and failure propagate queue-to-queue: finish() closes the first
-// queue, each worker closes its downstream queue when its input drains,
-// and a failing stage flags the shared atomic and wakes every waiter.
+// Concurrency design: each stage owns its *input* ring - a lock-free SPSC
+// bounded ring (spsc_ring.hpp) whose single producer is the upstream
+// stage's worker and single consumer is this stage's worker. Neighbouring
+// stages hand items over through two cache lines of acquire/release
+// atomics; stages mapped to different devices share no lock at all (the
+// PR 2 design still took one mutex+cv pair per queue on every handoff).
+// End-of-stream propagates ring-to-ring: finish() closes the first ring,
+// each worker closes its downstream ring when its input drains. Failure
+// poisons every ring at once, which unblocks both endpoints of each ring
+// immediately. Per-stage stats are single-writer atomics, so stats() is
+// readable mid-run without touching the hot path.
 //
 // Header-only template so the runtime stays independent of the item type
 // (the key pipeline streams KeyBlocks; tests stream synthetic items).
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/spsc_ring.hpp"
 #include "common/stats.hpp"
 #include "hetero/device.hpp"
 
@@ -54,14 +58,16 @@ class StreamPipeline {
     std::function<double(Item&)> work;
   };
 
+  /// `queue_capacity` bounds each inter-stage ring; the ring rounds it up
+  /// to the next power of two.
   StreamPipeline(std::vector<Stage> stages, std::size_t queue_capacity)
-      : stages_(std::move(stages)), capacity_(queue_capacity) {
+      : stages_(std::move(stages)) {
     QKDPP_REQUIRE(!stages_.empty(), "pipeline needs at least one stage");
     QKDPP_REQUIRE(queue_capacity >= 1, "queue capacity must be positive");
-    queues_.reserve(stages_.size());
-    stats_.resize(stages_.size());
+    rings_.reserve(stages_.size());
+    stats_ = std::make_unique<StatsSlot[]>(stages_.size());
     for (std::size_t s = 0; s < stages_.size(); ++s) {
-      queues_.push_back(std::make_unique<StageQueue>());
+      rings_.push_back(std::make_unique<SpscRing<Item>>(queue_capacity));
       stats_[s].name = stages_[s].name;
     }
     workers_.reserve(stages_.size());
@@ -71,31 +77,23 @@ class StreamPipeline {
   }
 
   ~StreamPipeline() {
-    // Abandon anything still queued; wake every waiter and join.
+    // Abandon anything still queued; poison unblocks every endpoint.
     failed_.store(true, std::memory_order_release);
-    wake_all();
+    for (auto& ring : rings_) ring->poison();
     for (auto& w : workers_) {
       if (w.joinable()) w.join();
     }
   }
 
-  /// Feed one item; blocks while the first queue is full (backpressure).
+  /// Feed one item; blocks while the first ring is full (backpressure).
   void push(Item item) {
-    StageQueue& queue = *queues_.front();
-    std::unique_lock lock(queue.mutex);
-    queue.not_full.wait(lock, [&] {
-      return failed_.load(std::memory_order_acquire) ||
-             queue.items.size() < capacity_;
-    });
-    if (failed_.load(std::memory_order_acquire)) rethrow_failure();
-    queue.items.push_back(std::move(item));
-    queue.not_empty.notify_one();
+    if (!rings_.front()->push(std::move(item))) rethrow_failure();
   }
 
   /// Signal end-of-stream and wait for in-flight items to drain. Rethrows
   /// the first stage exception, if any.
   void finish() {
-    close(*queues_.front());
+    rings_.front()->close();
     for (auto& w : workers_) {
       if (w.joinable()) w.join();
     }
@@ -108,21 +106,24 @@ class StreamPipeline {
   std::vector<StageStats> stats() const {
     std::vector<StageStats> out(stages_.size());
     for (std::size_t s = 0; s < stages_.size(); ++s) {
-      std::scoped_lock lock(queues_[s]->mutex);
-      out[s] = stats_[s];
+      out[s].name = stats_[s].name;
+      out[s].items = stats_[s].items.load(std::memory_order_acquire);
+      out[s].busy_seconds =
+          stats_[s].busy_seconds.load(std::memory_order_acquire);
+      out[s].charged_seconds =
+          stats_[s].charged_seconds.load(std::memory_order_acquire);
     }
     return out;
   }
 
  private:
-  /// One stage's input queue: the only synchronization point shared between
-  /// stage s-1 (producer) and stage s (consumer).
-  struct StageQueue {
-    mutable std::mutex mutex;
-    std::condition_variable not_empty;
-    std::condition_variable not_full;
-    std::deque<Item> items;
-    bool closed = false;  ///< upstream finished; drain and exit
+  /// Stats slot: written only by stage s's worker, read by stats() from
+  /// any thread (single-writer, so plain load/add/store suffices).
+  struct StatsSlot {
+    std::string name;
+    std::atomic<std::uint64_t> items{0};
+    std::atomic<double> busy_seconds{0.0};
+    std::atomic<double> charged_seconds{0.0};
   };
 
   void rethrow_failure() {
@@ -131,93 +132,62 @@ class StreamPipeline {
     throw_error(ErrorCode::kChannelClosed, "pipeline aborted");
   }
 
-  void close(StageQueue& queue) {
-    {
-      std::scoped_lock lock(queue.mutex);
-      queue.closed = true;
-    }
-    queue.not_empty.notify_all();
-  }
-
-  void wake_all() {
-    for (auto& queue : queues_) {
-      std::scoped_lock lock(queue->mutex);
-      queue->not_empty.notify_all();
-      queue->not_full.notify_all();
-    }
-  }
-
   void fail(std::exception_ptr error) {
     {
       std::scoped_lock lock(failure_mutex_);
       if (!failure_) failure_ = error;
     }
     failed_.store(true, std::memory_order_release);
-    wake_all();
-  }
-
-  /// Move one item downstream; false when the pipeline failed meanwhile.
-  bool enqueue(StageQueue& queue, Item&& item) {
-    std::unique_lock lock(queue.mutex);
-    queue.not_full.wait(lock, [&] {
-      return failed_.load(std::memory_order_acquire) ||
-             queue.items.size() < capacity_;
-    });
-    if (failed_.load(std::memory_order_acquire)) return false;
-    queue.items.push_back(std::move(item));
-    queue.not_empty.notify_one();
-    return true;
+    for (auto& ring : rings_) ring->poison();
   }
 
   void stage_loop(std::size_t s) {
-    StageQueue& in = *queues_[s];
+    SpscRing<Item>& in = *rings_[s];
+    StatsSlot& slot = stats_[s];
     for (;;) {
-      Item item;
-      {
-        std::unique_lock lock(in.mutex);
-        in.not_empty.wait(lock, [&] {
-          return failed_.load(std::memory_order_acquire) ||
-                 !in.items.empty() || in.closed;
-        });
+      std::optional<Item> item = in.pop();
+      if (!item) {
         if (failed_.load(std::memory_order_acquire)) return;
-        if (in.items.empty()) break;  // closed and drained: stage complete
-        item = std::move(in.items.front());
-        in.items.pop_front();
-        in.not_full.notify_one();  // release producer backpressure
+        break;  // closed and drained: stage complete
       }
 
       Stopwatch stopwatch;
       double charged = 0.0;
       try {
-        charged = stages_[s].work(item);
+        charged = stages_[s].work(*item);
       } catch (...) {
         fail(std::current_exception());
         return;
       }
       const double wall = stopwatch.seconds();
 
-      {
-        std::scoped_lock lock(in.mutex);
-        stats_[s].items += 1;
-        stats_[s].busy_seconds += wall;
-        stats_[s].charged_seconds += charged;
-      }
+      slot.items.store(slot.items.load(std::memory_order_relaxed) + 1,
+                       std::memory_order_release);
+      slot.busy_seconds.store(
+          slot.busy_seconds.load(std::memory_order_relaxed) + wall,
+          std::memory_order_release);
+      slot.charged_seconds.store(
+          slot.charged_seconds.load(std::memory_order_relaxed) + charged,
+          std::memory_order_release);
+
       if (s + 1 < stages_.size()) {
-        if (!enqueue(*queues_[s + 1], std::move(item))) return;
+        // push() returns false only when the ring was poisoned (the next
+        // stage's worker is the only closer of its own input and never
+        // closes it while we are alive) - i.e. the pipeline failed.
+        if (!rings_[s + 1]->push(std::move(*item))) return;
       } else {
         // Single consumer: only this worker touches results_, and callers
         // read it after finish() joins.
-        results_.push_back(std::move(item));
+        results_.push_back(std::move(*item));
       }
     }
-    if (s + 1 < stages_.size()) close(*queues_[s + 1]);
+    if (s + 1 < stages_.size()) rings_[s + 1]->close();
   }
 
   std::vector<Stage> stages_;
-  std::size_t capacity_ = 1;
 
-  std::vector<std::unique_ptr<StageQueue>> queues_;  ///< input queue per stage
-  std::vector<StageStats> stats_;  ///< slot s guarded by queues_[s]->mutex
+  std::vector<std::unique_ptr<SpscRing<Item>>> rings_;  ///< input per stage
+  std::unique_ptr<StatsSlot[]> stats_;
   std::vector<Item> results_;
 
   std::atomic<bool> failed_{false};

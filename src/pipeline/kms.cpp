@@ -1,6 +1,7 @@
 #include "pipeline/kms.hpp"
 
-#include <numeric>
+#include <algorithm>
+#include <limits>
 
 namespace qkdpp::pipeline {
 
@@ -16,14 +17,42 @@ const char* to_string(RejectReason reason) noexcept {
   return "unknown";
 }
 
-bool KeyStore::fits_locked(std::uint64_t bits) const noexcept {
-  if (config_.capacity_bits == 0) return true;
-  return deposited_bits_ - consumed_bits_ + bits <= config_.capacity_bits;
+KeyStore::KeyStore(KeyStoreConfig config)
+    : config_(config),
+      shard_count_(std::max<std::size_t>(1, config.shards)),
+      shards_(std::make_unique<Shard[]>(shard_count_)) {}
+
+bool KeyStore::try_reserve(std::uint64_t bits) noexcept {
+  std::uint64_t cur = in_store_bits_.load(std::memory_order_relaxed);
+  for (;;) {
+    if (config_.capacity_bits != 0 && cur + bits > config_.capacity_bits) {
+      return false;
+    }
+    if (in_store_bits_.compare_exchange_weak(cur, cur + bits,
+                                             std::memory_order_seq_cst,
+                                             std::memory_order_relaxed)) {
+      return true;
+    }
+  }
 }
 
-void KeyStore::consume_locked(std::string_view consumer, std::uint64_t bits) {
-  consumed_bits_ += bits;
+void KeyStore::release_bits(std::uint64_t bits) noexcept {
+  in_store_bits_.fetch_sub(bits, std::memory_order_seq_cst);
+  // Dekker with the kBlock slow path: a parking depositor raises
+  // space_waiters_ under space_mutex_ *before* re-trying the reservation,
+  // and we subtract the occupancy *before* reading the waiter count - at
+  // least one side observes the other, so no depositor sleeps through the
+  // space it was waiting for.
+  if (space_waiters_.load(std::memory_order_seq_cst) > 0) {
+    std::scoped_lock lock(space_mutex_);
+    space_.notify_all();
+  }
+}
+
+void KeyStore::account_draw(std::string_view consumer, std::uint64_t bits) {
+  consumed_bits_.fetch_add(bits, std::memory_order_relaxed);
   if (consumer.empty()) consumer = kAnonymousConsumer;
+  std::scoped_lock lock(ledger_mutex_);
   const auto it = drawn_.find(consumer);
   if (it != drawn_.end()) {
     it->second += bits;
@@ -32,113 +61,147 @@ void KeyStore::consume_locked(std::string_view consumer, std::uint64_t bits) {
   }
 }
 
-DepositResult KeyStore::reject_locked(RejectReason reason,
-                                      std::uint64_t bits) {
-  ++rejected_by_reason_[static_cast<std::size_t>(reason)];
-  rejected_bits_ += bits;
+DepositResult KeyStore::reject(RejectReason reason, std::uint64_t bits) {
+  rejected_by_reason_[static_cast<std::size_t>(reason)].fetch_add(
+      1, std::memory_order_relaxed);
+  rejected_bits_.fetch_add(bits, std::memory_order_relaxed);
   return DepositResult{0, reason};
 }
 
 DepositResult KeyStore::deposit(BitVec key) {
-  std::unique_lock lock(mutex_);
   // An empty key carries no material; minting an id would let consumers
   // draw zero-bit "keys" that still count toward keys_available().
-  if (key.size() == 0) return reject_locked(RejectReason::kEmpty, 0);
-  if (config_.capacity_bits != 0 && key.size() > config_.capacity_bits) {
-    return reject_locked(RejectReason::kOversized, key.size());
+  if (key.size() == 0) return reject(RejectReason::kEmpty, 0);
+  const std::uint64_t bits = key.size();
+  if (config_.capacity_bits != 0 && bits > config_.capacity_bits) {
+    return reject(RejectReason::kOversized, bits);
   }
-  if (!fits_locked(key.size())) {
-    if (config_.on_overflow == OverflowPolicy::kBlock) {
-      space_.wait(lock, [&] { return closed_ || fits_locked(key.size()); });
-      if (!fits_locked(key.size())) {  // released by close()
-        return reject_locked(RejectReason::kClosed, key.size());
-      }
-    } else {
-      return reject_locked(RejectReason::kCapacity, key.size());
+  if (!try_reserve(bits)) {
+    if (config_.on_overflow != OverflowPolicy::kBlock) {
+      return reject(RejectReason::kCapacity, bits);
     }
+    bool reserved = false;
+    {
+      std::unique_lock lock(space_mutex_);
+      space_waiters_.fetch_add(1, std::memory_order_seq_cst);
+      // Reservation first: a depositor woken with space available takes
+      // it even when the wake came from close() - only a close with *no*
+      // space rejects the key.
+      space_.wait(lock, [&] {
+        reserved = try_reserve(bits);
+        return reserved || closed_.load(std::memory_order_seq_cst);
+      });
+      space_waiters_.fetch_sub(1, std::memory_order_seq_cst);
+    }
+    if (!reserved) return reject(RejectReason::kClosed, bits);
   }
-  const std::uint64_t id = next_id_++;
-  deposited_bits_ += key.size();
-  keys_.emplace(id, std::move(key));
+  const std::uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  deposited_bits_.fetch_add(bits, std::memory_order_relaxed);
+  Shard& shard = shard_of(id);
+  {
+    std::scoped_lock lock(shard.mutex);
+    shard.keys.emplace(id, std::move(key));
+  }
+  keys_count_.fetch_add(1, std::memory_order_release);
   return DepositResult{id, RejectReason::kNone};
 }
 
-std::optional<StoredKey> KeyStore::get_key(std::string_view consumer) {
-  std::scoped_lock lock(mutex_);
-  if (keys_.empty()) return std::nullopt;
-  auto it = keys_.begin();
-  StoredKey out{it->first, std::move(it->second)};
-  consume_locked(consumer, out.bits.size());
-  keys_.erase(it);
-  space_.notify_all();
+std::optional<StoredKey> KeyStore::take_from_shard(Shard& shard,
+                                                   std::uint64_t key_id,
+                                                   std::string_view consumer) {
+  StoredKey out;
+  {
+    std::scoped_lock lock(shard.mutex);
+    const auto it = shard.keys.find(key_id);
+    if (it == shard.keys.end()) return std::nullopt;
+    out = StoredKey{it->first, std::move(it->second)};
+    shard.keys.erase(it);
+  }
+  keys_count_.fetch_sub(1, std::memory_order_release);
+  account_draw(consumer, out.bits.size());
+  release_bits(out.bits.size());
   return out;
+}
+
+std::optional<StoredKey> KeyStore::get_key(std::string_view consumer) {
+  // FIFO across shards: find the smallest head id over every shard, then
+  // take it. A concurrent draw can empty the chosen slot between the scan
+  // and the take; retry the scan (draw order between racing consumers is
+  // unobservable anyway, sequential callers always see strict FIFO).
+  for (;;) {
+    std::uint64_t best_id = std::numeric_limits<std::uint64_t>::max();
+    Shard* best = nullptr;
+    for (std::size_t s = 0; s < shard_count_; ++s) {
+      Shard& shard = shards_[s];
+      std::scoped_lock lock(shard.mutex);
+      if (!shard.keys.empty() && shard.keys.begin()->first < best_id) {
+        best_id = shard.keys.begin()->first;
+        best = &shard;
+      }
+    }
+    if (best == nullptr) return std::nullopt;
+    if (auto out = take_from_shard(*best, best_id, consumer)) return out;
+  }
 }
 
 std::optional<StoredKey> KeyStore::get_key_with_id(std::uint64_t key_id,
                                                    std::string_view consumer) {
-  std::scoped_lock lock(mutex_);
-  const auto it = keys_.find(key_id);
-  if (it == keys_.end()) return std::nullopt;
-  StoredKey out{it->first, std::move(it->second)};
-  consume_locked(consumer, out.bits.size());
-  keys_.erase(it);
-  space_.notify_all();
-  return out;
+  return take_from_shard(shard_of(key_id), key_id, consumer);
 }
 
 void KeyStore::close() {
-  std::scoped_lock lock(mutex_);
-  closed_ = true;
+  closed_.store(true, std::memory_order_seq_cst);
+  // Take the mutex so the broadcast cannot land between a blocked
+  // depositor's predicate check and its sleep; every waiter across every
+  // shard parks on this one cv, so one broadcast wakes them all.
+  std::scoped_lock lock(space_mutex_);
   space_.notify_all();
 }
 
 std::size_t KeyStore::keys_available() const {
-  std::scoped_lock lock(mutex_);
-  return keys_.size();
+  return keys_count_.load(std::memory_order_acquire);
 }
 
 std::uint64_t KeyStore::bits_available() const {
-  std::scoped_lock lock(mutex_);
-  return deposited_bits_ - consumed_bits_;
+  return in_store_bits_.load(std::memory_order_acquire);
 }
 
 std::uint64_t KeyStore::total_deposited_bits() const {
-  std::scoped_lock lock(mutex_);
-  return deposited_bits_;
+  return deposited_bits_.load(std::memory_order_acquire);
 }
 
 std::uint64_t KeyStore::total_consumed_bits() const {
-  std::scoped_lock lock(mutex_);
-  return consumed_bits_;
+  return consumed_bits_.load(std::memory_order_acquire);
 }
 
 std::uint64_t KeyStore::rejected_keys() const {
-  std::scoped_lock lock(mutex_);
-  return std::accumulate(rejected_by_reason_.begin(),
-                         rejected_by_reason_.end(), std::uint64_t{0});
+  std::uint64_t total = 0;
+  for (const auto& counter : rejected_by_reason_) {
+    total += counter.load(std::memory_order_acquire);
+  }
+  return total;
 }
 
 std::uint64_t KeyStore::rejected_bits() const {
-  std::scoped_lock lock(mutex_);
-  return rejected_bits_;
+  return rejected_bits_.load(std::memory_order_acquire);
 }
 
 std::uint64_t KeyStore::rejected_keys(RejectReason reason) const {
   // kCount_ is a public enumerator; guard rather than index past the end.
   if (static_cast<std::size_t>(reason) >= kRejectReasonCount) return 0;
-  std::scoped_lock lock(mutex_);
-  return rejected_by_reason_[static_cast<std::size_t>(reason)];
+  return rejected_by_reason_[static_cast<std::size_t>(reason)].load(
+      std::memory_order_acquire);
 }
 
 std::uint64_t KeyStore::consumed_by(std::string_view consumer) const {
-  std::scoped_lock lock(mutex_);
   if (consumer.empty()) consumer = kAnonymousConsumer;
+  std::scoped_lock lock(ledger_mutex_);
   const auto it = drawn_.find(consumer);
   return it != drawn_.end() ? it->second : 0;
 }
 
 std::map<std::string, std::uint64_t> KeyStore::draw_accounting() const {
-  std::scoped_lock lock(mutex_);
+  std::scoped_lock lock(ledger_mutex_);
   return {drawn_.begin(), drawn_.end()};
 }
 

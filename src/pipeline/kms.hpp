@@ -6,6 +6,15 @@
 // that an SAE pair can agree on which key secures which flow. Thread-safe;
 // consumption is destructive exactly once.
 //
+// Internally the key map is striped across `KeyStoreConfig::shards`
+// shards (id % shards), each with its own lock, and every aggregate
+// counter (deposited/consumed/rejected bits, occupancy, id mint) is an
+// atomic - so concurrent depositors and consumers touching different keys
+// never contend on a global mutex. Capacity enforcement is a CAS
+// reservation on the occupancy atomic; only depositors that must *block*
+// for space (kBlock policy) take a shared slow-path mutex, and close()
+// wakes all of them at once across every shard.
+//
 // The store is bounded: `capacity_bits` caps the material held at once
 // (0 = unbounded). A deposit that would overflow is either rejected with a
 // statistic (kReject - the orchestrator's default, so a slow consumer shows
@@ -22,9 +31,11 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -76,12 +87,13 @@ enum class OverflowPolicy : std::uint8_t {
 struct KeyStoreConfig {
   std::uint64_t capacity_bits = 0;  ///< 0 = unbounded
   OverflowPolicy on_overflow = OverflowPolicy::kReject;
+  std::size_t shards = 8;  ///< lock stripes for the key map (min 1)
 };
 
 class KeyStore {
  public:
-  KeyStore() = default;
-  explicit KeyStore(KeyStoreConfig config) : config_(config) {}
+  KeyStore() : KeyStore(KeyStoreConfig{}) {}
+  explicit KeyStore(KeyStoreConfig config);
 
   const KeyStoreConfig& config() const noexcept { return config_; }
 
@@ -100,8 +112,9 @@ class KeyStore {
   std::optional<StoredKey> get_key_with_id(std::uint64_t key_id,
                                            std::string_view consumer = {});
 
-  /// Release depositors blocked on a full store (kBlock); their keys are
-  /// rejected. Further deposits still succeed while space allows.
+  /// Release *all* depositors blocked on a full store (kBlock), across
+  /// every shard; their keys are rejected. Further deposits still succeed
+  /// while space allows.
   void close();
 
   std::size_t keys_available() const;
@@ -120,21 +133,50 @@ class KeyStore {
   std::map<std::string, std::uint64_t> draw_accounting() const;
 
  private:
-  bool fits_locked(std::uint64_t bits) const noexcept;
-  void consume_locked(std::string_view consumer, std::uint64_t bits);
-  DepositResult reject_locked(RejectReason reason, std::uint64_t bits);
+  /// One lock stripe of the key map; padded so neighbouring shards'
+  /// mutexes never share a cache line.
+  struct alignas(64) Shard {
+    mutable std::mutex mutex;
+    std::map<std::uint64_t, BitVec> keys;
+  };
+
+  Shard& shard_of(std::uint64_t key_id) const noexcept {
+    return shards_[key_id % shard_count_];
+  }
+
+  /// CAS-reserve `bits` of occupancy; false when it would overflow.
+  bool try_reserve(std::uint64_t bits) noexcept;
+  /// Return occupancy after a draw and wake blocked depositors if any.
+  void release_bits(std::uint64_t bits) noexcept;
+  void account_draw(std::string_view consumer, std::uint64_t bits);
+  DepositResult reject(RejectReason reason, std::uint64_t bits);
+  std::optional<StoredKey> take_from_shard(Shard& shard, std::uint64_t key_id,
+                                           std::string_view consumer);
 
   KeyStoreConfig config_;
-  mutable std::mutex mutex_;
+  std::size_t shard_count_ = 1;
+  std::unique_ptr<Shard[]> shards_;
+
+  /// Aggregates (lock-free readers/writers).
+  std::atomic<std::uint64_t> next_id_{1};
+  std::atomic<std::uint64_t> in_store_bits_{0};
+  std::atomic<std::uint64_t> keys_count_{0};
+  std::atomic<std::uint64_t> deposited_bits_{0};
+  std::atomic<std::uint64_t> consumed_bits_{0};
+  std::atomic<std::uint64_t> rejected_bits_{0};
+  std::array<std::atomic<std::uint64_t>, kRejectReasonCount>
+      rejected_by_reason_{};
+  std::atomic<bool> closed_{false};
+
+  /// Slow path for kBlock depositors waiting on space; consumers only
+  /// touch it when space_waiters_ says someone is actually parked.
+  std::mutex space_mutex_;
   std::condition_variable space_;
-  std::map<std::uint64_t, BitVec> keys_;
+  std::atomic<std::size_t> space_waiters_{0};
+
+  /// Per-consumer draw ledger (names span shards, so it stays unified).
+  mutable std::mutex ledger_mutex_;
   std::map<std::string, std::uint64_t, std::less<>> drawn_;
-  std::uint64_t next_id_ = 1;
-  std::uint64_t deposited_bits_ = 0;
-  std::uint64_t consumed_bits_ = 0;
-  std::uint64_t rejected_bits_ = 0;
-  std::array<std::uint64_t, kRejectReasonCount> rejected_by_reason_{};
-  bool closed_ = false;
 };
 
 }  // namespace qkdpp::pipeline

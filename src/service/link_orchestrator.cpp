@@ -475,8 +475,15 @@ void LinkOrchestrator::run_link(std::size_t i, LinkReport& report) {
 }
 
 OrchestratorReport LinkOrchestrator::run() {
+  // Bounded by default: min(links, hardware threads). One OS thread per
+  // link stops scaling long before 128 links (oversubscription thrash);
+  // a work-stealing pool keeps every core busy while idle-link tasks wait
+  // their turn. Links are deterministic regardless of which worker runs
+  // them (per-link rng stream + block order live in LinkState).
+  const std::size_t hw =
+      std::max<std::size_t>(1, std::thread::hardware_concurrency());
   const std::size_t workers =
-      config_.workers ? config_.workers : links_.size();
+      config_.workers ? config_.workers : std::min(links_.size(), hw);
   ThreadPool pool(workers);
 
   std::vector<LinkReport> reports(links_.size());
@@ -491,6 +498,7 @@ OrchestratorReport LinkOrchestrator::run() {
 
   OrchestratorReport report;
   report.wall_seconds = fleet_clock.seconds();
+  report.pool = pool.stats();
   report.links = std::move(reports);
   for (const auto& link : report.links) {
     report.blocks_ok += link.blocks_ok;

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "common/threadpool.hpp"
 #include "engine/engine.hpp"
 #include "engine/params.hpp"
 #include "hetero/device_set.hpp"
@@ -145,7 +146,11 @@ struct OrchestratorConfig {
   std::vector<hetero::DeviceProps> devices;
   /// Host threads backing the shared set's parallel kernels (0 = hw).
   std::size_t device_threads = 0;
-  /// Worker threads driving links (0 = one per link).
+  /// Worker threads driving links. 0 = min(link count, hardware threads):
+  /// a bounded work-stealing pool, so 128 links on a 16-core host run 16
+  /// at a time instead of oversubscribing 128 OS threads. Per-link
+  /// determinism is unaffected - each link's rng stream and block order
+  /// live in its LinkState, not in which worker runs it.
   std::size_t workers = 0;
   engine::PlacementPolicy policy = engine::PlacementPolicy::kOptimized;
   /// Bound applied to every link pair's KeyStore.
@@ -219,6 +224,9 @@ struct OrchestratorReport {
   std::uint64_t secret_bits = 0;
   double secret_bits_per_s = 0.0;      ///< aggregate over fleet wall time
   double blocks_per_s = 0.0;
+  /// Final snapshot of the link pool's counters (queue depth, steals,
+  /// busy workers) — the contention observability the scale bench reports.
+  ThreadPool::Stats pool;
 };
 
 class LinkOrchestrator {

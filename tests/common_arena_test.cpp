@@ -1,0 +1,116 @@
+// BlockArena unit tests: bump allocation, overflow slab growth, the O(1)
+// reset that keeps the largest slab, pooled scratch object reuse, and the
+// BitVec::subvec_into allocation-free copy the reconcile hot loop uses.
+#include "common/arena.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "common/bitvec.hpp"
+#include "common/rng.hpp"
+
+namespace qkdpp {
+namespace {
+
+TEST(BlockArena, BumpAllocationsAreDisjointAndWritable) {
+  BlockArena arena(1024);
+  std::uint64_t* a = arena.words(4);
+  std::uint64_t* b = arena.words(4);
+  ASSERT_NE(a, b);
+  EXPECT_GE(b, a + 4) << "second allocation must not overlap the first";
+  for (int i = 0; i < 4; ++i) a[i] = 0x1111111111111111ULL;
+  for (int i = 0; i < 4; ++i) b[i] = 0x2222222222222222ULL;
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(a[i], 0x1111111111111111ULL);
+  }
+  std::uint8_t* c = arena.bytes(13);
+  std::memset(c, 0xab, 13);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(c) % 8, 0u)
+      << "bytes() must stay word-aligned";
+}
+
+TEST(BlockArena, OverflowGrowsGeometricallyAndResetKeepsLargestSlab) {
+  BlockArena arena(64);  // 8 words
+  (void)arena.words(8);  // fills the first slab exactly
+  EXPECT_EQ(arena.stats().slab_count, 1u);
+  (void)arena.words(8);  // overflow -> second slab
+  const ArenaStats grown = arena.stats();
+  EXPECT_EQ(grown.slab_count, 2u);
+  EXPECT_EQ(grown.overflow_slabs, 1u);
+  EXPECT_EQ(grown.used_bytes, 2 * 8 * 8u);
+
+  arena.reset();
+  const ArenaStats after = arena.stats();
+  EXPECT_EQ(after.used_bytes, 0u);
+  EXPECT_EQ(after.slab_count, 1u) << "reset keeps only the largest slab";
+  EXPECT_GE(after.capacity_bytes, 2 * 8 * 8u)
+      << "the kept slab must fit what previously overflowed";
+  EXPECT_EQ(after.high_water_bytes, grown.used_bytes);
+
+  // Steady state: the same demand now fits without another overflow.
+  (void)arena.words(16);
+  EXPECT_EQ(arena.stats().overflow_slabs, 1u);
+}
+
+TEST(BlockArena, OversizedRequestGetsItsOwnSlab) {
+  BlockArena arena(64);
+  std::uint64_t* big = arena.words(1000);
+  big[999] = 7;  // must be fully usable
+  EXPECT_EQ(big[999], 7u);
+  EXPECT_GE(arena.stats().capacity_bytes, 1000 * 8u);
+}
+
+TEST(BlockArena, ScratchObjectsReuseCapacityAcrossResets) {
+  BlockArena arena;
+  BitVec& bits = arena.scratch_bits();
+  bits.resize(4096);
+  ByteWriter& writer = arena.scratch_writer();
+  writer.put_u64(42);
+  const ArenaStats first = arena.stats();
+  EXPECT_EQ(first.scratch_bitvecs, 1u);
+  EXPECT_EQ(first.scratch_writers, 1u);
+
+  arena.reset();
+  BitVec& again = arena.scratch_bits();
+  EXPECT_EQ(&again, &bits) << "pool must hand back the same object";
+  EXPECT_EQ(again.size(), 0u) << "borrowed scratch comes back cleared";
+  ByteWriter& writer_again = arena.scratch_writer();
+  EXPECT_EQ(&writer_again, &writer);
+  EXPECT_EQ(writer_again.size(), 0u);
+  EXPECT_EQ(arena.stats().scratch_bitvecs, 1u) << "no new object minted";
+
+  // Distinct borrows within one block are distinct objects.
+  BitVec& second = arena.scratch_bits();
+  EXPECT_NE(&second, &again);
+}
+
+TEST(BlockArena, ThreadArenaIsPerThread) {
+  BlockArena* mine = &thread_arena();
+  BlockArena* theirs = nullptr;
+  std::thread t([&] { theirs = &thread_arena(); });
+  t.join();
+  EXPECT_NE(mine, theirs);
+  EXPECT_EQ(mine, &thread_arena()) << "stable within a thread";
+}
+
+TEST(BlockArena, SubvecIntoMatchesSubvecAndReusesCapacity) {
+  Xoshiro256 rng(99);
+  const BitVec source = rng.random_bits(1000);
+  BitVec scratch;
+  const std::pair<std::size_t, std::size_t> cases[] = {
+      {0, 64}, {1, 64}, {63, 130}, {128, 0}, {500, 500}, {937, 63}};
+  for (const auto& [pos, len] : cases) {
+    source.subvec_into(pos, len, scratch);
+    EXPECT_EQ(scratch, source.subvec(pos, len))
+        << "pos=" << pos << " len=" << len;
+  }
+  EXPECT_THROW(source.subvec_into(900, 200, scratch), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qkdpp

@@ -13,6 +13,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <thread>
 #include <vector>
@@ -22,7 +23,14 @@
 namespace qkdpp::pipeline {
 namespace {
 
-TEST(KeyStoreCloseRace, BlockedDepositorsAlwaysReleasedAndAccounted) {
+// Parameterized over the shard count: the single-stripe degenerate layout
+// and the default striped layout must behave identically at the API.
+class KeyStoreCloseRace : public ::testing::TestWithParam<std::size_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Shards, KeyStoreCloseRace,
+                         ::testing::Values(std::size_t{1}, std::size_t{4}));
+
+TEST_P(KeyStoreCloseRace, BlockedDepositorsAlwaysReleasedAndAccounted) {
   constexpr int kRounds = 150;
   constexpr int kDepositors = 4;
   constexpr int kKeysEach = 8;
@@ -32,6 +40,7 @@ TEST(KeyStoreCloseRace, BlockedDepositorsAlwaysReleasedAndAccounted) {
     KeyStoreConfig config;
     config.capacity_bits = 2 * kKeyBits;  // at most two keys fit: most
     config.on_overflow = OverflowPolicy::kBlock;  // deposits must block
+    config.shards = GetParam();
     KeyStore store(config);
 
     std::atomic<std::uint64_t> accepted_bits{0};
@@ -91,7 +100,44 @@ TEST(KeyStoreCloseRace, BlockedDepositorsAlwaysReleasedAndAccounted) {
   }
 }
 
-TEST(KeyStoreCloseRace, CloseBeforeAnyDepositRejectsBlockedOnly) {
+TEST(KeyStoreCloseWakeAll, CloseWakesEveryBlockedDepositorAcrossShards) {
+  // Many depositors, all blocked at once on a one-key bound, keys landing
+  // in different shards: one close() must release every one of them (no
+  // depositor left sleeping on a shard that never got the signal).
+  constexpr int kBlocked = 16;
+  KeyStoreConfig config;
+  config.capacity_bits = 64;
+  config.on_overflow = OverflowPolicy::kBlock;
+  config.shards = 8;
+  KeyStore store(config);
+  Xoshiro256 seed_rng(7);
+  ASSERT_TRUE(store.deposit(seed_rng.random_bits(64)).accepted());  // full
+
+  std::atomic<int> closed_rejects{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kBlocked);
+  for (int d = 0; d < kBlocked; ++d) {
+    threads.emplace_back([&, d] {
+      Xoshiro256 rng(100 + d);
+      const DepositResult result = store.deposit(rng.random_bits(64));
+      ASSERT_FALSE(result.accepted());
+      ASSERT_EQ(result.reason, RejectReason::kClosed);
+      closed_rejects += 1;
+    });
+  }
+  // Give every depositor time to actually park on the full store.
+  while (store.rejected_keys() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    store.close();  // idempotent; first call is the one under test
+  }
+  for (auto& t : threads) t.join();  // would hang if any wake were lost
+  EXPECT_EQ(closed_rejects.load(), kBlocked);
+  EXPECT_EQ(store.rejected_keys(RejectReason::kClosed),
+            static_cast<std::uint64_t>(kBlocked));
+  EXPECT_EQ(store.bits_available(), 64u);  // the seed key is untouched
+}
+
+TEST(KeyStoreClose, CloseBeforeAnyDepositRejectsBlockedOnly) {
   // close() is not a poison pill: deposits that fit keep succeeding, only
   // the blocked ones are released with kClosed.
   KeyStoreConfig config;
