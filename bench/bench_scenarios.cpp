@@ -18,9 +18,10 @@
 // simulated accelerators charge modeled time).
 //
 // The process exits non-zero unless adaptive >= static (secret bits) on
-// every scenario and adaptive > 1.10 x static on the qber-burst and
-// device-hot-remove scenarios - the regression gate bench_compare.py and
-// CI ride on. The final stdout line is a machine-readable JSON summary.
+// every scenario, adaptive > 1.10 x static on device-hot-remove, and
+// adaptive > 1.05 x static on qber-burst - the regression gate
+// bench_compare.py and CI ride on. The final stdout line is a
+// machine-readable JSON summary.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -169,11 +170,18 @@ int main(int argc, char** argv) {
       gate_ok = false;
       gate_log += "  adaptive < static on " + row.name + "\n";
     }
-    const bool must_beat = row.name == "qber-burst" ||
-                           row.name == "device-hot-remove";
-    if (must_beat && row.bit_gain < 1.10) {
+    // Device-hot-remove is where replanning is the whole story (static
+    // loses every block on the dead device), so adaptation must win big.
+    // Qber-burst keeps a smaller bar: blind reconciliation now rescues
+    // stale-rate frames with extra reveal rounds even on the static arm,
+    // so replanning's edge there is leak efficiency, not block survival.
+    const double min_gain = row.name == "device-hot-remove" ? 1.10
+                            : row.name == "qber-burst"      ? 1.05
+                                                            : 0.0;
+    if (min_gain > 0.0 && row.bit_gain < min_gain) {
       gate_ok = false;
-      gate_log += "  gain <= 1.10 on " + row.name + "\n";
+      gate_log += "  gain below " + std::to_string(min_gain) + " on " +
+                  row.name + "\n";
     }
     rows.push_back(std::move(row));
   }

@@ -59,6 +59,27 @@ def extract(doc):
         metrics["e2e_cpu_wall_blocks_per_s"] = (
             mean(r["cpu_blocks_per_s"] for r in rows), False)
 
+    reconcile = doc.get("reconcile") or {}
+    batched_rows = [r.get("batched") or {} for r in reconcile.get("rows", [])]
+    batched_rows = [b for b in batched_rows if b.get("ok")]
+    if batched_rows:
+        # Reconcile-stage throughput of the batched decoder. Wall-clock, but
+        # gated anyway: this is the PR-trajectory headline (the bench itself
+        # also hard-gates an absolute 10 km floor via its exit code), and
+        # the 25% tolerance absorbs ordinary host-to-host spread. Decode
+        # behaviour (iterations, early exits) is advisory trend data.
+        metrics["reconcile_batched_items_per_s"] = (
+            mean(b["reconcile_items_per_s"] for b in batched_rows), True)
+        ten_km = [r for r in reconcile.get("rows", [])
+                  if r.get("km") == 10 and (r.get("batched") or {}).get("ok")]
+        if ten_km:
+            metrics["reconcile_items_per_s_10km"] = (
+                float(ten_km[0]["batched"]["reconcile_items_per_s"]), True)
+        metrics["reconcile_iterations_mean"] = (
+            mean(b.get("iterations_mean", 0.0) for b in batched_rows), False)
+        metrics["reconcile_early_exit_rate"] = (
+            mean(b.get("early_exit_rate", 0.0) for b in batched_rows), False)
+
     multilink = doc.get("multilink") or {}
     aggregate = multilink.get("aggregate") or {}
     if aggregate:
@@ -171,6 +192,12 @@ def main():
                 tag = "  (wall-clock, advisory)"
         print(f"{name:44s} {base_value:14.1f} {value:14.1f} {ratio:6.2f}x"
               f"{tag}")
+
+    reconcile_gate = (current_doc.get("reconcile") or {}).get("gate") or {}
+    if reconcile_gate and not reconcile_gate.get("ok", True):
+        failures.append("bench_reconcile gate ok=false (batched decoder "
+                        "below the 10 km throughput floor or slower than "
+                        "the legacy arm)")
 
     scenarios = current_doc.get("scenarios") or {}
     if scenarios and not scenarios.get("gate_ok", True):

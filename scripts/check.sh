@@ -14,6 +14,15 @@
 #                              skip the slower service tier (CI tier-1 uses
 #                              this so a hung service test cannot stall the
 #                              runner; the sanitize job runs everything).
+#   QKDPP_CHECK_BUILD_TYPE     CMAKE_BUILD_TYPE for the main tree (default
+#                              Release). The CI matrix runs Debug legs with
+#                              this; they use a per-type build dir so a
+#                              local Release tree is not clobbered.
+#   QKDPP_CHECK_WERROR=1       configure with -DQKDPP_WERROR=ON (the CI
+#                              clang leg promotes warnings to errors).
+#   QKDPP_CHECK_SMOKE=0        skip the smoke runs (Debug builds pay the
+#                              PEG code construction at -O0 - far too slow
+#                              for a smoke; unit tests still cover it).
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -41,18 +50,35 @@ run_tree() {
   shift
   cmake -B "$tree" -S . "$@"
   cmake --build "$tree" -j
+  # -j needs an explicit value: a bare `ctest -j -L foo` swallows `-L` as
+  # the parallelism argument and silently runs the whole suite unfiltered.
   if [ -n "${QKDPP_CHECK_LABELS:-}" ]; then
-    (cd "$tree" && ctest --output-on-failure -j -L "$QKDPP_CHECK_LABELS")
+    (cd "$tree" && ctest --output-on-failure -j "$(nproc)" \
+      -L "$QKDPP_CHECK_LABELS")
   else
-    (cd "$tree" && ctest --output-on-failure -j)
+    (cd "$tree" && ctest --output-on-failure -j "$(nproc)")
   fi
-  smoke "$tree"
+  if [ "${QKDPP_CHECK_SMOKE:-1}" != "0" ]; then
+    smoke "$tree"
+  fi
 }
 
 SANITIZE=${QKDPP_CHECK_SANITIZE:-0}
+BUILD_TYPE=${QKDPP_CHECK_BUILD_TYPE:-Release}
+
+MAIN_ARGS="-DCMAKE_BUILD_TYPE=$BUILD_TYPE"
+if [ "${QKDPP_CHECK_WERROR:-0}" = "1" ]; then
+  MAIN_ARGS="$MAIN_ARGS -DQKDPP_WERROR=ON"
+fi
 
 if [ "$SANITIZE" != "only" ]; then
-  run_tree build
+  # Non-Release trees get their own build dir so switching legs (or a CI
+  # matrix) never replays a full reconfigure over a developer's tree.
+  if [ "$BUILD_TYPE" = "Release" ]; then
+    run_tree build $MAIN_ARGS
+  else
+    run_tree "build-$(echo "$BUILD_TYPE" | tr '[:upper:]' '[:lower:]')"       $MAIN_ARGS
+  fi
 fi
 
 if [ "$SANITIZE" = "1" ] || [ "$SANITIZE" = "only" ]; then

@@ -1,8 +1,8 @@
 #!/usr/bin/env sh
-# Perf trajectory plumbing: run bench_pipeline_e2e + bench_multilink +
-# bench_scenarios + bench_key_delivery + bench_network + bench_chaos +
-# bench_orchestrator_scale + bench_toeplitz and write BENCH_pipeline.json
-# at the repo root, so
+# Perf trajectory plumbing: run bench_pipeline_e2e + bench_reconcile +
+# bench_multilink + bench_scenarios + bench_key_delivery + bench_network +
+# bench_chaos + bench_orchestrator_scale + bench_toeplitz and write
+# BENCH_pipeline.json at the repo root, so
 # subsequent PRs can compare end-to-end blocks/s, multi-link aggregate
 # secret bits/s, static-vs-adaptive scenario throughput, concurrent-SAE
 # key-delivery throughput, relay-network end-to-end delivery (clean vs
@@ -33,9 +33,9 @@ for arg in "$@"; do
 done
 
 cmake -B "$BUILD" -S . >/dev/null
-cmake --build "$BUILD" -j --target bench_pipeline_e2e bench_multilink \
-  bench_scenarios bench_key_delivery bench_network bench_chaos \
-  bench_orchestrator_scale >/dev/null
+cmake --build "$BUILD" -j --target bench_pipeline_e2e bench_reconcile \
+  bench_multilink bench_scenarios bench_key_delivery bench_network \
+  bench_chaos bench_orchestrator_scale >/dev/null
 
 echo "== bench_pipeline_e2e =="
 # No pipe here: under `set -e` a pipeline would mask a crashing bench with
@@ -46,6 +46,19 @@ PIPELINE_JSON=$(tail -n 1 "$BUILD"/bench_pipeline_e2e.out)
 case "$PIPELINE_JSON" in
   '{'*'}') ;;
   *) echo "error: bench_pipeline_e2e summary line is not JSON" >&2; exit 1 ;;
+esac
+
+echo "== bench_reconcile =="
+# Self-gates: the batched int8 decoder must clear 5x the pre-batching
+# reconcile throughput at 10 km and must not lose reconcile or e2e time to
+# the legacy float arm at any completed distance; a violation exits
+# non-zero and fails here.
+"$BUILD"/bench_reconcile > "$BUILD"/bench_reconcile.out
+cat "$BUILD"/bench_reconcile.out
+RECONCILE_JSON=$(tail -n 1 "$BUILD"/bench_reconcile.out)
+case "$RECONCILE_JSON" in
+  '{'*'}') ;;
+  *) echo "error: bench_reconcile summary line is not JSON" >&2; exit 1 ;;
 esac
 
 echo "== bench_multilink =="
@@ -130,6 +143,7 @@ fi
 {
   printf '{"schema":"qkdpp-bench-v1","unit":"blocks_per_s",'
   printf '"pipeline_e2e":%s,' "$PIPELINE_JSON"
+  printf '"reconcile":%s,' "$RECONCILE_JSON"
   printf '"multilink":%s,' "$MULTILINK_JSON"
   printf '"scenarios":%s,' "$SCENARIOS_JSON"
   printf '"key_delivery":%s,' "$KEY_DELIVERY_JSON"

@@ -1,0 +1,65 @@
+#include "common/bit_transpose.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace qkdpp {
+
+void transpose64(std::uint64_t w[64]) noexcept {
+  // Delta-swap network: round j exchanges the j-offset off-diagonal
+  // sub-blocks, halving the block size each round (Hacker's Delight
+  // fig. 7-6 generalized to 64 bits).
+  // Bit 0 is column 0 (LSB-first, matching BitVec), so each round swaps
+  // the HIGH j columns of the upper row group with the LOW j columns of
+  // the lower one - the mirror of the textbook MSB-first formulation.
+  std::uint64_t m = 0x00000000FFFFFFFFULL;
+  for (unsigned j = 32; j != 0; j >>= 1, m ^= m << j) {
+    for (unsigned k = 0; k < 64; k = ((k | j) + 1) & ~j) {
+      const std::uint64_t t = ((w[k] >> j) ^ w[k | j]) & m;
+      w[k] ^= t << j;
+      w[k | j] ^= t;
+    }
+  }
+}
+
+void pack_lanes(std::span<const BitVec* const> lanes, std::size_t nbits,
+                std::uint64_t* out) {
+  QKDPP_REQUIRE(lanes.size() <= 64, "at most 64 lanes per word");
+  for (const BitVec* lane : lanes) {
+    QKDPP_REQUIRE(lane != nullptr && lane->size() == nbits,
+                  "lane length mismatch");
+  }
+  std::uint64_t block[64];
+  for (std::size_t base = 0; base < nbits; base += 64) {
+    const std::size_t lim = std::min<std::size_t>(64, nbits - base);
+    // Row l = lane l's next 64 bits (tail bits beyond size() are zero by
+    // the BitVec invariant); absent lanes contribute zero rows.
+    for (std::size_t l = 0; l < lanes.size(); ++l) {
+      block[l] = lanes[l]->words()[base >> 6];
+    }
+    std::memset(block + lanes.size(), 0,
+                (64 - lanes.size()) * sizeof(std::uint64_t));
+    transpose64(block);
+    // Transposed row p holds bit l = lane l's bit (base + p).
+    std::memcpy(out + base, block, lim * sizeof(std::uint64_t));
+  }
+}
+
+void unpack_lane(const std::uint64_t* words, std::size_t nbits, unsigned lane,
+                 BitVec& out) {
+  QKDPP_REQUIRE(lane < 64, "lane index out of range");
+  out.resize(nbits);
+  auto dst = out.mutable_words();
+  for (std::size_t base = 0; base < nbits; base += 64) {
+    const std::size_t lim = std::min<std::size_t>(64, nbits - base);
+    std::uint64_t acc = 0;
+    for (std::size_t k = 0; k < lim; ++k) {
+      acc |= ((words[base + k] >> lane) & 1u) << k;
+    }
+    dst[base >> 6] = acc;
+  }
+}
+
+}  // namespace qkdpp

@@ -1,0 +1,35 @@
+// Batch bit-transpose kernels.
+//
+// The lockstep LDPC batch decoder keeps per-frame state lane-packed: one
+// 64-bit word per bit position, bit l of that word belonging to frame l.
+// Moving between that layout and ordinary BitVecs (one frame per vector)
+// is a bit-matrix transpose. pack_lanes() turns up to 64 frames into
+// position-major lane words with a 64x64 block transpose (Hacker's
+// Delight delta-swap network, 6 rounds of masked exchanges instead of
+// 4096 single-bit moves); unpack_lane() extracts one frame back out.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "common/bitvec.hpp"
+
+namespace qkdpp {
+
+/// In-place 64x64 bit-matrix transpose: bit j of w[i] moves to bit i of
+/// w[j].
+void transpose64(std::uint64_t w[64]) noexcept;
+
+/// Pack up to 64 equal-length bit vectors into position-major lane words:
+/// bit l of out[p] == lanes[l]->get(p). Lanes beyond lanes.size() read as
+/// zero. `out` must hold `nbits` words.
+void pack_lanes(std::span<const BitVec* const> lanes, std::size_t nbits,
+                std::uint64_t* out);
+
+/// Inverse of pack_lanes for a single lane: collect bit `lane` of
+/// words[0..nbits) into `out` (resized to nbits).
+void unpack_lane(const std::uint64_t* words, std::size_t nbits, unsigned lane,
+                 BitVec& out);
+
+}  // namespace qkdpp

@@ -68,6 +68,9 @@ struct BlockOutcome {
   std::uint64_t leak_ec_bits = 0;
   double efficiency = 0.0;
   std::uint64_t reconcile_rounds = 0;
+  std::uint64_t reconcile_frames = 0;            ///< LDPC frames decoded
+  std::uint64_t decoder_iterations = 0;          ///< BP iterations, summed
+  std::uint64_t reconcile_early_exit_frames = 0; ///< converged before the cap
 
   std::size_t final_key_bits = 0;
   BitVec final_key;                   ///< identical on both ends by construction

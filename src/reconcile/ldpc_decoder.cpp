@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
+#include "common/arena.hpp"
 #include "common/error.hpp"
 
 namespace qkdpp::reconcile {
@@ -28,11 +30,11 @@ inline float safe_atanh(float x) noexcept {
 /// Word-parallel sign take: build each 64-bit word in a register instead of
 /// a read-modify-write per bit. Keeps the exact `< 0` semantics (so -0.0 and
 /// NaN posteriors decide 0, same as the scalar reference).
-void hard_decision(const std::vector<float>& posterior, BitVec& word) {
-  word.resize(posterior.size());
+void hard_decision(const float* posterior, std::size_t n, BitVec& word) {
+  word.resize(n);
   auto words = word.mutable_words();
-  for (std::size_t base = 0; base < posterior.size(); base += 64) {
-    const std::size_t lim = std::min<std::size_t>(64, posterior.size() - base);
+  for (std::size_t base = 0; base < n; base += 64) {
+    const std::size_t lim = std::min<std::size_t>(64, n - base);
     std::uint64_t acc = 0;
     for (std::size_t k = 0; k < lim; ++k) {
       acc |= std::uint64_t{posterior[base + k] < 0.0f} << k;
@@ -44,7 +46,7 @@ void hard_decision(const std::vector<float>& posterior, BitVec& word) {
 /// Per-thread decoder workspace: message/posterior buffers sized by the
 /// largest code decoded on this thread, reused across frames so the
 /// per-frame cost is an assign() into existing capacity instead of three
-/// heap allocations.
+/// heap allocations. Only the fallback when no arena is supplied.
 struct DecoderScratch {
   std::vector<float> r;          // check -> var
   std::vector<float> q;          // var -> check
@@ -56,6 +58,40 @@ DecoderScratch& tls_scratch() {
   return scratch;
 }
 
+/// Uninitialized float buffers for one decode: bump-allocated from the
+/// block arena when the caller supplies one (freed wholesale at the block
+/// boundary), thread-local vectors otherwise.
+struct FloatBuffers {
+  float* r = nullptr;          // check -> var, `edges` entries
+  float* q = nullptr;          // var -> check, `edges` entries (flooding)
+  float* posterior = nullptr;  // `n` entries
+};
+
+FloatBuffers acquire_float_buffers(const DecoderConfig& config, std::size_t n,
+                                   std::size_t edges, bool need_q) {
+  FloatBuffers buf;
+  if (config.arena != nullptr) {
+    buf.r = reinterpret_cast<float*>(config.arena->bytes(edges * sizeof(float)));
+    if (need_q) {
+      buf.q =
+          reinterpret_cast<float*>(config.arena->bytes(edges * sizeof(float)));
+    }
+    buf.posterior =
+        reinterpret_cast<float*>(config.arena->bytes(n * sizeof(float)));
+    return buf;
+  }
+  DecoderScratch& scratch = tls_scratch();
+  scratch.r.resize(edges);
+  scratch.posterior.resize(n);
+  buf.r = scratch.r.data();
+  buf.posterior = scratch.posterior.data();
+  if (need_q) {
+    scratch.q.resize(edges);
+    buf.q = scratch.q.data();
+  }
+  return buf;
+}
+
 /// Flooding-schedule decoder. Per-edge messages in check-major order; var
 /// and check updates are embarrassingly parallel and optionally run on the
 /// pool - this is the code path the accelerator backends model.
@@ -65,13 +101,13 @@ DecodeResult decode_flooding(const LdpcCode& code, const BitVec& syndrome,
   const std::size_t n = code.n();
   const std::size_t m = code.m();
   const std::size_t edges = code.edges();
-  DecoderScratch& scratch = tls_scratch();
-  scratch.r.assign(edges, 0.0f);
-  scratch.q.assign(edges, 0.0f);
-  scratch.posterior.resize(n);
-  std::vector<float>& r = scratch.r;          // check -> var
-  std::vector<float>& q = scratch.q;          // var -> check
-  std::vector<float>& posterior = scratch.posterior;
+  const FloatBuffers buf =
+      acquire_float_buffers(config, n, edges, /*need_q=*/true);
+  float* const r = buf.r;          // check -> var
+  float* const q = buf.q;          // var -> check
+  float* const posterior = buf.posterior;
+  std::memset(r, 0, edges * sizeof(float));
+  std::memset(q, 0, edges * sizeof(float));
 
   auto var_update = [&](std::size_t lo, std::size_t hi) {
     for (std::size_t v = lo; v < hi; ++v) {
@@ -150,7 +186,7 @@ DecodeResult decode_flooding(const LdpcCode& code, const BitVec& syndrome,
       check_update(0, m);
       posterior_update(0, n);
     }
-    hard_decision(posterior, result.word);
+    hard_decision(posterior, n, result.word);
     if (code.syndrome_matches(result.word, syndrome)) {
       result.converged = true;
       return result;
@@ -164,12 +200,14 @@ DecodeResult decode_flooding(const LdpcCode& code, const BitVec& syndrome,
 DecodeResult decode_layered(const LdpcCode& code, const BitVec& syndrome,
                             const std::vector<float>& llr,
                             const DecoderConfig& config) {
+  const std::size_t n = code.n();
   const std::size_t m = code.m();
-  DecoderScratch& scratch = tls_scratch();
-  scratch.r.assign(code.edges(), 0.0f);
-  scratch.posterior.assign(llr.begin(), llr.end());
-  std::vector<float>& r = scratch.r;
-  std::vector<float>& posterior = scratch.posterior;
+  const FloatBuffers buf =
+      acquire_float_buffers(config, n, code.edges(), /*need_q=*/false);
+  float* const r = buf.r;
+  float* const posterior = buf.posterior;
+  std::memset(r, 0, code.edges() * sizeof(float));
+  std::memcpy(posterior, llr.data(), n * sizeof(float));
 
   DecodeResult result;
   for (unsigned iter = 1; iter <= config.max_iterations; ++iter) {
@@ -223,7 +261,7 @@ DecodeResult decode_layered(const LdpcCode& code, const BitVec& syndrome,
         }
       }
     }
-    hard_decision(posterior, result.word);
+    hard_decision(posterior, n, result.word);
     if (code.syndrome_matches(result.word, syndrome)) {
       result.converged = true;
       return result;

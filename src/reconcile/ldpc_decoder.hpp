@@ -16,6 +16,10 @@
 #include "common/threadpool.hpp"
 #include "reconcile/ldpc_code.hpp"
 
+namespace qkdpp {
+class BlockArena;
+}
+
 namespace qkdpp::reconcile {
 
 enum class BpAlgorithm : std::uint8_t { kMinSum = 0, kSumProduct = 1 };
@@ -26,9 +30,17 @@ struct DecoderConfig {
   BpSchedule schedule = BpSchedule::kLayered;
   unsigned max_iterations = 60;
   float min_sum_scale = 0.8f;  ///< normalization factor alpha
+  /// Use the int8-quantized layered min-sum kernel (batch_decoder.hpp)
+  /// instead of the float reference decoder. decode_syndrome() itself is
+  /// always the float path; frame receivers, the batched reconciler, and
+  /// the timed kernels branch on this flag.
+  bool quantized = true;
   /// Optional pool for flooding-schedule parallel updates (layered is
   /// inherently sequential). Null = single-threaded.
   ThreadPool* pool = nullptr;
+  /// Optional scratch arena for decoder message/posterior buffers; null
+  /// falls back to thread-local vectors.
+  BlockArena* arena = nullptr;
 };
 
 struct DecodeResult {

@@ -86,6 +86,84 @@ FramePlan plan_frame_fitting(std::size_t key_bits, double qber,
   return plan_with_code(best->id, qber, f_target, adapt_fraction);
 }
 
+FramePlan plan_frame_batched(std::size_t key_bits, double qber,
+                             double f_target, double adapt_fraction,
+                             std::size_t target_frames) {
+  QKDPP_REQUIRE(qber > 0 && qber < 0.5, "qber outside (0, 0.5)");
+  QKDPP_REQUIRE(f_target >= 1.0, "efficiency target below Shannon limit");
+  QKDPP_REQUIRE(adapt_fraction >= 0 && adapt_fraction < 0.5,
+                "adaptation fraction outside [0, 0.5)");
+  QKDPP_REQUIRE(target_frames >= 1, "need at least one frame");
+  constexpr std::size_t kMinBatchFrameBits = 4096;
+  // Mothers above rate 0.8 sit too close to their finite-length threshold:
+  // measured on the n = 4096 family, the rate-0.85 code stalls for hundreds
+  // of min-sum iterations (and sometimes fails outright) at operating
+  // points where rate <= 0.8 codes converge in tens.
+  constexpr double kMaxBatchRate = 0.81;
+  const CodeSpec* best = nullptr;
+  std::size_t best_frames = 0;
+  bool best_strict = false;
+  double best_rate_pref = 0.0;
+  for (const auto& spec : code_table()) {
+    if (spec.n < kMinBatchFrameBits || spec.rate > kMaxBatchRate) continue;
+    const auto budget = static_cast<std::size_t>(adapt_fraction * spec.n);
+    const std::size_t payload = spec.n - budget;
+    if (payload > key_bits) continue;
+    const double m = static_cast<double>(spec.n) * (1.0 - spec.rate);
+    const double required_leak = f_target * finite_length_penalty(spec.n) *
+                                 binary_entropy(qber) *
+                                 static_cast<double>(payload);
+    // ideal_d = m - required < 0 means even the unpunctured syndrome
+    // discloses less than the plan calls for - the decode would start
+    // below its reliability target with no punctured reserve to reveal.
+    if (m < required_leak) continue;
+    // ideal_d <= budget plans the exact target leak ("strict"); beyond the
+    // budget d clamps and the frame over-discloses m - budget bits. The
+    // clamped floor only engages at very low QBER, where the absolute
+    // overshoot is small.
+    const bool strict = m - required_leak <= static_cast<double>(budget);
+    // Convergence speed is non-monotonic in mother rate at a fixed planned
+    // leak: high-rate mothers run near threshold, low-rate ones need the
+    // puncture budget maxed out (a third of the frame erased). The 0.75
+    // mother measures fastest across the operating range, so prefer the
+    // rate closest to it; among clamped codes higher rate over-leaks less.
+    const double rate_pref = strict ? -std::abs(spec.rate - 0.75) : spec.rate;
+    const std::size_t frames = key_bits / payload;
+    // Lane count saturates at target_frames; past that, prefer the larger
+    // frame (fewer, bigger codes leak less). Short of it, more lanes win.
+    const std::size_t best_lanes = std::min(best_frames, target_frames);
+    const std::size_t lanes = std::min(frames, target_frames);
+    bool better = false;
+    if (best == nullptr || lanes != best_lanes) {
+      better = best == nullptr || lanes > best_lanes;
+    } else if (strict != best_strict) {
+      better = strict;
+    } else if (spec.n != best->n) {
+      better = spec.n > best->n;
+    } else {
+      better = rate_pref > best_rate_pref;
+    }
+    if (better) {
+      best = &spec;
+      best_frames = frames;
+      best_strict = strict;
+      best_rate_pref = rate_pref;
+    }
+  }
+  if (best == nullptr) {
+    return plan_frame_fitting(key_bits, qber, f_target, adapt_fraction);
+  }
+  // Plan the disclosure at the penalty-adjusted efficiency. Short frames
+  // cannot operate at the nominal f_target: planning there just makes the
+  // first decode fail and the blind loop burn iterations re-discovering
+  // the finite-length gap one reveal chunk at a time (the leak ends up at
+  // the penalized point either way - paying it up front converges in one
+  // decode instead of several).
+  return plan_with_code(best->id, qber,
+                        f_target * finite_length_penalty(best->n),
+                        adapt_fraction);
+}
+
 namespace {
 
 FramePlan plan_with_code(std::uint32_t code_id, double qber, double f_target,

@@ -55,4 +55,16 @@ FramePlan plan_frame(std::size_t min_frame, double qber, double f_target,
 FramePlan plan_frame_fitting(std::size_t key_bits, double qber,
                              double f_target, double adapt_fraction = 0.10);
 
+/// Like plan_frame_fitting, but shaped for the lockstep batch decoder:
+/// prefer the largest code whose payload cuts the key into at least
+/// `target_frames` frames, so the decoder gets enough lanes to fill its
+/// vectors. Candidates stay at n >= 4096 - below that the finite-length
+/// rate penalty costs more secret key than the extra lanes buy - and when
+/// no such code reaches target_frames the one yielding the most frames
+/// wins. Keys shorter than every >= 4096-payload fall back to
+/// plan_frame_fitting (which may pick a 1024-bit frame or throw).
+FramePlan plan_frame_batched(std::size_t key_bits, double qber,
+                             double f_target, double adapt_fraction = 0.10,
+                             std::size_t target_frames = 8);
+
 }  // namespace qkdpp::reconcile

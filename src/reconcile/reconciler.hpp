@@ -12,12 +12,17 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 
 #include "common/bitvec.hpp"
 #include "common/rng.hpp"
 #include "reconcile/cascade.hpp"
 #include "reconcile/ldpc_decoder.hpp"
 #include "reconcile/rate_adapt.hpp"
+
+namespace qkdpp {
+class BlockArena;
+}
 
 namespace qkdpp::reconcile {
 
@@ -40,6 +45,9 @@ struct LdpcReconcilerConfig {
   double adapt_fraction = 0.10;
   std::size_t min_frame = 4096;
   unsigned max_blind_rounds = 4;
+  /// Lockstep frames the batched planner aims to cut a key into (see
+  /// plan_frame_batched); only consulted when decoder.quantized is set.
+  std::size_t batch_target_frames = 8;
   DecoderConfig decoder;
 };
 
@@ -106,6 +114,37 @@ ReconcileOutcome ldpc_reconcile_local(const BitVec& alice_payload,
                                       std::uint64_t frame_seed,
                                       const LdpcReconcilerConfig& config,
                                       Xoshiro256& alice_private_rng);
+
+/// Aggregate statistics for one batched reconcile call (all counters are
+/// sums over frames unless noted).
+struct BatchReconcileStats {
+  std::uint64_t frames = 0;
+  std::uint64_t frames_ok = 0;       ///< converged frames
+  std::uint64_t iterations = 0;      ///< decoder iterations, all attempts
+  std::uint64_t early_exit_frames = 0;  ///< converged before the iteration cap
+  std::uint64_t blind_rounds = 0;
+  std::uint64_t leaked_bits = 0;
+  std::uint64_t rounds = 0;          ///< protocol round-trips
+};
+
+/// Reconcile frame_seeds.size() consecutive payload-sized slices of the
+/// two keys in lockstep: all frames share one quantized batch decode per
+/// blind stage, failed frames apply their own reveal chunk and re-decode
+/// as a shrinking sub-batch. Surviving payload pairs are appended to
+/// alice_out / bob_out in frame order (failed frames are skipped but
+/// their leakage still counts). Per-frame results - corrected payloads,
+/// leak accounting, rounds - are bit-identical to calling
+/// ldpc_reconcile_local frame by frame with the same shared private RNG
+/// and a quantized DecoderConfig (the equivalence the reconcile_batch
+/// tests pin down). `per_frame`, when non-null, receives one
+/// ReconcileOutcome per frame. `arena` (nullable) backs the decoder and
+/// payload scratch.
+BatchReconcileStats ldpc_reconcile_key_batch(
+    const BitVec& alice_key, const BitVec& bob_key, double qber,
+    const FramePlan& plan, std::span<const std::uint64_t> frame_seeds,
+    const LdpcReconcilerConfig& config, Xoshiro256& alice_private_rng,
+    BlockArena* arena, BitVec& alice_out, BitVec& bob_out,
+    std::vector<ReconcileOutcome>* per_frame = nullptr);
 
 /// Run Cascade in-process; thin wrapper pairing the engine with a local
 /// oracle and translating to ReconcileOutcome.

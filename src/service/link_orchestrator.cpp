@@ -347,6 +347,12 @@ void LinkOrchestrator::run_link(std::size_t i, LinkReport& report) {
           engine::make_block_input(record, block_id);
       outcome = state.engine->process_block(input, block_id, state.rng);
     }
+    // Decode statistics accumulate for aborted blocks too - a failed block
+    // still spent iterations and disclosed its syndromes.
+    report.reconcile_frames += outcome.reconcile_frames;
+    report.decoder_iterations += outcome.decoder_iterations;
+    report.reconcile_early_exit_frames += outcome.reconcile_early_exit_frames;
+    report.reconcile_leak_bits += outcome.leak_ec_bits;
     if (outcome.success) {
       ++report.blocks_ok;
       state.live_blocks_ok.fetch_add(1, std::memory_order_relaxed);

