@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/api_delivery_test.dir/tests/api_delivery_test.cpp.o"
+  "CMakeFiles/api_delivery_test.dir/tests/api_delivery_test.cpp.o.d"
+  "api_delivery_test"
+  "api_delivery_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/api_delivery_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auth_test.dir/tests/auth_test.cpp.o"
+  "CMakeFiles/auth_test.dir/tests/auth_test.cpp.o.d"
+  "auth_test"
+  "auth_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auth_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_auth.dir/bench/bench_auth.cpp.o"
+  "CMakeFiles/bench_auth.dir/bench/bench_auth.cpp.o.d"
+  "bench_auth"
+  "bench_auth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_auth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

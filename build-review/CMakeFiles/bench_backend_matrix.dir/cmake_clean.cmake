@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_backend_matrix.dir/bench/bench_backend_matrix.cpp.o"
+  "CMakeFiles/bench_backend_matrix.dir/bench/bench_backend_matrix.cpp.o.d"
+  "bench_backend_matrix"
+  "bench_backend_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_backend_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

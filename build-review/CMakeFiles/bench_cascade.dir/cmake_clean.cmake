@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cascade.dir/bench/bench_cascade.cpp.o"
+  "CMakeFiles/bench_cascade.dir/bench/bench_cascade.cpp.o.d"
+  "bench_cascade"
+  "bench_cascade.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cascade.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

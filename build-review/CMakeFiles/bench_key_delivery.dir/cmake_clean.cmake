@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_key_delivery.dir/bench/bench_key_delivery.cpp.o"
+  "CMakeFiles/bench_key_delivery.dir/bench/bench_key_delivery.cpp.o.d"
+  "bench_key_delivery"
+  "bench_key_delivery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_key_delivery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ldpc_blocksize.dir/bench/bench_ldpc_blocksize.cpp.o"
+  "CMakeFiles/bench_ldpc_blocksize.dir/bench/bench_ldpc_blocksize.cpp.o.d"
+  "bench_ldpc_blocksize"
+  "bench_ldpc_blocksize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ldpc_blocksize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

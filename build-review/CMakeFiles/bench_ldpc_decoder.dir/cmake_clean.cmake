@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ldpc_decoder.dir/bench/bench_ldpc_decoder.cpp.o"
+  "CMakeFiles/bench_ldpc_decoder.dir/bench/bench_ldpc_decoder.cpp.o.d"
+  "bench_ldpc_decoder"
+  "bench_ldpc_decoder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ldpc_decoder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mapper_ablation.dir/bench/bench_mapper_ablation.cpp.o"
+  "CMakeFiles/bench_mapper_ablation.dir/bench/bench_mapper_ablation.cpp.o.d"
+  "bench_mapper_ablation"
+  "bench_mapper_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mapper_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

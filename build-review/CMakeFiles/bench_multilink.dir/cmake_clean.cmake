@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multilink.dir/bench/bench_multilink.cpp.o"
+  "CMakeFiles/bench_multilink.dir/bench/bench_multilink.cpp.o.d"
+  "bench_multilink"
+  "bench_multilink.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multilink.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

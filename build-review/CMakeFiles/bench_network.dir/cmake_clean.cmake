@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_network.dir/bench/bench_network.cpp.o"
+  "CMakeFiles/bench_network.dir/bench/bench_network.cpp.o.d"
+  "bench_network"
+  "bench_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_orchestrator_scale.dir/bench/bench_orchestrator_scale.cpp.o"
+  "CMakeFiles/bench_orchestrator_scale.dir/bench/bench_orchestrator_scale.cpp.o.d"
+  "bench_orchestrator_scale"
+  "bench_orchestrator_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_orchestrator_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

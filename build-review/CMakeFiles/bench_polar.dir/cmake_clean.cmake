@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_polar.dir/bench/bench_polar.cpp.o"
+  "CMakeFiles/bench_polar.dir/bench/bench_polar.cpp.o.d"
+  "bench_polar"
+  "bench_polar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_polar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_reconcile.dir/bench/bench_reconcile.cpp.o"
+  "CMakeFiles/bench_reconcile.dir/bench/bench_reconcile.cpp.o.d"
+  "bench_reconcile"
+  "bench_reconcile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_reconcile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

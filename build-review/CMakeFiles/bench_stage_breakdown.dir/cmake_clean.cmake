@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_stage_breakdown.dir/bench/bench_stage_breakdown.cpp.o"
+  "CMakeFiles/bench_stage_breakdown.dir/bench/bench_stage_breakdown.cpp.o.d"
+  "bench_stage_breakdown"
+  "bench_stage_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_stage_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_toeplitz.dir/bench/bench_toeplitz.cpp.o"
+  "CMakeFiles/bench_toeplitz.dir/bench/bench_toeplitz.cpp.o.d"
+  "bench_toeplitz"
+  "bench_toeplitz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_toeplitz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

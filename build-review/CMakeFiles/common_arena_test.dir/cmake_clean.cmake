@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_arena_test.dir/tests/common_arena_test.cpp.o"
+  "CMakeFiles/common_arena_test.dir/tests/common_arena_test.cpp.o.d"
+  "common_arena_test"
+  "common_arena_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_arena_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_bit_transpose_test.dir/tests/common_bit_transpose_test.cpp.o"
+  "CMakeFiles/common_bit_transpose_test.dir/tests/common_bit_transpose_test.cpp.o.d"
+  "common_bit_transpose_test"
+  "common_bit_transpose_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_bit_transpose_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_bitvec_test.dir/tests/common_bitvec_test.cpp.o"
+  "CMakeFiles/common_bitvec_test.dir/tests/common_bitvec_test.cpp.o.d"
+  "common_bitvec_test"
+  "common_bitvec_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_bitvec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

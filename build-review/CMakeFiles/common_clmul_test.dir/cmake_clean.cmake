@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_clmul_test.dir/tests/common_clmul_test.cpp.o"
+  "CMakeFiles/common_clmul_test.dir/tests/common_clmul_test.cpp.o.d"
+  "common_clmul_test"
+  "common_clmul_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_clmul_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_crc_test.dir/tests/common_crc_test.cpp.o"
+  "CMakeFiles/common_crc_test.dir/tests/common_crc_test.cpp.o.d"
+  "common_crc_test"
+  "common_crc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_crc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

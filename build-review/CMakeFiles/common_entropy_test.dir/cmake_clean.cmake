@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_entropy_test.dir/tests/common_entropy_test.cpp.o"
+  "CMakeFiles/common_entropy_test.dir/tests/common_entropy_test.cpp.o.d"
+  "common_entropy_test"
+  "common_entropy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_entropy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

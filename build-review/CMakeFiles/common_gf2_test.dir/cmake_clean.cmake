@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_gf2_test.dir/tests/common_gf2_test.cpp.o"
+  "CMakeFiles/common_gf2_test.dir/tests/common_gf2_test.cpp.o.d"
+  "common_gf2_test"
+  "common_gf2_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_gf2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_ntt_test.dir/tests/common_ntt_test.cpp.o"
+  "CMakeFiles/common_ntt_test.dir/tests/common_ntt_test.cpp.o.d"
+  "common_ntt_test"
+  "common_ntt_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_ntt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_spsc_ring_test.dir/tests/common_spsc_ring_test.cpp.o"
+  "CMakeFiles/common_spsc_ring_test.dir/tests/common_spsc_ring_test.cpp.o.d"
+  "common_spsc_ring_test"
+  "common_spsc_ring_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_spsc_ring_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

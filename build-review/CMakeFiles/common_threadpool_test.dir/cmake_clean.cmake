@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_threadpool_test.dir/tests/common_threadpool_test.cpp.o"
+  "CMakeFiles/common_threadpool_test.dir/tests/common_threadpool_test.cpp.o.d"
+  "common_threadpool_test"
+  "common_threadpool_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_threadpool_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_link.dir/examples/dynamic_link.cpp.o"
+  "CMakeFiles/dynamic_link.dir/examples/dynamic_link.cpp.o.d"
+  "dynamic_link"
+  "dynamic_link.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_link.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

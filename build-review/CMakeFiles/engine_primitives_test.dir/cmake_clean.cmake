@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_primitives_test.dir/tests/engine_primitives_test.cpp.o"
+  "CMakeFiles/engine_primitives_test.dir/tests/engine_primitives_test.cpp.o.d"
+  "engine_primitives_test"
+  "engine_primitives_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_primitives_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

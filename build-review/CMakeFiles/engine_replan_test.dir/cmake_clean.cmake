@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_replan_test.dir/tests/engine_replan_test.cpp.o"
+  "CMakeFiles/engine_replan_test.dir/tests/engine_replan_test.cpp.o.d"
+  "engine_replan_test"
+  "engine_replan_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_replan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

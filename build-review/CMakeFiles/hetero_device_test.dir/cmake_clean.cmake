@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetero_device_test.dir/tests/hetero_device_test.cpp.o"
+  "CMakeFiles/hetero_device_test.dir/tests/hetero_device_test.cpp.o.d"
+  "hetero_device_test"
+  "hetero_device_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetero_device_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetero_offload.dir/examples/hetero_offload.cpp.o"
+  "CMakeFiles/hetero_offload.dir/examples/hetero_offload.cpp.o.d"
+  "hetero_offload"
+  "hetero_offload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetero_offload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

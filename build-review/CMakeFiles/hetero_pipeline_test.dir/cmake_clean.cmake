@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetero_pipeline_test.dir/tests/hetero_pipeline_test.cpp.o"
+  "CMakeFiles/hetero_pipeline_test.dir/tests/hetero_pipeline_test.cpp.o.d"
+  "hetero_pipeline_test"
+  "hetero_pipeline_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetero_pipeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

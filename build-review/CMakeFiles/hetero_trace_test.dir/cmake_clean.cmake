@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetero_trace_test.dir/tests/hetero_trace_test.cpp.o"
+  "CMakeFiles/hetero_trace_test.dir/tests/hetero_trace_test.cpp.o.d"
+  "hetero_trace_test"
+  "hetero_trace_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetero_trace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_misc_test.dir/tests/integration_misc_test.cpp.o"
+  "CMakeFiles/integration_misc_test.dir/tests/integration_misc_test.cpp.o.d"
+  "integration_misc_test"
+  "integration_misc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_misc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

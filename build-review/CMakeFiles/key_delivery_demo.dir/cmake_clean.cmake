@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/key_delivery_demo.dir/examples/key_delivery_demo.cpp.o"
+  "CMakeFiles/key_delivery_demo.dir/examples/key_delivery_demo.cpp.o.d"
+  "key_delivery_demo"
+  "key_delivery_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/key_delivery_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

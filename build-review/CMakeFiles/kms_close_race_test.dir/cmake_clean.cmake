@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kms_close_race_test.dir/tests/kms_close_race_test.cpp.o"
+  "CMakeFiles/kms_close_race_test.dir/tests/kms_close_race_test.cpp.o.d"
+  "kms_close_race_test"
+  "kms_close_race_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kms_close_race_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for kms_close_race_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kms_demo.dir/examples/kms_demo.cpp.o"
+  "CMakeFiles/kms_demo.dir/examples/kms_demo.cpp.o.d"
+  "kms_demo"
+  "kms_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kms_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

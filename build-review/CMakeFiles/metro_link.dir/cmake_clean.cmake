@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metro_link.dir/examples/metro_link.cpp.o"
+  "CMakeFiles/metro_link.dir/examples/metro_link.cpp.o.d"
+  "metro_link"
+  "metro_link.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metro_link.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for metro_link.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_link.dir/examples/multi_link.cpp.o"
+  "CMakeFiles/multi_link.dir/examples/multi_link.cpp.o.d"
+  "multi_link"
+  "multi_link.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_link.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

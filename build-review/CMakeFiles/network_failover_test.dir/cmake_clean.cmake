@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_failover_test.dir/tests/network_failover_test.cpp.o"
+  "CMakeFiles/network_failover_test.dir/tests/network_failover_test.cpp.o.d"
+  "network_failover_test"
+  "network_failover_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_failover_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_relay.dir/examples/network_relay.cpp.o"
+  "CMakeFiles/network_relay.dir/examples/network_relay.cpp.o.d"
+  "network_relay"
+  "network_relay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_relay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_relay_test.dir/tests/network_relay_test.cpp.o"
+  "CMakeFiles/network_relay_test.dir/tests/network_relay_test.cpp.o.d"
+  "network_relay_test"
+  "network_relay_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_relay_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_kms_shard_test.dir/tests/pipeline_kms_shard_test.cpp.o"
+  "CMakeFiles/pipeline_kms_shard_test.dir/tests/pipeline_kms_shard_test.cpp.o.d"
+  "pipeline_kms_shard_test"
+  "pipeline_kms_shard_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_kms_shard_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_offline_test.dir/tests/pipeline_offline_test.cpp.o"
+  "CMakeFiles/pipeline_offline_test.dir/tests/pipeline_offline_test.cpp.o.d"
+  "pipeline_offline_test"
+  "pipeline_offline_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_offline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_session_chaos_test.dir/tests/pipeline_session_chaos_test.cpp.o"
+  "CMakeFiles/pipeline_session_chaos_test.dir/tests/pipeline_session_chaos_test.cpp.o.d"
+  "pipeline_session_chaos_test"
+  "pipeline_session_chaos_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_session_chaos_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

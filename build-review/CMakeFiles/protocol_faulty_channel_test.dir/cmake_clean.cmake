@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol_faulty_channel_test.dir/tests/protocol_faulty_channel_test.cpp.o"
+  "CMakeFiles/protocol_faulty_channel_test.dir/tests/protocol_faulty_channel_test.cpp.o.d"
+  "protocol_faulty_channel_test"
+  "protocol_faulty_channel_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_faulty_channel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

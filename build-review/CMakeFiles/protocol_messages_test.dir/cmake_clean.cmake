@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol_messages_test.dir/tests/protocol_messages_test.cpp.o"
+  "CMakeFiles/protocol_messages_test.dir/tests/protocol_messages_test.cpp.o.d"
+  "protocol_messages_test"
+  "protocol_messages_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_messages_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol_sifting_test.dir/tests/protocol_sifting_test.cpp.o"
+  "CMakeFiles/protocol_sifting_test.dir/tests/protocol_sifting_test.cpp.o.d"
+  "protocol_sifting_test"
+  "protocol_sifting_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_sifting_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

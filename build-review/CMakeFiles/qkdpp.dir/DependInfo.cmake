@@ -1,0 +1,75 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/api/dispatcher.cpp" "CMakeFiles/qkdpp.dir/src/api/dispatcher.cpp.o" "gcc" "CMakeFiles/qkdpp.dir/src/api/dispatcher.cpp.o.d"
+  "/root/repo/src/api/dtos.cpp" "CMakeFiles/qkdpp.dir/src/api/dtos.cpp.o" "gcc" "CMakeFiles/qkdpp.dir/src/api/dtos.cpp.o.d"
+  "/root/repo/src/api/json.cpp" "CMakeFiles/qkdpp.dir/src/api/json.cpp.o" "gcc" "CMakeFiles/qkdpp.dir/src/api/json.cpp.o.d"
+  "/root/repo/src/api/key_delivery.cpp" "CMakeFiles/qkdpp.dir/src/api/key_delivery.cpp.o" "gcc" "CMakeFiles/qkdpp.dir/src/api/key_delivery.cpp.o.d"
+  "/root/repo/src/auth/key_pool.cpp" "CMakeFiles/qkdpp.dir/src/auth/key_pool.cpp.o" "gcc" "CMakeFiles/qkdpp.dir/src/auth/key_pool.cpp.o.d"
+  "/root/repo/src/auth/wegman_carter.cpp" "CMakeFiles/qkdpp.dir/src/auth/wegman_carter.cpp.o" "gcc" "CMakeFiles/qkdpp.dir/src/auth/wegman_carter.cpp.o.d"
+  "/root/repo/src/common/arena.cpp" "CMakeFiles/qkdpp.dir/src/common/arena.cpp.o" "gcc" "CMakeFiles/qkdpp.dir/src/common/arena.cpp.o.d"
+  "/root/repo/src/common/bit_transpose.cpp" "CMakeFiles/qkdpp.dir/src/common/bit_transpose.cpp.o" "gcc" "CMakeFiles/qkdpp.dir/src/common/bit_transpose.cpp.o.d"
+  "/root/repo/src/common/bitvec.cpp" "CMakeFiles/qkdpp.dir/src/common/bitvec.cpp.o" "gcc" "CMakeFiles/qkdpp.dir/src/common/bitvec.cpp.o.d"
+  "/root/repo/src/common/buffer.cpp" "CMakeFiles/qkdpp.dir/src/common/buffer.cpp.o" "gcc" "CMakeFiles/qkdpp.dir/src/common/buffer.cpp.o.d"
+  "/root/repo/src/common/clmul.cpp" "CMakeFiles/qkdpp.dir/src/common/clmul.cpp.o" "gcc" "CMakeFiles/qkdpp.dir/src/common/clmul.cpp.o.d"
+  "/root/repo/src/common/crc.cpp" "CMakeFiles/qkdpp.dir/src/common/crc.cpp.o" "gcc" "CMakeFiles/qkdpp.dir/src/common/crc.cpp.o.d"
+  "/root/repo/src/common/entropy.cpp" "CMakeFiles/qkdpp.dir/src/common/entropy.cpp.o" "gcc" "CMakeFiles/qkdpp.dir/src/common/entropy.cpp.o.d"
+  "/root/repo/src/common/error.cpp" "CMakeFiles/qkdpp.dir/src/common/error.cpp.o" "gcc" "CMakeFiles/qkdpp.dir/src/common/error.cpp.o.d"
+  "/root/repo/src/common/gf2.cpp" "CMakeFiles/qkdpp.dir/src/common/gf2.cpp.o" "gcc" "CMakeFiles/qkdpp.dir/src/common/gf2.cpp.o.d"
+  "/root/repo/src/common/log.cpp" "CMakeFiles/qkdpp.dir/src/common/log.cpp.o" "gcc" "CMakeFiles/qkdpp.dir/src/common/log.cpp.o.d"
+  "/root/repo/src/common/ntt.cpp" "CMakeFiles/qkdpp.dir/src/common/ntt.cpp.o" "gcc" "CMakeFiles/qkdpp.dir/src/common/ntt.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "CMakeFiles/qkdpp.dir/src/common/rng.cpp.o" "gcc" "CMakeFiles/qkdpp.dir/src/common/rng.cpp.o.d"
+  "/root/repo/src/common/stats.cpp" "CMakeFiles/qkdpp.dir/src/common/stats.cpp.o" "gcc" "CMakeFiles/qkdpp.dir/src/common/stats.cpp.o.d"
+  "/root/repo/src/common/threadpool.cpp" "CMakeFiles/qkdpp.dir/src/common/threadpool.cpp.o" "gcc" "CMakeFiles/qkdpp.dir/src/common/threadpool.cpp.o.d"
+  "/root/repo/src/engine/engine.cpp" "CMakeFiles/qkdpp.dir/src/engine/engine.cpp.o" "gcc" "CMakeFiles/qkdpp.dir/src/engine/engine.cpp.o.d"
+  "/root/repo/src/engine/primitives.cpp" "CMakeFiles/qkdpp.dir/src/engine/primitives.cpp.o" "gcc" "CMakeFiles/qkdpp.dir/src/engine/primitives.cpp.o.d"
+  "/root/repo/src/engine/stages.cpp" "CMakeFiles/qkdpp.dir/src/engine/stages.cpp.o" "gcc" "CMakeFiles/qkdpp.dir/src/engine/stages.cpp.o.d"
+  "/root/repo/src/hetero/device.cpp" "CMakeFiles/qkdpp.dir/src/hetero/device.cpp.o" "gcc" "CMakeFiles/qkdpp.dir/src/hetero/device.cpp.o.d"
+  "/root/repo/src/hetero/device_set.cpp" "CMakeFiles/qkdpp.dir/src/hetero/device_set.cpp.o" "gcc" "CMakeFiles/qkdpp.dir/src/hetero/device_set.cpp.o.d"
+  "/root/repo/src/hetero/kernels.cpp" "CMakeFiles/qkdpp.dir/src/hetero/kernels.cpp.o" "gcc" "CMakeFiles/qkdpp.dir/src/hetero/kernels.cpp.o.d"
+  "/root/repo/src/hetero/mapper.cpp" "CMakeFiles/qkdpp.dir/src/hetero/mapper.cpp.o" "gcc" "CMakeFiles/qkdpp.dir/src/hetero/mapper.cpp.o.d"
+  "/root/repo/src/hetero/trace.cpp" "CMakeFiles/qkdpp.dir/src/hetero/trace.cpp.o" "gcc" "CMakeFiles/qkdpp.dir/src/hetero/trace.cpp.o.d"
+  "/root/repo/src/network/delivery.cpp" "CMakeFiles/qkdpp.dir/src/network/delivery.cpp.o" "gcc" "CMakeFiles/qkdpp.dir/src/network/delivery.cpp.o.d"
+  "/root/repo/src/network/relay.cpp" "CMakeFiles/qkdpp.dir/src/network/relay.cpp.o" "gcc" "CMakeFiles/qkdpp.dir/src/network/relay.cpp.o.d"
+  "/root/repo/src/network/router.cpp" "CMakeFiles/qkdpp.dir/src/network/router.cpp.o" "gcc" "CMakeFiles/qkdpp.dir/src/network/router.cpp.o.d"
+  "/root/repo/src/network/topology.cpp" "CMakeFiles/qkdpp.dir/src/network/topology.cpp.o" "gcc" "CMakeFiles/qkdpp.dir/src/network/topology.cpp.o.d"
+  "/root/repo/src/pipeline/kms.cpp" "CMakeFiles/qkdpp.dir/src/pipeline/kms.cpp.o" "gcc" "CMakeFiles/qkdpp.dir/src/pipeline/kms.cpp.o.d"
+  "/root/repo/src/pipeline/offline.cpp" "CMakeFiles/qkdpp.dir/src/pipeline/offline.cpp.o" "gcc" "CMakeFiles/qkdpp.dir/src/pipeline/offline.cpp.o.d"
+  "/root/repo/src/pipeline/session.cpp" "CMakeFiles/qkdpp.dir/src/pipeline/session.cpp.o" "gcc" "CMakeFiles/qkdpp.dir/src/pipeline/session.cpp.o.d"
+  "/root/repo/src/privacy/pa_planner.cpp" "CMakeFiles/qkdpp.dir/src/privacy/pa_planner.cpp.o" "gcc" "CMakeFiles/qkdpp.dir/src/privacy/pa_planner.cpp.o.d"
+  "/root/repo/src/privacy/toeplitz.cpp" "CMakeFiles/qkdpp.dir/src/privacy/toeplitz.cpp.o" "gcc" "CMakeFiles/qkdpp.dir/src/privacy/toeplitz.cpp.o.d"
+  "/root/repo/src/privacy/verification.cpp" "CMakeFiles/qkdpp.dir/src/privacy/verification.cpp.o" "gcc" "CMakeFiles/qkdpp.dir/src/privacy/verification.cpp.o.d"
+  "/root/repo/src/protocol/auth_channel.cpp" "CMakeFiles/qkdpp.dir/src/protocol/auth_channel.cpp.o" "gcc" "CMakeFiles/qkdpp.dir/src/protocol/auth_channel.cpp.o.d"
+  "/root/repo/src/protocol/channel.cpp" "CMakeFiles/qkdpp.dir/src/protocol/channel.cpp.o" "gcc" "CMakeFiles/qkdpp.dir/src/protocol/channel.cpp.o.d"
+  "/root/repo/src/protocol/faulty_channel.cpp" "CMakeFiles/qkdpp.dir/src/protocol/faulty_channel.cpp.o" "gcc" "CMakeFiles/qkdpp.dir/src/protocol/faulty_channel.cpp.o.d"
+  "/root/repo/src/protocol/messages.cpp" "CMakeFiles/qkdpp.dir/src/protocol/messages.cpp.o" "gcc" "CMakeFiles/qkdpp.dir/src/protocol/messages.cpp.o.d"
+  "/root/repo/src/protocol/param_estimation.cpp" "CMakeFiles/qkdpp.dir/src/protocol/param_estimation.cpp.o" "gcc" "CMakeFiles/qkdpp.dir/src/protocol/param_estimation.cpp.o.d"
+  "/root/repo/src/protocol/reliable_channel.cpp" "CMakeFiles/qkdpp.dir/src/protocol/reliable_channel.cpp.o" "gcc" "CMakeFiles/qkdpp.dir/src/protocol/reliable_channel.cpp.o.d"
+  "/root/repo/src/protocol/sifting.cpp" "CMakeFiles/qkdpp.dir/src/protocol/sifting.cpp.o" "gcc" "CMakeFiles/qkdpp.dir/src/protocol/sifting.cpp.o.d"
+  "/root/repo/src/reconcile/batch_decoder.cpp" "CMakeFiles/qkdpp.dir/src/reconcile/batch_decoder.cpp.o" "gcc" "CMakeFiles/qkdpp.dir/src/reconcile/batch_decoder.cpp.o.d"
+  "/root/repo/src/reconcile/cascade.cpp" "CMakeFiles/qkdpp.dir/src/reconcile/cascade.cpp.o" "gcc" "CMakeFiles/qkdpp.dir/src/reconcile/cascade.cpp.o.d"
+  "/root/repo/src/reconcile/ldpc_code.cpp" "CMakeFiles/qkdpp.dir/src/reconcile/ldpc_code.cpp.o" "gcc" "CMakeFiles/qkdpp.dir/src/reconcile/ldpc_code.cpp.o.d"
+  "/root/repo/src/reconcile/ldpc_decoder.cpp" "CMakeFiles/qkdpp.dir/src/reconcile/ldpc_decoder.cpp.o" "gcc" "CMakeFiles/qkdpp.dir/src/reconcile/ldpc_decoder.cpp.o.d"
+  "/root/repo/src/reconcile/parity_oracle.cpp" "CMakeFiles/qkdpp.dir/src/reconcile/parity_oracle.cpp.o" "gcc" "CMakeFiles/qkdpp.dir/src/reconcile/parity_oracle.cpp.o.d"
+  "/root/repo/src/reconcile/polar.cpp" "CMakeFiles/qkdpp.dir/src/reconcile/polar.cpp.o" "gcc" "CMakeFiles/qkdpp.dir/src/reconcile/polar.cpp.o.d"
+  "/root/repo/src/reconcile/rate_adapt.cpp" "CMakeFiles/qkdpp.dir/src/reconcile/rate_adapt.cpp.o" "gcc" "CMakeFiles/qkdpp.dir/src/reconcile/rate_adapt.cpp.o.d"
+  "/root/repo/src/reconcile/reconciler.cpp" "CMakeFiles/qkdpp.dir/src/reconcile/reconciler.cpp.o" "gcc" "CMakeFiles/qkdpp.dir/src/reconcile/reconciler.cpp.o.d"
+  "/root/repo/src/service/link_orchestrator.cpp" "CMakeFiles/qkdpp.dir/src/service/link_orchestrator.cpp.o" "gcc" "CMakeFiles/qkdpp.dir/src/service/link_orchestrator.cpp.o.d"
+  "/root/repo/src/sim/bb84.cpp" "CMakeFiles/qkdpp.dir/src/sim/bb84.cpp.o" "gcc" "CMakeFiles/qkdpp.dir/src/sim/bb84.cpp.o.d"
+  "/root/repo/src/sim/link_config.cpp" "CMakeFiles/qkdpp.dir/src/sim/link_config.cpp.o" "gcc" "CMakeFiles/qkdpp.dir/src/sim/link_config.cpp.o.d"
+  "/root/repo/src/sim/scenario.cpp" "CMakeFiles/qkdpp.dir/src/sim/scenario.cpp.o" "gcc" "CMakeFiles/qkdpp.dir/src/sim/scenario.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

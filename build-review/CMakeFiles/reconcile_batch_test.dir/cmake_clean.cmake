@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reconcile_batch_test.dir/tests/reconcile_batch_test.cpp.o"
+  "CMakeFiles/reconcile_batch_test.dir/tests/reconcile_batch_test.cpp.o.d"
+  "reconcile_batch_test"
+  "reconcile_batch_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reconcile_batch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reconcile_cascade_test.dir/tests/reconcile_cascade_test.cpp.o"
+  "CMakeFiles/reconcile_cascade_test.dir/tests/reconcile_cascade_test.cpp.o.d"
+  "reconcile_cascade_test"
+  "reconcile_cascade_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reconcile_cascade_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reconcile_ldpc_test.dir/tests/reconcile_ldpc_test.cpp.o"
+  "CMakeFiles/reconcile_ldpc_test.dir/tests/reconcile_ldpc_test.cpp.o.d"
+  "reconcile_ldpc_test"
+  "reconcile_ldpc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reconcile_ldpc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reconcile_polar_test.dir/tests/reconcile_polar_test.cpp.o"
+  "CMakeFiles/reconcile_polar_test.dir/tests/reconcile_polar_test.cpp.o.d"
+  "reconcile_polar_test"
+  "reconcile_polar_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reconcile_polar_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

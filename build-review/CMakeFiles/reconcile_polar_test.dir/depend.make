@@ -1,0 +1,2 @@
+# Empty dependencies file for reconcile_polar_test.
+# This may be replaced when dependencies are built.

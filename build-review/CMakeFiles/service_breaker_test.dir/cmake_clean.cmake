@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/service_breaker_test.dir/tests/service_breaker_test.cpp.o"
+  "CMakeFiles/service_breaker_test.dir/tests/service_breaker_test.cpp.o.d"
+  "service_breaker_test"
+  "service_breaker_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/service_breaker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/service_dynamic_test.dir/tests/service_dynamic_test.cpp.o"
+  "CMakeFiles/service_dynamic_test.dir/tests/service_dynamic_test.cpp.o.d"
+  "service_dynamic_test"
+  "service_dynamic_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/service_dynamic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

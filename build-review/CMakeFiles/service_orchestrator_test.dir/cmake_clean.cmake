@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/service_orchestrator_test.dir/tests/service_orchestrator_test.cpp.o"
+  "CMakeFiles/service_orchestrator_test.dir/tests/service_orchestrator_test.cpp.o.d"
+  "service_orchestrator_test"
+  "service_orchestrator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/service_orchestrator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

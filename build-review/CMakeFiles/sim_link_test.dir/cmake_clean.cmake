@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_link_test.dir/tests/sim_link_test.cpp.o"
+  "CMakeFiles/sim_link_test.dir/tests/sim_link_test.cpp.o.d"
+  "sim_link_test"
+  "sim_link_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_link_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_scenario_test.dir/tests/sim_scenario_test.cpp.o"
+  "CMakeFiles/sim_scenario_test.dir/tests/sim_scenario_test.cpp.o.d"
+  "sim_scenario_test"
+  "sim_scenario_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_scenario_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

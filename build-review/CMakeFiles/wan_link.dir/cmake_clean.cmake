@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wan_link.dir/examples/wan_link.cpp.o"
+  "CMakeFiles/wan_link.dir/examples/wan_link.cpp.o.d"
+  "wan_link"
+  "wan_link.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wan_link.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
