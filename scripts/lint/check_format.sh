@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# clang-format gate over CHANGED files only: the tree predates .clang-format
+# and a whole-tree reformat would bury real diffs, so the rule is "files you
+# touch must be clean". Pass the base ref to diff against (default:
+# origin/main); extra args go to clang-format.
+set -euo pipefail
+
+base="${1:-origin/main}"
+repo_root="$(git rev-parse --show-toplevel)"
+cd "$repo_root"
+
+merge_base="$(git merge-base "$base" HEAD)"
+mapfile -t changed < <(git diff --name-only --diff-filter=ACMR "$merge_base" HEAD -- \
+  'src/*.cpp' 'src/*.hpp' 'tests/*.cpp' 'bench/*.cpp' 'examples/*.cpp')
+
+if [[ ${#changed[@]} -eq 0 ]]; then
+  echo "check_format: no C++ files changed vs $base"
+  exit 0
+fi
+
+echo "check_format: checking ${#changed[@]} changed file(s) vs $base"
+clang-format --dry-run --Werror "${changed[@]}"
+echo "check_format: OK"

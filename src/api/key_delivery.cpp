@@ -153,7 +153,7 @@ void KeyDeliveryService::register_pair(SaePair pair,
   if (pair.max_pending_keys == 0) {
     throw_error(ErrorCode::kConfig, "max_pending_keys must be >= 1");
   }
-  std::unique_lock lock(registry_mutex_);
+  WriterLock lock(registry_mutex_);
   const std::string key = pair_key(pair.master_sae_id, pair.slave_sae_id);
   if (index_.find(key) != index_.end()) {
     throw_error(ErrorCode::kConfig,
@@ -176,7 +176,7 @@ void KeyDeliveryService::register_pair(SaePair pair,
 
 const KeyDeliveryService::PairState* KeyDeliveryService::find_pair(
     std::string_view master, std::string_view slave) const {
-  std::shared_lock lock(registry_mutex_);
+  ReaderLock lock(registry_mutex_);
   const auto it = index_.find(pair_key(master, slave));
   return it != index_.end() ? it->second : nullptr;
 }
@@ -233,7 +233,7 @@ Result<StatusResponse> KeyDeliveryService::get_status(
   }
 
   const auto capacity = pair->source->capacity_bits();
-  std::scoped_lock lock(pair->mutex);
+  MutexLock lock(pair->mutex);
   StatusResponse status;
   status.source_kme_id = config_.source_kme_id;
   status.target_kme_id = config_.target_kme_id;
@@ -289,7 +289,7 @@ Result<KeyContainer> KeyDeliveryService::get_key(std::string_view caller_sae,
   }
 
   KeySource& source = *pair->source;
-  std::scoped_lock lock(pair->mutex);
+  MutexLock lock(pair->mutex);
   KeyContainer container;
   // Segments are cut at a moving offset and the residual is compacted
   // once at the end: per-key subvec-of-the-remainder would re-copy the
@@ -402,7 +402,7 @@ Result<KeyContainer> KeyDeliveryService::get_key_with_ids(
     }
   }
 
-  std::scoped_lock lock(pair->mutex);
+  MutexLock lock(pair->mutex);
   // All-or-nothing: verify every id is retained before consuming any, so
   // a failed batch leaves the handover state untouched.
   std::vector<std::string> missing;
@@ -435,12 +435,12 @@ std::optional<PairStats> KeyDeliveryService::pair_stats(
     std::string_view master_sae, std::string_view slave_sae) const {
   const PairState* pair = find_pair(master_sae, slave_sae);
   if (pair == nullptr) return std::nullopt;
-  std::scoped_lock lock(pair->mutex);
+  MutexLock lock(pair->mutex);
   return pair->stats;
 }
 
 std::size_t KeyDeliveryService::pair_count() const {
-  std::shared_lock lock(registry_mutex_);
+  ReaderLock lock(registry_mutex_);
   return pairs_.size();
 }
 

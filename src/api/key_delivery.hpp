@@ -37,9 +37,7 @@
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
-#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -47,6 +45,7 @@
 
 #include "api/dtos.hpp"
 #include "common/bitvec.hpp"
+#include "common/mutex.hpp"
 #include "common/rng.hpp"
 #include "pipeline/kms.hpp"
 #include "service/link_orchestrator.hpp"
@@ -220,13 +219,18 @@ class KeyDeliveryService {
     SaePair spec;
     std::shared_ptr<KeySource> source;
     std::size_t index = 0;  ///< registration order, mixed into UUIDs
-    mutable std::mutex mutex;
-    BitVec residual;  ///< tail of the last drawn block, < key_size bits
+    // Ranked above the tap and store locks: get_key deliberately holds the
+    // pair mutex across source->draw(), which reaches relay taps and store
+    // shards (the per-pair serialization the ETSI semantics need).
+    mutable Mutex mutex{LockRank::kPair, "api.pair"};
+    /// Tail of the last drawn block, < key_size bits.
+    BitVec residual QKD_GUARDED_BY(mutex);
     /// Keys delivered to the master, retained until the slave collects.
-    std::map<std::string, BitVec> pending;
-    Xoshiro256 uuid_rng;
-    std::uint64_t uuid_counter = 0;  ///< structural uniqueness guarantee
-    PairStats stats;
+    std::map<std::string, BitVec> pending QKD_GUARDED_BY(mutex);
+    Xoshiro256 uuid_rng QKD_GUARDED_BY(mutex);
+    /// Structural uniqueness guarantee.
+    std::uint64_t uuid_counter QKD_GUARDED_BY(mutex) = 0;
+    PairStats stats QKD_GUARDED_BY(mutex);
 
     PairState(SaePair s, std::shared_ptr<KeySource> key_source,
               std::size_t pair_index, std::uint64_t seed)
@@ -236,7 +240,7 @@ class KeyDeliveryService {
           uuid_rng(seed) {}
   };
 
-  std::string mint_uuid_locked(PairState& pair);
+  std::string mint_uuid_locked(PairState& pair) QKD_REQUIRES(pair.mutex);
   const PairState* find_pair(std::string_view master,
                              std::string_view slave) const;
   PairState* find_pair(std::string_view master, std::string_view slave);
@@ -245,13 +249,16 @@ class KeyDeliveryService {
   KeyDeliveryConfig config_;
   /// Guards pairs_/index_ layout only (registration); lookups take it
   /// shared, so requests on different pairs contend on nothing but their
-  /// own mutex.
-  mutable std::shared_mutex registry_mutex_;
-  std::deque<PairState> pairs_;  ///< pinned: PairState owns a mutex
+  /// own mutex. Never held together with a pair mutex: find_pair releases
+  /// it before returning the (pinned) PairState pointer.
+  mutable SharedMutex registry_mutex_{LockRank::kRegistry, "api.registry"};
+  /// Pinned: PairState owns a mutex.
+  std::deque<PairState> pairs_ QKD_GUARDED_BY(registry_mutex_);
   /// O(log n) request routing over a registry sized for 2^14 pairs. Keyed
   /// "master/slave" - '/' cannot occur in an SAE id (register_pair
   /// rejects it), so the composite key is unambiguous.
-  std::map<std::string, PairState*, std::less<>> index_;
+  std::map<std::string, PairState*, std::less<>> index_
+      QKD_GUARDED_BY(registry_mutex_);
 };
 
 }  // namespace qkdpp::api

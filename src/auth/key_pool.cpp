@@ -1,11 +1,12 @@
 #include "auth/key_pool.hpp"
 
 #include "common/error.hpp"
+#include "common/mutex.hpp"
 
 namespace qkdpp::auth {
 
 void KeyPool::replenish(const BitVec& bits) {
-  std::scoped_lock lock(mutex_);
+  MutexLock lock(mutex_);
   // Compact lazily: drop consumed prefix when it dominates storage.
   if (head_ > 0 && head_ >= bits_.size() / 2) {
     bits_ = bits_.subvec(head_, bits_.size() - head_);
@@ -16,7 +17,7 @@ void KeyPool::replenish(const BitVec& bits) {
 }
 
 BitVec KeyPool::draw(std::size_t nbits) {
-  std::scoped_lock lock(mutex_);
+  MutexLock lock(mutex_);
   if (bits_.size() - head_ < nbits) {
     throw_error(ErrorCode::kKeyExhausted,
                 "key pool has " + std::to_string(bits_.size() - head_) +
@@ -29,17 +30,17 @@ BitVec KeyPool::draw(std::size_t nbits) {
 }
 
 std::size_t KeyPool::available() const {
-  std::scoped_lock lock(mutex_);
+  MutexLock lock(mutex_);
   return bits_.size() - head_;
 }
 
 std::uint64_t KeyPool::total_consumed() const {
-  std::scoped_lock lock(mutex_);
+  MutexLock lock(mutex_);
   return consumed_;
 }
 
 std::uint64_t KeyPool::total_replenished() const {
-  std::scoped_lock lock(mutex_);
+  MutexLock lock(mutex_);
   return replenished_;
 }
 

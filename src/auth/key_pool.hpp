@@ -8,9 +8,9 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 
 #include "common/bitvec.hpp"
+#include "common/mutex.hpp"
 
 namespace qkdpp::auth {
 
@@ -31,11 +31,12 @@ class KeyPool {
   std::uint64_t total_replenished() const;
 
  private:
-  mutable std::mutex mutex_;
-  BitVec bits_;
-  std::size_t head_ = 0;  ///< bits consumed from the front of bits_
-  std::uint64_t consumed_ = 0;
-  std::uint64_t replenished_ = 0;
+  mutable Mutex mutex_{LockRank::kAuthPool, "auth.pool"};
+  BitVec bits_ QKD_GUARDED_BY(mutex_);
+  /// Bits consumed from the front of bits_.
+  std::size_t head_ QKD_GUARDED_BY(mutex_) = 0;
+  std::uint64_t consumed_ QKD_GUARDED_BY(mutex_) = 0;
+  std::uint64_t replenished_ QKD_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace qkdpp::auth

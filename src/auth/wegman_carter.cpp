@@ -1,5 +1,7 @@
 #include "auth/wegman_carter.hpp"
 
+#include "common/ct_equal.hpp"
+
 namespace qkdpp::auth {
 
 namespace {
@@ -55,7 +57,9 @@ Tag WegmanCarter::sign(std::span<const std::uint8_t> message) {
 }
 
 bool WegmanCarter::verify(std::span<const std::uint8_t> message, Tag tag) {
-  return next_tag_value(message) == tag.value;
+  // ct_equal, not ==: a short-circuiting compare leaks the length of a
+  // matching forged prefix through timing.
+  return ct_equal(next_tag_value(message), tag.value);
 }
 
 }  // namespace qkdpp::auth

@@ -1,0 +1,57 @@
+// Clang Thread Safety Analysis attribute macros.
+//
+// Every lock-protected field in the tree carries QKD_GUARDED_BY and every
+// method that assumes a held lock carries QKD_REQUIRES, so the locking
+// discipline is a compile-time property under clang (-Wthread-safety) rather
+// than reviewer folklore. Under gcc (no capability-attribute support) every
+// macro expands to nothing, so the annotations cost zero outside the clang
+// CI leg.
+//
+// The analysis only understands annotated lock types: std::lock_guard and
+// friends from libstdc++ are NOT annotated, which is why the whole tree
+// locks through qkdpp::Mutex / qkdpp::MutexLock (common/mutex.hpp) instead.
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define QKD_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+
+#ifndef QKD_THREAD_ANNOTATION
+#define QKD_THREAD_ANNOTATION(x)  // no-op outside clang
+#endif
+
+// Type attributes: mark a class as a lockable capability / scoped lock.
+#define QKD_CAPABILITY(x) QKD_THREAD_ANNOTATION(capability(x))
+#define QKD_SCOPED_CAPABILITY QKD_THREAD_ANNOTATION(scoped_lockable)
+
+// Data attributes: which lock protects this field.
+#define QKD_GUARDED_BY(x) QKD_THREAD_ANNOTATION(guarded_by(x))
+#define QKD_PT_GUARDED_BY(x) QKD_THREAD_ANNOTATION(pt_guarded_by(x))
+
+// Function attributes: lock contracts on entry/exit.
+#define QKD_REQUIRES(...) \
+  QKD_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define QKD_REQUIRES_SHARED(...) \
+  QKD_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+#define QKD_ACQUIRE(...) \
+  QKD_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define QKD_ACQUIRE_SHARED(...) \
+  QKD_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define QKD_RELEASE(...) \
+  QKD_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define QKD_RELEASE_SHARED(...) \
+  QKD_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#define QKD_RELEASE_GENERIC(...) \
+  QKD_THREAD_ANNOTATION(release_generic_capability(__VA_ARGS__))
+#define QKD_TRY_ACQUIRE(...) \
+  QKD_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define QKD_EXCLUDES(...) QKD_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define QKD_ASSERT_CAPABILITY(x) QKD_THREAD_ANNOTATION(assert_capability(x))
+#define QKD_RETURN_CAPABILITY(x) QKD_THREAD_ANNOTATION(lock_returned(x))
+
+// Escape hatch for functions the analysis cannot follow (thread trampolines,
+// deliberate cross-function lock handoff). Use sparingly and say why.
+#define QKD_NO_THREAD_SAFETY_ANALYSIS \
+  QKD_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -1,0 +1,34 @@
+// Constant-time equality for secret material.
+//
+// `a == b` on a tag or key short-circuits at the first differing word, so
+// the comparison's running time leaks how long a forged prefix matched.
+// ct_equal OR-folds every XOR difference before the single final compare:
+// the time depends only on the length, never on the contents. All secret
+// comparisons in the tree (authentication tags, verification digests) must
+// go through ct_equal -- scripts/lint/qkd_lint.py enforces it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/gf2.hpp"
+
+namespace qkdpp {
+
+/// Branchless constant-time byte-span equality. Lengths are public (a
+/// length mismatch returns false immediately; sizes are not secrets).
+inline bool ct_equal(const std::uint8_t* a, const std::uint8_t* b,
+                     std::size_t n) noexcept {
+  std::uint8_t diff = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    diff = static_cast<std::uint8_t>(diff | (a[i] ^ b[i]));
+  }
+  return diff == 0;
+}
+
+/// Constant-time equality of two 128-bit values (authentication tags).
+inline bool ct_equal(const U128& a, const U128& b) noexcept {
+  return ((a.hi ^ b.hi) | (a.lo ^ b.lo)) == 0;
+}
+
+}  // namespace qkdpp

@@ -3,14 +3,15 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
-#include <mutex>
+
+#include "common/mutex.hpp"
 
 namespace qkdpp {
 
 namespace {
 
 std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
-std::mutex g_sink_mutex;
+Mutex g_sink_mutex{LockRank::kLog, "log.sink"};
 
 const char* level_tag(LogLevel level) noexcept {
   switch (level) {
@@ -26,10 +27,13 @@ const char* level_tag(LogLevel level) noexcept {
 }  // namespace
 
 void set_log_level(LogLevel level) noexcept {
+  // relaxed: the level is an independent filter knob; no other data is
+  // published through it, so ordering against other memory is irrelevant.
   g_level.store(static_cast<int>(level), std::memory_order_relaxed);
 }
 
 LogLevel log_level() noexcept {
+  // relaxed: see set_log_level - a stale level drops or emits one line.
   return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
 }
 
@@ -38,7 +42,7 @@ void log_line(LogLevel level, const std::string& component,
   const auto now = std::chrono::duration<double>(
                        std::chrono::steady_clock::now().time_since_epoch())
                        .count();
-  std::scoped_lock lock(g_sink_mutex);
+  MutexLock lock(g_sink_mutex);
   std::fprintf(stderr, "[%12.6f] %s [%s] %s\n", now, level_tag(level),
                component.c_str(), message.c_str());
 }

@@ -61,6 +61,8 @@ class SpscRing {
   ~SpscRing() {
     // Destroy whatever was pushed but never popped (poisoned rings
     // abandon items by design; closed rings may be dropped mid-drain).
+    // relaxed: destruction implies both endpoints have quiesced; whoever
+    // joined them provided the synchronization.
     const std::uint64_t head = head_.load(std::memory_order_relaxed);
     const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
     for (std::uint64_t i = head; i != tail; ++i) slots_[i & mask_].destroy();
@@ -89,6 +91,7 @@ class SpscRing {
   /// untouched on failure so the caller can retry or drop it.
   bool try_push(T& item) {
     if (state_.load(std::memory_order_acquire) != 0) return false;
+    // relaxed: tail_ is written only by this (the producer) thread.
     const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
     if (tail - cached_head_ > mask_) {
       cached_head_ = head_.load(std::memory_order_acquire);
@@ -123,6 +126,7 @@ class SpscRing {
   /// Non-blocking pop. Empty, or poisoned, yields nullopt.
   std::optional<T> try_pop() {
     if (state_.load(std::memory_order_acquire) & kPoisoned) return std::nullopt;
+    // relaxed: head_ is written only by this (the consumer) thread.
     const std::uint64_t head = head_.load(std::memory_order_relaxed);
     if (head == cached_tail_) {
       cached_tail_ = tail_.load(std::memory_order_acquire);
@@ -183,6 +187,7 @@ class SpscRing {
   };
 
   bool empty_for_consumer() const noexcept {
+    // relaxed: head_ is the consumer's own write; tail_ needs the acquire.
     return head_.load(std::memory_order_relaxed) ==
            tail_.load(std::memory_order_acquire);
   }

@@ -23,7 +23,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::scoped_lock lock(idle_mutex_);
+    MutexLock lock(idle_mutex_);
     stopping_.store(true, std::memory_order_seq_cst);
   }
   idle_cv_.notify_all();
@@ -41,18 +41,21 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
   // worker that missed this task has already raised idle_count_, so we
   // notify; a worker that hasn't yet will see pending_ > 0 and not sleep.
   pending_.fetch_add(1, std::memory_order_seq_cst);
+  // relaxed: round-robin cursor - only fair distribution matters, and the
+  // queue push below is ordered by the queue mutex.
   const std::size_t target =
       next_queue_.fetch_add(1, std::memory_order_relaxed) % queue_count_;
   {
-    std::scoped_lock lock(queues_[target].mutex);
+    MutexLock lock(queues_[target].mutex);
     queues_[target].tasks.push_back(std::move(packaged));
   }
+  // relaxed: observability counter, read only by stats() snapshots.
   submitted_.fetch_add(1, std::memory_order_relaxed);
 
   if (idle_count_.load(std::memory_order_seq_cst) > 0) {
     // Take the mutex so the notify can't fall between a parking worker's
     // predicate check and its actual sleep.
-    std::scoped_lock lock(idle_mutex_);
+    MutexLock lock(idle_mutex_);
     idle_cv_.notify_one();
   }
   return future;
@@ -65,7 +68,7 @@ bool ThreadPool::claim_and_run(std::size_t my_index) {
 
   if (my_index != kNoOwner) {
     WorkerQueue& own = queues_[my_index];
-    std::scoped_lock lock(own.mutex);
+    MutexLock lock(own.mutex);
     if (!own.tasks.empty()) {
       task.emplace(std::move(own.tasks.front()));
       own.tasks.pop_front();
@@ -75,7 +78,7 @@ bool ThreadPool::claim_and_run(std::size_t my_index) {
     const std::size_t start = my_index == kNoOwner ? 0 : my_index + 1;
     for (std::size_t j = 0; j < n && !task; ++j) {
       WorkerQueue& victim = queues_[(start + j) % n];
-      std::scoped_lock lock(victim.mutex);
+      MutexLock lock(victim.mutex);
       if (!victim.tasks.empty()) {
         task.emplace(std::move(victim.tasks.back()));
         victim.tasks.pop_back();
@@ -86,6 +89,8 @@ bool ThreadPool::claim_and_run(std::size_t my_index) {
   if (!task) return false;
 
   pending_.fetch_sub(1, std::memory_order_seq_cst);
+  // relaxed: stolen_/busy_workers_/executed_ are observability counters,
+  // read only by stats() snapshots - no data is published through them.
   if (was_steal) stolen_.fetch_add(1, std::memory_order_relaxed);
   busy_workers_.fetch_add(1, std::memory_order_relaxed);
   (*task)();
@@ -98,9 +103,10 @@ void ThreadPool::worker_loop(std::size_t my_index) {
   for (;;) {
     if (claim_and_run(my_index)) continue;
 
-    std::unique_lock lock(idle_mutex_);
+    MutexLock lock(idle_mutex_);
     // Raise idle_count_ before re-checking pending_ (the other half of
-    // the Dekker protocol in submit()).
+    // the Dekker protocol in submit()). The wait predicate reads only
+    // atomics, so the lambda is safe under thread-safety analysis.
     idle_count_.fetch_add(1, std::memory_order_seq_cst);
     idle_cv_.wait(lock, [this] {
       return stopping_.load(std::memory_order_seq_cst) ||
@@ -146,6 +152,8 @@ void ThreadPool::parallel_for(
 ThreadPool::Stats ThreadPool::stats() const {
   Stats s;
   s.threads = queue_count_;
+  // relaxed: stats() is an observability snapshot - fields may be mutually
+  // inconsistent by a task or two, and no caller synchronizes through it.
   s.queue_depth = pending_.load(std::memory_order_relaxed);
   s.busy_workers = busy_workers_.load(std::memory_order_relaxed);
   s.submitted = submitted_.load(std::memory_order_relaxed);

@@ -14,16 +14,16 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.hpp"
 
 namespace qkdpp {
 
@@ -67,8 +67,11 @@ class ThreadPool {
   /// One per worker; padded so a submit landing on queue i never bounces
   /// the line that worker j is popping from.
   struct alignas(64) WorkerQueue {
-    mutable std::mutex mutex;
-    std::deque<std::packaged_task<void()>> tasks;
+    // All queues share one rank: a claimer locks its own queue, finds it
+    // empty, RELEASES it, and only then probes victims - two queue locks
+    // are never held together, so same-rank acquisition never happens.
+    mutable Mutex mutex{LockRank::kPoolQueue, "pool.queue"};
+    std::deque<std::packaged_task<void()>> tasks QKD_GUARDED_BY(mutex);
   };
 
   void worker_loop(std::size_t my_index);
@@ -86,8 +89,8 @@ class ThreadPool {
   std::atomic<std::size_t> next_queue_{0};
 
   /// Idle-parking state; pending_ counts submitted-but-unclaimed tasks.
-  std::mutex idle_mutex_;
-  std::condition_variable idle_cv_;
+  Mutex idle_mutex_{LockRank::kPoolIdle, "pool.idle"};
+  CondVar idle_cv_;
   std::atomic<std::size_t> pending_{0};
   std::atomic<std::size_t> idle_count_{0};
   std::atomic<bool> stopping_{false};

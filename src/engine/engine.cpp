@@ -97,7 +97,7 @@ PostprocessEngine::PostprocessEngine(PostprocessParams params,
     throw_error(ErrorCode::kConfig, "fixed device index outside roster");
   }
   executors_ = make_stage_executors(params_);
-  std::scoped_lock lock(plan_mutex_);
+  MutexLock lock(plan_mutex_);
   build_problem_locked();
   solve_and_commit_locked();
 }
@@ -203,22 +203,22 @@ void PostprocessEngine::solve_and_commit_locked() {
 }
 
 PostprocessParams PostprocessEngine::params() const {
-  std::scoped_lock lock(plan_mutex_);
+  MutexLock lock(plan_mutex_);
   return params_;
 }
 
 Placement PostprocessEngine::placement() const {
-  std::scoped_lock lock(plan_mutex_);
+  MutexLock lock(plan_mutex_);
   return placement_;
 }
 
 hetero::MappingProblem PostprocessEngine::mapping_problem() const {
-  std::scoped_lock lock(plan_mutex_);
+  MutexLock lock(plan_mutex_);
   return problem_;
 }
 
 Placement PostprocessEngine::replan(const StageWorkload& workload) {
-  std::scoped_lock lock(plan_mutex_);
+  MutexLock lock(plan_mutex_);
   options_.workload = workload;
   build_problem_locked();
   solve_and_commit_locked();
@@ -229,7 +229,7 @@ Placement PostprocessEngine::replan(const StageWorkload& workload) {
 Placement PostprocessEngine::replan() { return replan(options_.workload); }
 
 bool PostprocessEngine::adapt_to_qber(double windowed_qber) {
-  std::scoped_lock lock(plan_mutex_);
+  MutexLock lock(plan_mutex_);
   const protocol::ReconcileMethod before = params_.method;
   // Mid-band crossover measured on this code: by ~3.5% QBER Cascade's
   // realized efficiency (~1.2) beats the LDPC frames' f_target (1.45) by
@@ -246,7 +246,7 @@ bool PostprocessEngine::adapt_to_qber(double windowed_qber) {
 }
 
 std::uint64_t PostprocessEngine::replans() const {
-  std::scoped_lock lock(plan_mutex_);
+  MutexLock lock(plan_mutex_);
   return replan_count_;
 }
 
@@ -278,7 +278,7 @@ BlockOutcome PostprocessEngine::process_block(const BlockInput& input,
   std::vector<double> predicted;
   PostprocessParams params_snapshot;
   {
-    std::scoped_lock lock(plan_mutex_);
+    MutexLock lock(plan_mutex_);
     assignment = placement_.device_of_stage;
     params_snapshot = params_;
     predicted.reserve(assignment.size());

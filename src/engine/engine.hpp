@@ -16,10 +16,11 @@
 #include <deque>
 #include <future>
 #include <memory>
-#include <mutex>
+#include <mutex>  // std::once_flag
 #include <string>
 #include <vector>
 
+#include "common/mutex.hpp"
 #include "common/rng.hpp"
 #include "common/threadpool.hpp"
 #include "engine/block.hpp"
@@ -123,10 +124,13 @@ class PostprocessEngine {
                                          std::uint64_t rng_seed);
 
  private:
-  void build_problem_locked();
-  void solve_and_commit_locked();
+  void build_problem_locked() QKD_REQUIRES(plan_mutex_);
+  void solve_and_commit_locked() QKD_REQUIRES(plan_mutex_);
 
-  PostprocessParams params_;
+  /// Construction writes it freely (no concurrent readers exist yet);
+  /// afterwards every access goes through plan_mutex_ (adapt_to_qber
+  /// mutates method/cascade settings while blocks snapshot).
+  PostprocessParams params_ QKD_GUARDED_BY(plan_mutex_);
   EngineOptions options_;
   /// Created only when a roster device can use it (anything non-scalar) and
   /// the engine owns its devices; a shared DeviceSet brings its own pool.
@@ -142,18 +146,21 @@ class PostprocessEngine {
   std::vector<std::unique_ptr<StageExecutor>> executors_;
   /// Guards placement_/problem_/raw_model_/params_/committed_by_this_:
   /// process_block snapshots under it, replan()/adapt_to_qber() swap under
-  /// it, so re-planning never drains or stalls in-flight blocks.
-  mutable std::mutex plan_mutex_;
-  hetero::MappingProblem problem_;  ///< EWMA-corrected costs (mapper input)
+  /// it, so re-planning never drains or stalls in-flight blocks. Held
+  /// across DeviceSet commit/uncommit (rank above the ledger), released
+  /// before any kernel runs.
+  mutable Mutex plan_mutex_{LockRank::kEnginePlan, "engine.plan"};
+  /// EWMA-corrected costs (mapper input).
+  hetero::MappingProblem problem_ QKD_GUARDED_BY(plan_mutex_);
   /// Uncorrected model costs, same shape as problem_: observed stage times
   /// are ratioed against these so the EWMA correction converges instead of
   /// compounding through its own previous value.
-  std::vector<std::vector<double>> raw_model_;
-  Placement placement_;
+  std::vector<std::vector<double>> raw_model_ QKD_GUARDED_BY(plan_mutex_);
+  Placement placement_ QKD_GUARDED_BY(plan_mutex_);
   /// Per-device load this engine currently has committed to a shared set.
-  std::vector<double> committed_by_this_;
+  std::vector<double> committed_by_this_ QKD_GUARDED_BY(plan_mutex_);
   hetero::StageCostModel cost_model_{kStageCount};
-  std::uint64_t replan_count_ = 0;
+  std::uint64_t replan_count_ QKD_GUARDED_BY(plan_mutex_) = 0;
 };
 
 }  // namespace qkdpp::engine

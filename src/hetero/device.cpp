@@ -34,7 +34,7 @@ double Device::execute(const std::function<WorkEstimate()>& body) {
   const double charged =
       modeled ? model_seconds(estimate) : stopwatch.seconds();
   {
-    std::scoped_lock lock(mutex_);
+    MutexLock lock(mutex_);
     busy_s_ += charged;
     ++launches_;
   }
@@ -42,12 +42,12 @@ double Device::execute(const std::function<WorkEstimate()>& body) {
 }
 
 double Device::busy_seconds() const {
-  std::scoped_lock lock(mutex_);
+  MutexLock lock(mutex_);
   return busy_s_;
 }
 
 std::uint64_t Device::kernels_launched() const {
-  std::scoped_lock lock(mutex_);
+  MutexLock lock(mutex_);
   return launches_;
 }
 

@@ -23,9 +23,9 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <string>
 
+#include "common/mutex.hpp"
 #include "common/stats.hpp"
 #include "common/threadpool.hpp"
 
@@ -98,9 +98,9 @@ class Device {
   DeviceProps props_;
   ThreadPool* pool_;
   std::atomic<bool> online_{true};
-  mutable std::mutex mutex_;
-  double busy_s_ = 0.0;
-  std::uint64_t launches_ = 0;
+  mutable Mutex mutex_{LockRank::kDevice, "device.accounting"};
+  double busy_s_ QKD_GUARDED_BY(mutex_) = 0.0;
+  std::uint64_t launches_ QKD_GUARDED_BY(mutex_) = 0;
 };
 
 /// Standard device set used by benches and examples. The GPU/FPGA property

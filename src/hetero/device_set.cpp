@@ -33,7 +33,7 @@ DeviceSet::DeviceSet(std::vector<DeviceProps> props, std::size_t threads) {
 }
 
 void DeviceSet::commit_loads(const std::vector<double>& seconds_per_item) {
-  std::scoped_lock lock(mutex_);
+  MutexLock lock(mutex_);
   if (seconds_per_item.size() != committed_.size()) {
     throw_error(ErrorCode::kConfig, "committed load length mismatch");
   }
@@ -43,7 +43,7 @@ void DeviceSet::commit_loads(const std::vector<double>& seconds_per_item) {
 }
 
 void DeviceSet::uncommit_loads(const std::vector<double>& seconds_per_item) {
-  std::scoped_lock lock(mutex_);
+  MutexLock lock(mutex_);
   if (seconds_per_item.size() != committed_.size()) {
     throw_error(ErrorCode::kConfig, "committed load length mismatch");
   }
@@ -53,7 +53,7 @@ void DeviceSet::uncommit_loads(const std::vector<double>& seconds_per_item) {
 }
 
 std::vector<double> DeviceSet::committed_loads() const {
-  std::scoped_lock lock(mutex_);
+  MutexLock lock(mutex_);
   return committed_;
 }
 

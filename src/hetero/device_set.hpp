@@ -18,9 +18,9 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "common/mutex.hpp"
 #include "common/threadpool.hpp"
 #include "hetero/device.hpp"
 
@@ -67,8 +67,8 @@ class DeviceSet {
   std::unique_ptr<ThreadPool> pool_;
   std::deque<Device> devices_;  // Device is pinned (owns a mutex)
   std::atomic<std::uint64_t> roster_version_{0};
-  mutable std::mutex mutex_;
-  std::vector<double> committed_;
+  mutable Mutex mutex_{LockRank::kDeviceSet, "device_set.ledger"};
+  std::vector<double> committed_ QKD_GUARDED_BY(mutex_);
 };
 
 }  // namespace qkdpp::hetero

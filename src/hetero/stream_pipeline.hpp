@@ -25,7 +25,6 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
@@ -33,6 +32,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/mutex.hpp"
 #include "common/spsc_ring.hpp"
 #include "common/stats.hpp"
 #include "hetero/device.hpp"
@@ -127,14 +127,14 @@ class StreamPipeline {
   };
 
   void rethrow_failure() {
-    std::scoped_lock lock(failure_mutex_);
+    MutexLock lock(failure_mutex_);
     if (failure_) std::rethrow_exception(failure_);
     throw_error(ErrorCode::kChannelClosed, "pipeline aborted");
   }
 
   void fail(std::exception_ptr error) {
     {
-      std::scoped_lock lock(failure_mutex_);
+      MutexLock lock(failure_mutex_);
       if (!failure_) failure_ = error;
     }
     failed_.store(true, std::memory_order_release);
@@ -161,6 +161,9 @@ class StreamPipeline {
       }
       const double wall = stopwatch.seconds();
 
+      // relaxed: single-writer slots - only this worker writes them, so
+      // the read half of each read-modify-write cannot race; the release
+      // store is what publishes the new value to stats() readers.
       slot.items.store(slot.items.load(std::memory_order_relaxed) + 1,
                        std::memory_order_release);
       slot.busy_seconds.store(
@@ -191,8 +194,8 @@ class StreamPipeline {
   std::vector<Item> results_;
 
   std::atomic<bool> failed_{false};
-  std::mutex failure_mutex_;
-  std::exception_ptr failure_;  ///< guarded by failure_mutex_
+  Mutex failure_mutex_{LockRank::kStreamFailure, "stream.failure"};
+  std::exception_ptr failure_ QKD_GUARDED_BY(failure_mutex_);
 
   std::vector<std::thread> workers_;
 };

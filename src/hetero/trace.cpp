@@ -14,23 +14,23 @@ void ExecutionTrace::record(std::string stage, std::string device,
   event.start_s = start_offset_s;
   event.end_s = epoch_.seconds();
   event.charged_s = charged_s;
-  std::scoped_lock lock(mutex_);
+  MutexLock lock(mutex_);
   events_.push_back(std::move(event));
 }
 
 std::size_t ExecutionTrace::size() const {
-  std::scoped_lock lock(mutex_);
+  MutexLock lock(mutex_);
   return events_.size();
 }
 
 std::vector<TraceEvent> ExecutionTrace::events() const {
-  std::scoped_lock lock(mutex_);
+  MutexLock lock(mutex_);
   return events_;
 }
 
 void ExecutionTrace::write_csv(std::ostream& out) const {
   out << "stage,device,item,start_s,end_s,charged_s\n";
-  std::scoped_lock lock(mutex_);
+  MutexLock lock(mutex_);
   for (const auto& event : events_) {
     out << event.stage << ',' << event.device << ',' << event.item << ','
         << event.start_s << ',' << event.end_s << ',' << event.charged_s
@@ -39,7 +39,7 @@ void ExecutionTrace::write_csv(std::ostream& out) const {
 }
 
 double ExecutionTrace::device_occupancy(const std::string& device) const {
-  std::scoped_lock lock(mutex_);
+  MutexLock lock(mutex_);
   if (events_.empty()) return 0.0;
   double busy = 0.0;
   double span_end = 0.0;
@@ -64,7 +64,7 @@ void StageCostModel::observe(std::size_t stage, double predicted_s,
                              double observed_s) {
   if (stage >= stage_count_ || predicted_s <= 0.0 || observed_s < 0.0) return;
   const double sample_ratio = observed_s / predicted_s;
-  std::scoped_lock lock(mutex_);
+  MutexLock lock(mutex_);
   if (samples_[stage] == 0) {
     ratio_[stage] = sample_ratio;
     observed_[stage] = observed_s;
@@ -77,19 +77,19 @@ void StageCostModel::observe(std::size_t stage, double predicted_s,
 
 double StageCostModel::correction(std::size_t stage) const {
   if (stage >= stage_count_) return 1.0;
-  std::scoped_lock lock(mutex_);
+  MutexLock lock(mutex_);
   return samples_[stage] ? ratio_[stage] : 1.0;
 }
 
 double StageCostModel::observed_seconds(std::size_t stage) const {
   if (stage >= stage_count_) return 0.0;
-  std::scoped_lock lock(mutex_);
+  MutexLock lock(mutex_);
   return observed_[stage];
 }
 
 std::uint64_t StageCostModel::samples(std::size_t stage) const {
   if (stage >= stage_count_) return 0;
-  std::scoped_lock lock(mutex_);
+  MutexLock lock(mutex_);
   return samples_[stage];
 }
 

@@ -5,11 +5,11 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <vector>
 
+#include "common/mutex.hpp"
 #include "common/stats.hpp"
 
 namespace qkdpp::hetero {
@@ -47,9 +47,9 @@ class ExecutionTrace {
   double device_occupancy(const std::string& device) const;
 
  private:
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_{LockRank::kTrace, "trace.events"};
   Stopwatch epoch_;
-  std::vector<TraceEvent> events_;
+  std::vector<TraceEvent> events_ QKD_GUARDED_BY(mutex_);
 };
 
 /// EWMA feedback from observed stage executions into the mapper's cost
@@ -84,10 +84,12 @@ class StageCostModel {
  private:
   std::size_t stage_count_;
   double alpha_;
-  mutable std::mutex mutex_;
-  std::vector<double> ratio_;      ///< EWMA of observed / predicted
-  std::vector<double> observed_;   ///< EWMA of observed seconds
-  std::vector<std::uint64_t> samples_;
+  mutable Mutex mutex_{LockRank::kTrace, "trace.cost_model"};
+  /// EWMA of observed / predicted.
+  std::vector<double> ratio_ QKD_GUARDED_BY(mutex_);
+  /// EWMA of observed seconds.
+  std::vector<double> observed_ QKD_GUARDED_BY(mutex_);
+  std::vector<std::uint64_t> samples_ QKD_GUARDED_BY(mutex_);
 };
 
 }  // namespace qkdpp::hetero

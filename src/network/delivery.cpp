@@ -57,7 +57,7 @@ std::optional<BitVec> RelaySource::draw(std::string_view /*consumer*/) {
 
     RelayResult result = relay_.relay(*route, size);
     if (result.ok()) {
-      std::lock_guard lock(mutex_);
+      MutexLock lock(mutex_);
       stats_.draws += 1;
       stats_.relayed_bits += result.key.size();
       stats_.reroutes += reroutes_this_draw;
@@ -96,7 +96,7 @@ void RelaySource::describe_exhaustion(
 }
 
 RelaySourceStats RelaySource::stats() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return stats_;
 }
 
@@ -130,7 +130,7 @@ void NetworkDelivery::register_pair(api::SaePair pair,
   // The service validates the pair spec (and rejects duplicates) before we
   // remember the source, so a failed registration leaves no stale entry.
   service_.register_pair(std::move(pair), source);
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   sources_.emplace(key, std::move(source));
 }
 
@@ -139,7 +139,7 @@ std::shared_ptr<const RelaySource> NetworkDelivery::source(
   std::string key(master_sae);
   key += "/";
   key += slave_sae;
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   const auto it = sources_.find(key);
   if (it == sources_.end()) return nullptr;
   return it->second;

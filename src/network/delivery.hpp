@@ -26,12 +26,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
 
 #include "api/key_delivery.hpp"
+#include "common/mutex.hpp"
 #include "network/relay.hpp"
 #include "network/router.hpp"
 #include "network/topology.hpp"
@@ -80,8 +80,8 @@ class RelaySource final : public api::KeySource {
   std::size_t src_;
   std::size_t dst_;
   RelaySourceConfig config_;
-  mutable std::mutex mutex_;  ///< guards stats_ only
-  RelaySourceStats stats_;
+  mutable Mutex mutex_{LockRank::kSourceStats, "relay_source.stats"};
+  RelaySourceStats stats_ QKD_GUARDED_BY(mutex_);
 };
 
 class NetworkDelivery {
@@ -112,8 +112,9 @@ class NetworkDelivery {
   api::KeyDeliveryService& service_;
   Router router_;
   KeyRelay relay_;
-  mutable std::mutex mutex_;  ///< guards sources_
-  std::map<std::string, std::shared_ptr<RelaySource>, std::less<>> sources_;
+  mutable Mutex mutex_{LockRank::kSources, "network.sources"};
+  std::map<std::string, std::shared_ptr<RelaySource>, std::less<>> sources_
+      QKD_GUARDED_BY(mutex_);
 };
 
 }  // namespace qkdpp::network

@@ -27,7 +27,7 @@ BitVec KeyRelay::take(std::size_t edge, std::uint64_t bits) {
   HopTap& tap = taps_[edge];
   pipeline::KeyStore& store =
       topology_.orchestrator().key_store(topology_.edge(edge).link);
-  std::lock_guard lock(tap.mutex);
+  MutexLock lock(tap.mutex);
   // Refill the residual with whole distilled blocks. A block drawn here is
   // consumed from the store's point of view but stays relay-buffered until
   // it lands in a delivered key - that is the conservation split.
@@ -44,7 +44,7 @@ BitVec KeyRelay::take(std::size_t edge, std::uint64_t bits) {
 
 void KeyRelay::give_back(std::size_t edge, const BitVec& segment) {
   HopTap& tap = taps_[edge];
-  std::lock_guard lock(tap.mutex);
+  MutexLock lock(tap.mutex);
   // Front of the residual: the next take() re-cuts the exact same bits,
   // keeping the hop's pad stream in order across a failed multi-hop relay.
   BitVec restored = segment;
@@ -100,19 +100,20 @@ RelayResult KeyRelay::relay(const Route& route, std::uint64_t bits) {
     result.hops.push_back(HopAccount{route.edges[i], bits});
   }
   result.key = segments[0];
+  // relaxed: statistics counter read by delivered_bits() snapshots only.
   delivered_bits_.fetch_add(bits, std::memory_order_relaxed);
   return result;
 }
 
 std::uint64_t KeyRelay::buffered_bits(std::size_t edge) const {
   const HopTap& tap = taps_[edge];
-  std::lock_guard lock(tap.mutex);
+  MutexLock lock(tap.mutex);
   return tap.residual.size();
 }
 
 std::uint64_t KeyRelay::consumed_bits(std::size_t edge) const {
   const HopTap& tap = taps_[edge];
-  std::lock_guard lock(tap.mutex);
+  MutexLock lock(tap.mutex);
   return tap.consumed;
 }
 
@@ -120,11 +121,12 @@ std::uint64_t KeyRelay::deliverable_bits(std::size_t edge) const {
   const HopTap& tap = taps_[edge];
   pipeline::KeyStore& store =
       topology_.orchestrator().key_store(topology_.edge(edge).link);
-  std::lock_guard lock(tap.mutex);
+  MutexLock lock(tap.mutex);
   return tap.residual.size() + store.bits_available();
 }
 
 std::uint64_t KeyRelay::delivered_bits() const {
+  // relaxed: statistics snapshot, pairs with the relaxed add in relay().
   return delivered_bits_.load(std::memory_order_relaxed);
 }
 

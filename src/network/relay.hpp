@@ -33,11 +33,11 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/bitvec.hpp"
+#include "common/mutex.hpp"
 #include "network/router.hpp"
 #include "network/topology.hpp"
 
@@ -100,10 +100,15 @@ class KeyRelay {
 
  private:
   struct HopTap {
-    mutable std::mutex mutex;
-    BitVec residual;  ///< stream-ordered buffered key for this edge
-    std::uint64_t consumed = 0;
-    std::string consumer;  ///< "relay@<link_name>"
+    // One rank for every tap: relay() cuts segments hop by hop, releasing
+    // each tap before the next, so two tap locks are never held together.
+    // The rank sits ABOVE the KeyStore ranks because take() deliberately
+    // holds the tap across store.get_key (the conservation split).
+    mutable Mutex mutex{LockRank::kTap, "relay.tap"};
+    /// Stream-ordered buffered key for this edge.
+    BitVec residual QKD_GUARDED_BY(mutex);
+    std::uint64_t consumed QKD_GUARDED_BY(mutex) = 0;
+    std::string consumer;  ///< "relay@<link_name>"; set once at attach
   };
 
   /// Cut `bits` from the tap (refilling from the store as needed). Returns

@@ -77,6 +77,7 @@ EdgeStatus Topology::edge_status(std::size_t i) const {
   status.windowed_qber = health.windowed_qber;
   status.store_bits = orchestrator_.key_store(edge.link).bits_available();
   status.consecutive_aborts = health.consecutive_aborts;
+  // relaxed: independent flag, stale-by-one-query reads are fine.
   status.admin_up = admin_up_[i].load(std::memory_order_relaxed);
   status.distilling = health.distilling;
   status.breaker_open = health.breaker_open;

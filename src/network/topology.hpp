@@ -96,6 +96,8 @@ class Topology {
   /// Operator switch: an edge administratively down is infeasible for the
   /// router no matter how healthy its link looks. Thread-safe.
   void set_admin_up(std::size_t edge, bool up) {
+    // relaxed: an independent boolean flag; routing tolerates observing it
+    // a query late, and nothing is published through it.
     admin_up_[edge].store(up, std::memory_order_relaxed);
   }
 

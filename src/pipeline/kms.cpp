@@ -23,6 +23,8 @@ KeyStore::KeyStore(KeyStoreConfig config)
       shards_(std::make_unique<Shard[]>(shard_count_)) {}
 
 bool KeyStore::try_reserve(std::uint64_t bits) noexcept {
+  // relaxed: optimistic first read and CAS-failure reload - the seq_cst
+  // success order below is the only edge anything synchronizes on.
   std::uint64_t cur = in_store_bits_.load(std::memory_order_relaxed);
   for (;;) {
     if (config_.capacity_bits != 0 && cur + bits > config_.capacity_bits) {
@@ -44,15 +46,17 @@ void KeyStore::release_bits(std::uint64_t bits) noexcept {
   // least one side observes the other, so no depositor sleeps through the
   // space it was waiting for.
   if (space_waiters_.load(std::memory_order_seq_cst) > 0) {
-    std::scoped_lock lock(space_mutex_);
+    MutexLock lock(space_mutex_);
     space_.notify_all();
   }
 }
 
 void KeyStore::account_draw(std::string_view consumer, std::uint64_t bits) {
+  // relaxed: statistics counter; readers only need an eventually-exact
+  // total, never ordering against the key material itself.
   consumed_bits_.fetch_add(bits, std::memory_order_relaxed);
   if (consumer.empty()) consumer = kAnonymousConsumer;
-  std::scoped_lock lock(ledger_mutex_);
+  MutexLock lock(ledger_mutex_);
   const auto it = drawn_.find(consumer);
   if (it != drawn_.end()) {
     it->second += bits;
@@ -62,6 +66,7 @@ void KeyStore::account_draw(std::string_view consumer, std::uint64_t bits) {
 }
 
 DepositResult KeyStore::reject(RejectReason reason, std::uint64_t bits) {
+  // relaxed: statistics counters, same contract as consumed_bits_.
   rejected_by_reason_[static_cast<std::size_t>(reason)].fetch_add(
       1, std::memory_order_relaxed);
   rejected_bits_.fetch_add(bits, std::memory_order_relaxed);
@@ -82,7 +87,7 @@ DepositResult KeyStore::deposit(BitVec key) {
     }
     bool reserved = false;
     {
-      std::unique_lock lock(space_mutex_);
+      MutexLock lock(space_mutex_);
       space_waiters_.fetch_add(1, std::memory_order_seq_cst);
       // Reservation first: a depositor woken with space available takes
       // it even when the wake came from close() - only a close with *no*
@@ -95,11 +100,13 @@ DepositResult KeyStore::deposit(BitVec key) {
     }
     if (!reserved) return reject(RejectReason::kClosed, bits);
   }
+  // relaxed: next_id_ only needs uniqueness (RMW atomicity gives that);
+  // deposited_bits_ is a statistics counter.
   const std::uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
   deposited_bits_.fetch_add(bits, std::memory_order_relaxed);
   Shard& shard = shard_of(id);
   {
-    std::scoped_lock lock(shard.mutex);
+    MutexLock lock(shard.mutex);
     shard.keys.emplace(id, std::move(key));
   }
   keys_count_.fetch_add(1, std::memory_order_release);
@@ -111,7 +118,7 @@ std::optional<StoredKey> KeyStore::take_from_shard(Shard& shard,
                                                    std::string_view consumer) {
   StoredKey out;
   {
-    std::scoped_lock lock(shard.mutex);
+    MutexLock lock(shard.mutex);
     const auto it = shard.keys.find(key_id);
     if (it == shard.keys.end()) return std::nullopt;
     out = StoredKey{it->first, std::move(it->second)};
@@ -133,7 +140,7 @@ std::optional<StoredKey> KeyStore::get_key(std::string_view consumer) {
     Shard* best = nullptr;
     for (std::size_t s = 0; s < shard_count_; ++s) {
       Shard& shard = shards_[s];
-      std::scoped_lock lock(shard.mutex);
+      MutexLock lock(shard.mutex);
       if (!shard.keys.empty() && shard.keys.begin()->first < best_id) {
         best_id = shard.keys.begin()->first;
         best = &shard;
@@ -154,7 +161,7 @@ void KeyStore::close() {
   // Take the mutex so the broadcast cannot land between a blocked
   // depositor's predicate check and its sleep; every waiter across every
   // shard parks on this one cv, so one broadcast wakes them all.
-  std::scoped_lock lock(space_mutex_);
+  MutexLock lock(space_mutex_);
   space_.notify_all();
 }
 
@@ -195,13 +202,13 @@ std::uint64_t KeyStore::rejected_keys(RejectReason reason) const {
 
 std::uint64_t KeyStore::consumed_by(std::string_view consumer) const {
   if (consumer.empty()) consumer = kAnonymousConsumer;
-  std::scoped_lock lock(ledger_mutex_);
+  MutexLock lock(ledger_mutex_);
   const auto it = drawn_.find(consumer);
   return it != drawn_.end() ? it->second : 0;
 }
 
 std::map<std::string, std::uint64_t> KeyStore::draw_accounting() const {
-  std::scoped_lock lock(ledger_mutex_);
+  MutexLock lock(ledger_mutex_);
   return {drawn_.begin(), drawn_.end()};
 }
 

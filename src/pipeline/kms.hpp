@@ -32,16 +32,15 @@
 
 #include <array>
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
 
 #include "common/bitvec.hpp"
+#include "common/mutex.hpp"
 
 namespace qkdpp::pipeline {
 
@@ -136,8 +135,10 @@ class KeyStore {
   /// One lock stripe of the key map; padded so neighbouring shards'
   /// mutexes never share a cache line.
   struct alignas(64) Shard {
-    mutable std::mutex mutex;
-    std::map<std::uint64_t, BitVec> keys;
+    // One rank for every shard: the FIFO scan and the takers lock shards
+    // strictly one at a time, so two shard locks are never held together.
+    mutable Mutex mutex{LockRank::kStoreShard, "kms.shard"};
+    std::map<std::uint64_t, BitVec> keys QKD_GUARDED_BY(mutex);
   };
 
   Shard& shard_of(std::uint64_t key_id) const noexcept {
@@ -170,13 +171,14 @@ class KeyStore {
 
   /// Slow path for kBlock depositors waiting on space; consumers only
   /// touch it when space_waiters_ says someone is actually parked.
-  std::mutex space_mutex_;
-  std::condition_variable space_;
+  Mutex space_mutex_{LockRank::kStoreSpace, "kms.space"};
+  CondVar space_;
   std::atomic<std::size_t> space_waiters_{0};
 
   /// Per-consumer draw ledger (names span shards, so it stays unified).
-  mutable std::mutex ledger_mutex_;
-  std::map<std::string, std::uint64_t, std::less<>> drawn_;
+  mutable Mutex ledger_mutex_{LockRank::kStoreLedger, "kms.ledger"};
+  std::map<std::string, std::uint64_t, std::less<>> drawn_
+      QKD_GUARDED_BY(ledger_mutex_);
 };
 
 }  // namespace qkdpp::pipeline

@@ -1,6 +1,7 @@
 #include "protocol/channel.hpp"
 
 #include "common/error.hpp"
+#include "common/mutex.hpp"
 
 namespace qkdpp::protocol {
 
@@ -8,11 +9,13 @@ namespace {
 
 /// Shared state of a connected endpoint pair: one queue per direction.
 struct PairState {
-  std::mutex mutex;
-  std::condition_variable cv;
-  std::deque<std::vector<std::uint8_t>> queue[2];  // index = receiving side
-  bool closed[2] = {false, false};                 // index = closing side
-  ChannelModel model;
+  Mutex mutex{LockRank::kChannel, "channel.pair"};
+  CondVar cv;
+  /// Index = receiving side.
+  std::deque<std::vector<std::uint8_t>> queue[2] QKD_GUARDED_BY(mutex);
+  /// Index = closing side.
+  bool closed[2] QKD_GUARDED_BY(mutex) = {false, false};
+  ChannelModel model;  // set once before the endpoints exist; immutable
 };
 
 class InProcessEndpoint final : public ClassicalChannel {
@@ -25,7 +28,7 @@ class InProcessEndpoint final : public ClassicalChannel {
   void send(std::vector<std::uint8_t> frame) override {
     const std::size_t frame_bytes = frame.size();
     {
-      std::scoped_lock lock(state_->mutex);
+      MutexLock lock(state_->mutex);
       if (state_->closed[side_]) {
         throw_error(ErrorCode::kChannelClosed, "send on closed endpoint");
       }
@@ -41,41 +44,50 @@ class InProcessEndpoint final : public ClassicalChannel {
   }
 
   std::vector<std::uint8_t> receive() override {
-    std::unique_lock lock(state_->mutex);
-    state_->cv.wait(lock, [this] {
-      return !state_->queue[side_].empty() || state_->closed[1 - side_] ||
-             state_->closed[side_];
-    });
+    // Explicit wait loop (not the predicate-lambda overload): the
+    // condition reads fields guarded by state_->mutex, and thread-safety
+    // analysis cannot see a lambda body's lock context.
+    MutexLock lock(state_->mutex);
+    while (!ready_locked()) state_->cv.wait(lock);
     return take_front_locked();
   }
 
   std::optional<std::vector<std::uint8_t>> receive_for(
       std::chrono::microseconds timeout) override {
-    std::unique_lock lock(state_->mutex);
-    const bool ready = state_->cv.wait_for(lock, timeout, [this] {
-      return !state_->queue[side_].empty() || state_->closed[1 - side_] ||
-             state_->closed[side_];
-    });
-    if (!ready) return std::nullopt;
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    MutexLock lock(state_->mutex);
+    while (!ready_locked()) {
+      if (state_->cv.wait_until(lock, deadline) == std::cv_status::timeout &&
+          !ready_locked()) {
+        return std::nullopt;
+      }
+    }
     return take_front_locked();
   }
 
   void close() override {
     {
-      std::scoped_lock lock(state_->mutex);
+      MutexLock lock(state_->mutex);
       state_->closed[side_] = true;
     }
     state_->cv.notify_all();
   }
 
   ChannelCounters counters() const override {
-    std::scoped_lock lock(state_->mutex);
+    MutexLock lock(state_->mutex);
     return counters_;
   }
 
  private:
+  /// A frame is waiting or the pair can never produce one; mutex held.
+  bool ready_locked() const QKD_REQUIRES(state_->mutex) {
+    return !state_->queue[side_].empty() || state_->closed[1 - side_] ||
+           state_->closed[side_];
+  }
+
   /// Pop the head frame (or throw on closed-and-drained); mutex held.
-  std::vector<std::uint8_t> take_front_locked() {
+  std::vector<std::uint8_t> take_front_locked()
+      QKD_REQUIRES(state_->mutex) {
     if (state_->queue[side_].empty()) {
       throw_error(ErrorCode::kChannelClosed, "channel closed");
     }
@@ -96,7 +108,7 @@ class InProcessEndpoint final : public ClassicalChannel {
 
   std::shared_ptr<PairState> state_;
   int side_;
-  ChannelCounters counters_;  // guarded by state_->mutex
+  ChannelCounters counters_ QKD_GUARDED_BY(state_->mutex);
 };
 
 class TamperingChannel final : public ClassicalChannel {

@@ -2,13 +2,13 @@
 
 #include <algorithm>
 #include <map>
-#include <mutex>
 #include <numeric>
 #include <set>
 #include <stdexcept>
 
 #include "common/entropy.hpp"
 #include "common/error.hpp"
+#include "common/mutex.hpp"
 #include "common/rng.hpp"
 
 namespace qkdpp::reconcile {
@@ -355,8 +355,9 @@ constexpr CodeSpec kCodeTable[] = {
     {18, 65536, 15, 0.8},  {19, 65536, 20, 0.85},
 };
 
-std::mutex g_code_cache_mutex;
-std::map<std::uint32_t, std::unique_ptr<LdpcCode>> g_code_cache;
+Mutex g_code_cache_mutex{LockRank::kCodeCache, "ldpc.code_cache"};
+std::map<std::uint32_t, std::unique_ptr<LdpcCode>> g_code_cache
+    QKD_GUARDED_BY(g_code_cache_mutex);
 
 }  // namespace
 
@@ -364,7 +365,7 @@ std::span<const CodeSpec> code_table() noexcept { return kCodeTable; }
 
 const LdpcCode& code_by_id(std::uint32_t id) {
   {
-    std::scoped_lock lock(g_code_cache_mutex);
+    MutexLock lock(g_code_cache_mutex);
     const auto it = g_code_cache.find(id);
     if (it != g_code_cache.end()) return *it->second;
   }
@@ -393,7 +394,7 @@ const LdpcCode& code_by_id(std::uint32_t id) {
         LdpcCode::peg(spec->n, m, DegreeProfile::regular(3),
                       /*seed=*/0x9d5c0e5b0f00dULL + id));
   }
-  std::scoped_lock lock(g_code_cache_mutex);
+  MutexLock lock(g_code_cache_mutex);
   auto [it, inserted] = g_code_cache.emplace(id, std::move(code));
   return *it->second;
 }

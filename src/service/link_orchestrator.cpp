@@ -127,6 +127,7 @@ LinkOrchestrator::LinkOrchestrator(OrchestratorConfig config)
     links_.emplace_back(spec, config_.store);
     // Seed the live health with the analytic channel view so the network
     // router has a sensible QBER weight before the first block distills.
+    // relaxed: health mirror - readers tolerate a stale sample by design.
     links_.back().live_qber.store(
         sim::AnalyticLink(spec.link).qber(spec.link.source.mu_signal),
         std::memory_order_relaxed);
@@ -152,6 +153,9 @@ std::optional<std::size_t> LinkOrchestrator::link_index(
 LinkHealth LinkOrchestrator::link_health(std::size_t i) const {
   const LinkState& state = links_[i];
   LinkHealth health;
+  // relaxed: health snapshot - each field is independently published at a
+  // block boundary; readers route/report on approximate, possibly torn
+  // cross-field views by design.
   health.windowed_qber = state.live_qber.load(std::memory_order_relaxed);
   health.blocks_ok = state.live_blocks_ok.load(std::memory_order_relaxed);
   health.blocks_aborted =
@@ -276,6 +280,8 @@ engine::BlockOutcome LinkOrchestrator::run_session_block(
 
 void LinkOrchestrator::run_link(std::size_t i, LinkReport& report) {
   LinkState& state = links_[i];
+  // relaxed: health mirror - single writer (this link thread), readers
+  // tolerate staleness by design.
   state.live_distilling.store(true, std::memory_order_relaxed);
   const ReplanPolicy& policy = config_.replan;
   report.name = state.spec.name;
@@ -355,6 +361,7 @@ void LinkOrchestrator::run_link(std::size_t i, LinkReport& report) {
     report.reconcile_leak_bits += outcome.leak_ec_bits;
     if (outcome.success) {
       ++report.blocks_ok;
+      // relaxed: health mirror counters, single writer, stale reads fine.
       state.live_blocks_ok.fetch_add(1, std::memory_order_relaxed);
       state.live_abort_streak.store(0, std::memory_order_relaxed);
       // Typed deposit outcome: rejected material is accounted from the
@@ -371,6 +378,7 @@ void LinkOrchestrator::run_link(std::size_t i, LinkReport& report) {
       }
     } else {
       ++report.blocks_aborted;
+      // relaxed: health mirror counters, single writer, stale reads fine.
       state.live_blocks_aborted.fetch_add(1, std::memory_order_relaxed);
       state.live_abort_streak.fetch_add(1, std::memory_order_relaxed);
       if (outcome.abort_reason == engine::kAbortDeviceOffline) {
@@ -385,6 +393,7 @@ void LinkOrchestrator::run_link(std::size_t i, LinkReport& report) {
       } else {
         const bool probe_failed =
             state.breaker_state == BreakerState::kHalfOpen;
+        // relaxed: reading back our own thread's streak counter.
         const std::uint64_t streak =
             state.live_abort_streak.load(std::memory_order_relaxed);
         if (probe_failed || streak >= breaker.open_after_aborts) {
@@ -401,6 +410,7 @@ void LinkOrchestrator::run_link(std::size_t i, LinkReport& report) {
               b + 1 + static_cast<std::uint64_t>(state.breaker_cooldown);
         }
       }
+      // relaxed: health mirror, single writer, stale reads fine.
       state.live_breaker_open.store(
           state.breaker_state != BreakerState::kClosed,
           std::memory_order_relaxed);
@@ -425,6 +435,7 @@ void LinkOrchestrator::run_link(std::size_t i, LinkReport& report) {
     const double windowed_qber = mean(qber_window);
     report.windowed_qber = windowed_qber;
     if (!qber_window.empty()) {
+      // relaxed: health mirror, single writer, stale reads fine.
       state.live_qber.store(windowed_qber, std::memory_order_relaxed);
     }
 
@@ -465,6 +476,7 @@ void LinkOrchestrator::run_link(std::size_t i, LinkReport& report) {
   }
   report.wall_seconds = link_clock.seconds();
   report.breaker_state = state.breaker_state;
+  // relaxed: health mirror, single writer, stale reads fine.
   state.live_distilling.store(false, std::memory_order_relaxed);
 
   const auto placement = state.engine->placement();
@@ -481,6 +493,9 @@ void LinkOrchestrator::run_link(std::size_t i, LinkReport& report) {
 }
 
 OrchestratorReport LinkOrchestrator::run() {
+  // Serialize overlapping fleets: per-link rng streams and block counters
+  // are single-writer, and a second concurrent run() would interleave them.
+  MutexLock gate(run_mutex_);
   // Bounded by default: min(links, hardware threads). One OS thread per
   // link stops scaling long before 128 links (oversubscription thrash);
   // a work-stealing pool keeps every core busy while idle-link tasks wait

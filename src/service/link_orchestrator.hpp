@@ -28,6 +28,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.hpp"
 #include "common/rng.hpp"
 #include "common/threadpool.hpp"
 #include "engine/engine.hpp"
@@ -264,7 +265,10 @@ class LinkOrchestrator {
 
   /// Drive all links concurrently: each link distills spec.blocks blocks
   /// and deposits every successful key into its store. Repeatable; stores
-  /// and rng streams carry over between runs.
+  /// and rng streams carry over between runs. Serialized: overlapping
+  /// calls queue on the run gate (LinkState block counters and rng streams
+  /// are single-writer per link, so two interleaved fleets would corrupt
+  /// determinism).
   OrchestratorReport run();
 
  private:
@@ -334,6 +338,11 @@ class LinkOrchestrator {
                                          LinkReport& report);
 
   OrchestratorConfig config_;
+  /// Run gate: the outermost lock in the repo (nothing may be held when a
+  /// fleet starts). Held across the whole fleet drive, which reaches every
+  /// lower-ranked lock from the link worker threads; the gate itself is
+  /// only ever taken by the caller of run(), never by a worker.
+  Mutex run_mutex_{LockRank::kOrchestrator, "orchestrator.run"};
   std::shared_ptr<hetero::DeviceSet> devices_;
   std::deque<LinkState> links_;  // LinkState is pinned (store owns a mutex)
   std::deque<DeviceEventState> events_;  // pinned (atomics)

@@ -1,0 +1,105 @@
+// ct_equal correctness at word boundaries + the Wegman-Carter verify path
+// that motivated it (the tag compare must be constant-time: a == that
+// short-circuits leaks how long a forged prefix matched).
+#include "common/ct_equal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "auth/key_pool.hpp"
+#include "auth/wegman_carter.hpp"
+#include "common/rng.hpp"
+
+namespace qkdpp {
+namespace {
+
+// Sizes straddling every internal boundary a word-at-a-time implementation
+// could mishandle: empty, sub-word, exact words, words +/- 1.
+const std::size_t kBoundarySizes[] = {0,  1,  7,  8,  9,  15, 16,
+                                      17, 31, 32, 33, 63, 64, 65};
+
+std::vector<std::uint8_t> pattern_bytes(std::size_t n, std::uint8_t salt) {
+  std::vector<std::uint8_t> bytes(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    bytes[i] = static_cast<std::uint8_t>(i * 131 + salt);
+  }
+  return bytes;
+}
+
+TEST(CtEqual, EqualAtWordBoundarySizes) {
+  for (const std::size_t n : kBoundarySizes) {
+    const auto a = pattern_bytes(n, 7);
+    const auto b = pattern_bytes(n, 7);
+    EXPECT_TRUE(ct_equal(a.data(), b.data(), n)) << "size " << n;
+  }
+}
+
+TEST(CtEqual, SingleByteDifferenceAtEveryPosition) {
+  for (const std::size_t n : kBoundarySizes) {
+    if (n == 0) continue;
+    const auto a = pattern_bytes(n, 7);
+    // Flip one byte at the front, the back, and every word seam in range.
+    for (const std::size_t pos : {std::size_t{0}, n / 2, n - 1}) {
+      auto b = a;
+      b[pos] ^= 0x01;
+      EXPECT_FALSE(ct_equal(a.data(), b.data(), n))
+          << "size " << n << " pos " << pos;
+    }
+  }
+}
+
+TEST(CtEqual, SingleBitDifferenceEveryBitOfOneWord) {
+  // The OR-fold must see every bit lane; a masked lane would accept a
+  // near-miss forgery.
+  const auto a = pattern_bytes(8, 3);
+  for (std::size_t bit = 0; bit < 64; ++bit) {
+    auto b = a;
+    b[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    EXPECT_FALSE(ct_equal(a.data(), b.data(), 8)) << "bit " << bit;
+  }
+}
+
+TEST(CtEqual, U128EqualAndEveryBitDifference) {
+  const U128 a{0x0123456789abcdefULL, 0xfedcba9876543210ULL};
+  EXPECT_TRUE(ct_equal(a, a));
+  for (std::size_t bit = 0; bit < 128; ++bit) {
+    U128 b = a;
+    if (bit < 64) {
+      b.lo ^= (1ULL << bit);
+    } else {
+      b.hi ^= (1ULL << (bit - 64));
+    }
+    EXPECT_FALSE(ct_equal(a, b)) << "bit " << bit;
+  }
+}
+
+TEST(CtEqual, WegmanCarterVerifyAcceptsGenuineRejectsTampered) {
+  Xoshiro256 rng(0x014);
+  // Two pools over the same material: sender and receiver consume tag key
+  // in lockstep, as the protocol requires.
+  const BitVec material = rng.random_bits(8 * auth::kTagKeyBits);
+  auth::KeyPool alice_pool(material);
+  auth::KeyPool bob_pool(material);
+  auth::WegmanCarter alice(alice_pool);
+  auth::WegmanCarter bob(bob_pool);
+
+  const auto message = pattern_bytes(100, 42);
+  const auth::Tag tag = alice.sign(message);
+  EXPECT_TRUE(bob.verify(message, tag));
+
+  // Fresh pool positions per attempt (verify consumes either way).
+  const auth::Tag tag2 = alice.sign(message);
+  auth::Tag tampered = tag2;
+  tampered.value.lo ^= 1;
+  EXPECT_FALSE(bob.verify(message, tampered));
+
+  const auth::Tag tag3 = alice.sign(message);
+  auto altered = message;
+  altered[50] ^= 0x80;
+  EXPECT_FALSE(bob.verify(altered, tag3));
+}
+
+}  // namespace
+}  // namespace qkdpp
